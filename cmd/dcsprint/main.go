@@ -1,0 +1,206 @@
+// Command dcsprint runs one Data Center Sprinting simulation and prints a
+// per-phase summary plus, optionally, the full telemetry as CSV.
+//
+// Examples:
+//
+//	dcsprint -trace ms
+//	dcsprint -trace yahoo -degree 3.2 -duration 15m -strategy heuristic -estimate 2.4
+//	dcsprint -trace ms -strategy uncontrolled
+//	dcsprint -trace yahoo -degree 3.0 -duration 10m -csv telemetry.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcsprint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsprint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcsprint", flag.ContinueOnError)
+	var (
+		traceName = fs.String("trace", "ms", "workload trace: ms | yahoo | csv")
+		traceCSV  = fs.String("trace-csv", "", "with -trace csv: load the demand trace from this CSV file")
+		seed      = fs.Int64("seed", 1, "trace generator seed")
+		degree    = fs.Float64("degree", 3.2, "yahoo burst degree")
+		duration  = fs.Duration("duration", 15*time.Minute, "yahoo burst duration")
+		strategy  = fs.String("strategy", "greedy", "greedy | fixed | prediction | heuristic | adaptive | uncontrolled")
+		bound     = fs.Float64("bound", 2.5, "fixed strategy: degree upper bound")
+		estimate  = fs.Float64("estimate", 2.4, "heuristic strategy: estimated best average degree")
+		headroom  = fs.Float64("headroom", 0.10, "DC-level provisioning headroom (0-0.25)")
+		pue       = fs.Float64("pue", 1.53, "facility PUE")
+		noTES     = fs.Bool("no-tes", false, "remove the TES tank")
+		servers   = fs.Int("servers", 0, "facility size (0 = default)")
+		csvPath   = fs.String("csv", "", "write per-second telemetry CSV to this file")
+		events    = fs.Bool("events", false, "print the controller's transition log")
+		pcm       = fs.Float64("chip-pcm", 0, "chip PCM budget in minutes of full sprint (0 = unlimited)")
+		tablePath = fs.String("table", "", "prediction/adaptive: cache the Oracle bound table in this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *dcsprint.Series
+	switch *traceName {
+	case "ms":
+		tr = dcsprint.MSTrace(*seed)
+	case "yahoo":
+		tr = dcsprint.YahooTrace(*seed, *degree, *duration)
+	case "csv":
+		if *traceCSV == "" {
+			return fmt.Errorf("-trace csv needs -trace-csv <file>")
+		}
+		f, err := os.Open(*traceCSV)
+		if err != nil {
+			return err
+		}
+		tr, err = dcsprint.ReadTraceCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown trace %q", *traceName)
+	}
+
+	sc := dcsprint.Scenario{
+		Name:                 *traceName,
+		Trace:                tr,
+		DCHeadroom:           *headroom,
+		ExplicitZeroHeadroom: *headroom == 0,
+		PUE:                  *pue,
+		NoTES:                *noTES,
+		Servers:              *servers,
+		ChipPCMMinutes:       *pcm,
+	}
+	stats := dcsprint.AnalyzeTrace(tr)
+	switch *strategy {
+	case "greedy":
+		sc.Strategy = dcsprint.Greedy()
+	case "fixed":
+		sc.Strategy = dcsprint.FixedBound(*bound)
+	case "prediction":
+		tbl, err := loadOrBuildTable(*tablePath, *seed)
+		if err != nil {
+			return err
+		}
+		sc.Strategy = dcsprint.Prediction(stats.AggregateDuration, tbl)
+	case "heuristic":
+		sc.Strategy = dcsprint.Heuristic(*estimate, 0.10)
+	case "adaptive":
+		tbl, err := loadOrBuildTable(*tablePath, *seed)
+		if err != nil {
+			return err
+		}
+		sc.Strategy = dcsprint.Adaptive(tbl)
+	case "uncontrolled":
+		sc.Uncontrolled = true
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	res, err := dcsprint.Run(sc)
+	if err != nil {
+		return err
+	}
+	printSummary(res, stats)
+	if *events {
+		fmt.Println("events:")
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+// loadOrBuildTable returns the Oracle bound table, reading the JSON cache
+// when it exists and writing it after a fresh build otherwise. An empty
+// path builds without caching.
+func loadOrBuildTable(path string, seed int64) (*dcsprint.BoundTable, error) {
+	if path != "" {
+		if data, err := os.ReadFile(path); err == nil {
+			var tbl dcsprint.BoundTable
+			if err := json.Unmarshal(data, &tbl); err != nil {
+				return nil, fmt.Errorf("bound table cache %s: %w", path, err)
+			}
+			return &tbl, nil
+		}
+	}
+	tbl, err := dcsprint.StandardBoundTable(seed)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		data, err := json.Marshal(tbl)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Printf("bound table cached to %s\n", path)
+	}
+	return tbl, nil
+}
+
+func printSummary(res *dcsprint.Result, stats dcsprint.BurstStats) {
+	fmt.Printf("trace: %s (burst %.2fx peak for %v aggregate)\n",
+		res.Scenario.Name, stats.PeakDemand, stats.AggregateDuration)
+	fmt.Printf("average burst performance: %.3fx over no sprinting\n", res.Improvement())
+	fmt.Printf("sprint sustained above capacity: %v\n", res.SprintSustained)
+	if res.TrippedAt >= 0 {
+		fmt.Printf("BREAKER TRIPPED at %v — facility down\n", res.TrippedAt)
+	} else {
+		fmt.Println("no breaker trips")
+	}
+	w := dcsprint.Phases(res)
+	describe := func(d time.Duration) string {
+		if d < 0 {
+			return "never"
+		}
+		return d.String()
+	}
+	fmt.Printf("phase 1 (CB overload) start: %s\n", describe(w.Phase1Start))
+	fmt.Printf("phase 2 (UPS discharge) start: %s\n", describe(w.Phase2Start))
+	fmt.Printf("phase 3 (TES cooling) start: %s\n", describe(w.Phase3Start))
+	if total := float64(res.Split.Total()); total > 0 {
+		fmt.Printf("additional energy: UPS %.0f%%, TES %.0f%%, CB overload %.0f%%\n",
+			100*float64(res.Split.UPS)/total,
+			100*float64(res.Split.TES)/total,
+			100*float64(res.Split.CBOverload)/total)
+	}
+	fmt.Printf("peak room temperature: %.1f C\n", res.Telemetry.RoomTemp.Max())
+}
+
+func writeCSV(path string, res *dcsprint.Result) error {
+	var b strings.Builder
+	b.WriteString("t_sec,required,achieved,degree,phase,dc_load_w,pdu_load_w,ups_w,cooling_w,tes_w,room_c\n")
+	tele := res.Telemetry
+	for i := range tele.Required.Samples {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.2f\n",
+			i,
+			tele.Required.Samples[i], tele.Achieved.Samples[i],
+			tele.Degree.Samples[i], tele.Phase[i],
+			tele.DCLoad.Samples[i], tele.PDULoad.Samples[i],
+			tele.UPSPower.Samples[i], tele.CoolingPower.Samples[i],
+			tele.TESRate.Samples[i], tele.RoomTemp.Samples[i])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunMSDefault(t *testing.T) {
+	if err := run([]string{"-trace", "ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunYahooStrategies(t *testing.T) {
+	for _, strategy := range []string{"greedy", "fixed", "heuristic", "uncontrolled"} {
+		t.Run(strategy, func(t *testing.T) {
+			err := run([]string{"-trace", "yahoo", "-degree", "2.8", "-duration", "5m", "-strategy", strategy})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.csv")
+	if err := run([]string{"-trace", "yahoo", "-duration", "2m", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1801 { // header + 30 min at 1 s
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_sec,required,achieved") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunEventsAndPCMFlags(t *testing.T) {
+	if err := run([]string{"-trace", "yahoo", "-duration", "5m", "-events", "-chip-pcm", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-trace", "nope"}); err == nil {
+		t.Error("unknown trace accepted")
+	}
+	if err := run([]string{"-strategy", "nope"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunCSVTrace(t *testing.T) {
+	dir := t.TempDir()
+	// Export a trace, then feed it back through the CSV path.
+	tracePath := filepath.Join(dir, "demand.csv")
+	var b strings.Builder
+	b.WriteString("t_sec,demand\n")
+	for i := 0; i < 600; i++ {
+		v := 0.8
+		if i > 120 && i < 360 {
+			v = 2.2
+		}
+		fmt.Fprintf(&b, "%d,%g\n", i, v)
+	}
+	if err := os.WriteFile(tracePath, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", "csv", "-trace-csv", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing file and missing flag both fail cleanly.
+	if err := run([]string{"-trace", "csv"}); err == nil {
+		t.Error("missing -trace-csv accepted")
+	}
+	if err := run([]string{"-trace", "csv", "-trace-csv", filepath.Join(dir, "nope.csv")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunTableCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.json")
+	args := []string{"-trace", "yahoo", "-duration", "5m", "-strategy", "prediction", "-table", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("table not cached: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty table cache")
+	}
+	// Second run loads the cache (and still succeeds).
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted cache is rejected, not silently rebuilt.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args); err == nil {
+		t.Error("corrupted cache accepted")
+	}
+}

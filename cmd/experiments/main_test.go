@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunFastSubset(t *testing.T) {
+	// The cheap experiments exercise the full printing path.
+	if err := run([]string{"-run", "fig2,fig5,fig8,fig11,notes,skew,capping,outage,endurance,chippcm"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunMediumSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium experiments")
+	}
+	if err := run([]string{"-run", "fig4,reserve,day,burstiness,montecarlo,headroom,pue,adaptive"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Command testbed runs the hardware-testbed emulation (§VI-B, Fig 11):
+// a two-source server whose controller chooses per second between
+// overloading a small circuit breaker and discharging a UPS battery.
+//
+//	testbed                       # the Fig 11 sweep with defaults
+//	testbed -reserve 30s -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcsprint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("testbed", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 7, "utilization trace seed")
+		reserve = fs.Duration("reserve", 30*time.Second, "reserved trip time for the detailed run")
+		csvPath = fs.String("csv", "", "write the detailed run's power series to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	util := dcsprint.YahooServerTrace(*seed)
+	cfg := dcsprint.DefaultTestbed()
+	cfg.ReservedTripTime = *reserve
+
+	fmt.Printf("server envelope: %.0f W idle .. %.0f W peak; breaker rated %.0f W\n",
+		float64(cfg.IdlePower), float64(cfg.PeakPower), float64(cfg.CBRated))
+	for _, policy := range dcsprint.TestbedPolicies() {
+		res, err := dcsprint.RunTestbed(cfg, util, policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s sustained %7v  overloaded %6v (high-power %v)  battery left %.0f J\n",
+			policy, res.Sustained, res.OverloadTime, res.OverloadHighPower, float64(res.UPSRemaining))
+	}
+
+	fmt.Println("\nreserved-trip-time sweep (Fig 11b):")
+	reserves := []time.Duration{time.Second, 10 * time.Second, 30 * time.Second,
+		time.Minute, 90 * time.Second, 3 * time.Minute, 10 * time.Minute}
+	pts, err := dcsprint.SweepTestbed(cfg, util, reserves)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %10s %10s\n", "reserve", "ours", "cb-first")
+	for _, p := range pts {
+		fmt.Printf("%12v %10v %10v\n", p.Reserve, p.Ours, p.CBFirst)
+	}
+
+	if *csvPath != "" {
+		res, err := dcsprint.RunTestbed(cfg, util, dcsprint.TestbedOurs)
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		b.WriteString("t_sec,total_w,cb_w\n")
+		for i := range res.TotalPower.Samples {
+			fmt.Fprintf(&b, "%d,%.1f,%.1f\n", i, res.TotalPower.Samples[i], res.CBPower.Samples[i])
+		}
+		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\npower series written to %s\n", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "power.csv")
+	if err := run([]string{"-reserve", "30s", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t_sec,total_w,cb_w\n") {
+		t.Fatal("missing CSV header")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Command traces generates the synthetic workload traces used by the
+// experiments (Figs 1 and 7) and writes them as CSV files.
+//
+//	traces -out ./data                 # all four traces
+//	traces -out ./data -only fig1      # just the 24-hour Fig 1 trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dcsprint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traces:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", ".", "output directory")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		degree   = fs.Float64("degree", 3.2, "yahoo burst degree")
+		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration")
+		only     = fs.String("only", "", "generate one trace: fig1 | ms | yahoo | yahoo-server")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	type job struct {
+		key, file, unit string
+		series          *dcsprint.Series
+	}
+	jobs := []job{
+		{"fig1", "fig1_day_trace.csv", "gbps", dcsprint.DayTrace(*seed)},
+		{"ms", "fig7a_ms_trace.csv", "normalized_demand", dcsprint.MSTrace(*seed)},
+		{"yahoo", "fig7b_yahoo_trace.csv", "normalized_demand", dcsprint.YahooTrace(*seed, *degree, *duration)},
+		{"yahoo-server", "testbed_yahoo_server.csv", "cpu_utilization", dcsprint.YahooServerTrace(*seed)},
+	}
+	wrote := 0
+	for _, j := range jobs {
+		if *only != "" && *only != j.key {
+			continue
+		}
+		path := filepath.Join(*out, j.file)
+		if err := writeSeries(path, j.unit, j.series); err != nil {
+			return err
+		}
+		st := dcsprint.AnalyzeTrace(j.series)
+		fmt.Printf("%-28s %6d samples @ %-4v  peak %.2f  over-capacity %v\n",
+			j.file, j.series.Len(), j.series.Step, st.PeakDemand, st.AggregateDuration)
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("unknown trace %q", *only)
+	}
+	return nil
+}
+
+func writeSeries(path, unit string, s *dcsprint.Series) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t_sec,%s\n", unit)
+	for i, v := range s.Samples {
+		fmt.Fprintf(&b, "%d,%.5f\n", i*int(s.Step.Seconds()), v)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

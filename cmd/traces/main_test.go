@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"fig1_day_trace.csv", "fig7a_ms_trace.csv",
+		"fig7b_yahoo_trace.csv", "testbed_yahoo_server.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !strings.HasPrefix(string(data), "t_sec,") {
+			t.Fatalf("%s: missing header", f)
+		}
+	}
+}
+
+func TestRunOnlyOne(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-only", "ms"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "fig7a_ms_trace.csv" {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestRunUnknownTrace(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-only", "nope"}); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}

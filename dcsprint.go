@@ -1,0 +1,206 @@
+package dcsprint
+
+import (
+	"io"
+	"time"
+
+	"dcsprint/internal/admission"
+	"dcsprint/internal/core"
+	"dcsprint/internal/economics"
+	"dcsprint/internal/server"
+	"dcsprint/internal/sim"
+	"dcsprint/internal/testbed"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/ups"
+	"dcsprint/internal/workload"
+)
+
+// Re-exported simulation types. The facade keeps examples and downstream
+// tools on one import while the implementation lives in internal packages.
+type (
+	// Scenario describes one simulation run; see sim.Scenario.
+	Scenario = sim.Scenario
+	// Result is a simulation outcome; see sim.Result.
+	Result = sim.Result
+	// Telemetry holds a run's per-tick series; see sim.Telemetry.
+	Telemetry = sim.Telemetry
+	// OracleResult is an Oracle exhaustive-search outcome.
+	OracleResult = sim.OracleResult
+	// Strategy bounds the sprinting degree each tick.
+	Strategy = core.Strategy
+	// State is the controller snapshot a Strategy sees.
+	State = core.State
+	// BoundTable maps (burst duration, degree) to optimal bounds.
+	BoundTable = core.BoundTable
+	// Series is a uniform-step time series.
+	Series = trace.Series
+	// BurstStats summarizes a trace's over-capacity episodes.
+	BurstStats = workload.BurstStats
+	// Estimate is a burst prediction consumed by strategies.
+	Estimate = workload.Estimate
+	// EconomicModel holds the §V-D cost/revenue parameters.
+	EconomicModel = economics.Model
+	// TestbedConfig describes the §VI-B hardware prototype.
+	TestbedConfig = testbed.Config
+	// TestbedResult reports one testbed run.
+	TestbedResult = testbed.Result
+	// TestbedPolicy selects the testbed coordination algorithm.
+	TestbedPolicy = testbed.Policy
+	// TestbedSweepPoint is one Fig 11(b) x-axis point.
+	TestbedSweepPoint = testbed.SweepPoint
+)
+
+// Testbed policies.
+const (
+	// TestbedOurs is the paper's reserved-trip-time coordination.
+	TestbedOurs = testbed.PolicyOurs
+	// TestbedCBFirst exhausts the breaker before the battery.
+	TestbedCBFirst = testbed.PolicyCBFirst
+	// TestbedCBOnly never uses the battery.
+	TestbedCBOnly = testbed.PolicyCBOnly
+)
+
+// Run executes one scenario; see sim.Run.
+func Run(sc Scenario) (*Result, error) { return sim.Run(sc) }
+
+// OracleSearch exhaustively finds the optimal constant degree bound with
+// perfect burst knowledge (the paper's Oracle strategy).
+func OracleSearch(sc Scenario) (*OracleResult, error) { return sim.OracleSearch(sc) }
+
+// BuildBoundTable populates the Prediction strategy's lookup table by
+// Oracle-searching a grid of parametric bursts.
+func BuildBoundTable(base Scenario, mk func(degree float64, d time.Duration) *Series,
+	durations []time.Duration, degrees []float64) (*BoundTable, error) {
+	return sim.BuildBoundTable(base, mk, durations, degrees)
+}
+
+// Greedy returns the paper's Greedy strategy: no degree bound.
+func Greedy() Strategy { return core.Greedy{} }
+
+// FixedBound returns a constant degree bound (the Oracle's building block).
+func FixedBound(bound float64) Strategy { return core.FixedBound{Bound: bound} }
+
+// Prediction returns the paper's Prediction strategy for a predicted burst
+// duration and an Oracle-built table.
+func Prediction(predicted time.Duration, table *BoundTable) Strategy {
+	return core.Prediction{PredictedDuration: predicted, Table: table}
+}
+
+// Heuristic returns the paper's Heuristic strategy for an estimated best
+// average sprinting degree and flexibility factor K (paper default 0.10).
+func Heuristic(estimatedAvgDegree, flexibility float64) Strategy {
+	return core.Heuristic{EstimatedAvgDegree: estimatedAvgDegree, Flexibility: flexibility}
+}
+
+// Adaptive returns the online Prediction variant (the paper's future-work
+// direction): it forecasts the remaining burst duration with the doubling
+// rule instead of requiring an offline estimate.
+func Adaptive(table *BoundTable) Strategy {
+	return core.Adaptive{Table: table}
+}
+
+// MSTrace returns the 30-minute MS-style experiment trace (Fig 7a).
+func MSTrace(seed int64) *Series { return workload.SyntheticMS(seed) }
+
+// YahooTrace returns the 30-minute Yahoo-style trace with one injected
+// burst of the given degree and duration starting at minute 5 (Fig 7b).
+func YahooTrace(seed int64, degree float64, duration time.Duration) *Series {
+	return workload.SyntheticYahoo(seed, degree, duration)
+}
+
+// YahooServerTrace returns a volatile single-server CPU-utilization trace,
+// used by the hardware-testbed experiments.
+func YahooServerTrace(seed int64) *Series { return workload.SyntheticYahooServer(seed) }
+
+// DayTrace returns a 24-hour Fig-1-style data-center traffic trace (GB/s).
+func DayTrace(seed int64) *Series { return workload.SyntheticMSDay(seed) }
+
+// AnalyzeTrace summarizes a normalized trace's bursts.
+func AnalyzeTrace(s *Series) BurstStats { return workload.Analyze(s) }
+
+// SelfSimilarConfig parameterizes the b-model synthesizer; see
+// workload.SelfSimilarConfig.
+type SelfSimilarConfig = workload.SelfSimilarConfig
+
+// SelfSimilarTrace synthesizes a bursty demand trace with the b-model
+// multiplicative cascade (self-similar burstiness with one parameter).
+func SelfSimilarTrace(seed int64, cfg SelfSimilarConfig) (*Series, error) {
+	return workload.SelfSimilar(seed, cfg)
+}
+
+// BurstinessIndex measures a trace's burstiness (p99 over mean).
+func BurstinessIndex(s *Series) float64 { return workload.BurstinessIndex(s) }
+
+// Episode is one over-capacity excursion; see workload.Episode.
+type Episode = workload.Episode
+
+// Episodes extracts a normalized trace's over-capacity excursions.
+func Episodes(s *Series) []Episode { return workload.Episodes(s) }
+
+// Admission types re-exported from the queueing replay.
+type (
+	// AdmissionConfig bounds the request queue; see admission.Config.
+	AdmissionConfig = admission.Config
+	// AdmissionStats summarizes a queueing replay; see admission.Stats.
+	AdmissionStats = admission.Stats
+)
+
+// ReplayAdmission converts a run's throughput-level outcome into
+// request-level metrics (drop rate, queueing delay) by replaying its demand
+// against the serving capacity implied by the realized sprinting degree
+// through a bounded FIFO queue — the paper's §V-A "last resort" admission
+// control.
+func ReplayAdmission(res *Result, cfg AdmissionConfig) (AdmissionStats, error) {
+	srv := res.Scenario.Server
+	capacity := res.Telemetry.Degree.Clone().Map(func(degree float64) float64 {
+		return srv.Throughput(srv.CoresForDegree(degree))
+	})
+	return admission.Replay(res.Telemetry.Required, capacity, cfg)
+}
+
+// BatteryChemistry captures a chemistry's wear law and required service
+// life; see ups.Chemistry.
+type BatteryChemistry = ups.Chemistry
+
+// LFPChemistry returns the paper's lithium-iron-phosphate battery: an
+// 8-year required life tolerating ten full discharges per month.
+func LFPChemistry() BatteryChemistry { return ups.LFP() }
+
+// LeadAcidChemistry returns the 4-year lead-acid alternative.
+func LeadAcidChemistry() BatteryChemistry { return ups.LeadAcid() }
+
+// ReadTraceCSV parses a two-column (time-seconds, value) CSV into a Series,
+// the ingestion path for operators with real traces.
+func ReadTraceCSV(r io.Reader) (*Series, error) { return trace.ReadCSV(r) }
+
+// SupplyDip returns a utility-supply trace: full supply everywhere except a
+// dip to the given fraction over [start, start+duration) — for injecting
+// grid curtailments or renewable shortfalls via Scenario.Supply.
+func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) *Series {
+	return workload.SupplyDip(length, step, start, duration, fraction)
+}
+
+// DefaultEconomics returns the paper's §V-D economic parameters.
+func DefaultEconomics() EconomicModel { return economics.Default() }
+
+// TraceRevenue estimates the monthly sprinting revenue of serving a
+// repeating daily traffic trace (the §V-D Fig 1 example) with the default
+// chip ceiling and a 4x user base (Ut = 4 U0). capacity is the traffic the
+// facility serves without sprinting, in the trace's units.
+func TraceRevenue(m EconomicModel, day *Series, capacity float64) float64 {
+	ceiling := server.Default().MaxThroughput()
+	return economics.TraceRevenue(m, day, capacity, ceiling, 4)
+}
+
+// DefaultTestbed returns the calibrated §VI-B testbed.
+func DefaultTestbed() TestbedConfig { return testbed.Default() }
+
+// RunTestbed drives the testbed emulator with a CPU-utilization trace.
+func RunTestbed(cfg TestbedConfig, util *Series, policy TestbedPolicy) (*TestbedResult, error) {
+	return testbed.Run(cfg, util, policy)
+}
+
+// SweepTestbed reproduces Fig 11(b): sustained time vs reserved trip time.
+func SweepTestbed(cfg TestbedConfig, util *Series, reserves []time.Duration) ([]TestbedSweepPoint, error) {
+	return testbed.Sweep(cfg, util, reserves)
+}

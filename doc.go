@@ -1,0 +1,37 @@
+// Package dcsprint is a production-quality Go reproduction of "Data Center
+// Sprinting: Enabling Computational Sprinting at the Data Center Level"
+// (Wenli Zheng and Xiaorui Wang, ICDCS 2015).
+//
+// Data Center Sprinting temporarily activates normally-dark processor cores
+// across an entire data center to absorb short workload bursts, drawing the
+// additional power and cooling from three knobs used in three phases:
+//
+//  1. Circuit-breaker tolerance — UL489-class breakers sustain bounded
+//     overload for a bounded time; the controller rides that tolerance
+//     while always keeping a reserve time-to-trip in hand.
+//  2. Distributed UPS batteries — when the shrinking breaker bound can no
+//     longer carry the servers, a coordinated fraction of each PDU group
+//     switches to battery.
+//  3. Thermal energy storage — before the room overheats, the TES tank
+//     takes over cooling, which also sheds two thirds of the chiller power
+//     from the facility breaker.
+//
+// The package exposes the full system: the sprinting controller and its
+// four degree strategies (Greedy, Oracle, Prediction, Heuristic), the
+// power-delivery substrate (breakers, PDUs, UPS, TES, chiller/CRAC thermal
+// model), synthetic workload generators matching the paper's traces, the
+// economics model, a hardware-testbed emulator, and experiment harnesses
+// that regenerate every figure of the paper's evaluation.
+//
+// # Quickstart
+//
+//	res, err := dcsprint.Run(dcsprint.Scenario{
+//		Name:  "burst",
+//		Trace: dcsprint.YahooTrace(7, 3.2, 15*time.Minute),
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("sprinting improved burst performance %.2fx\n", res.Improvement())
+//
+// See the examples directory for runnable programs and EXPERIMENTS.md for
+// the paper-versus-measured record.
+package dcsprint

@@ -1,0 +1,54 @@
+// Capacity planning: should an operator provision dark cores for
+// sprinting, and how many? This example reproduces the paper's §V-D
+// analysis as a planning tool: the amortized cost of extra cores against
+// the revenue of serving bursts and retaining customers, plus the Fig 1
+// daily-trace what-if.
+//
+//	go run ./examples/economics
+package main
+
+import (
+	"fmt"
+
+	"dcsprint"
+)
+
+func main() {
+	m := dcsprint.DefaultEconomics()
+	fmt.Printf("facility: %d servers, $%.0f per extra core amortized over %.0f months\n",
+		m.Servers, m.CoreCost, m.AmortizationMonths)
+	fmt.Printf("an outage minute costs $%.0f; losing 0.2%% of users costs $%.0f/month\n\n",
+		m.OutagePerMinute, m.MonthlyChurnLoss())
+
+	degrees := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4}
+	panelA, panelB := dcsprint.Fig5(degrees)
+
+	show := func(label string, rows []dcsprint.Fig5Row) {
+		fmt.Printf("%s\n", label)
+		fmt.Printf("%5s %12s %12s %12s %12s %14s\n",
+			"N", "cost $/mo", "R50 $/mo", "R75 $/mo", "R100 $/mo", "best profit")
+		for _, r := range rows {
+			best := r.R100 - r.Cost
+			fmt.Printf("%5.1f %12.0f %12.0f %12.0f %12.0f %14.0f\n",
+				r.MaxDegree, r.Cost, r.R50, r.R75, r.R100, best)
+		}
+		fmt.Println()
+	}
+	show("three 5-minute bursts per month, Ut = 4 U0 (Fig 5a):", panelA)
+	show("the same with a 6x user base, Ut = 6 U0 (Fig 5b):", panelB)
+
+	// The Fig 1 what-if: a real bursty day repeated for a month, capacity
+	// 4 GB/s, full provisioning (N = 4).
+	day := dcsprint.DayTrace(3)
+	const capacityGBs = 4.0
+	revenue := dcsprint.TraceRevenue(m, day, capacityGBs)
+	cost := m.MonthlyCoreCost(4)
+	fmt.Printf("Fig 1 daily trace repeated for a month (capacity %.0f GB/s, N = 4):\n", capacityGBs)
+	fmt.Printf("  sprinting revenue ~$%.1fM/month against $%.2fM/month of core cost\n",
+		revenue/1e6, cost/1e6)
+	if revenue > cost {
+		fmt.Println("  verdict: provision the dark cores — sprinting pays for itself many times over")
+	} else {
+		fmt.Println("  verdict: this workload does not burst enough to justify the cores")
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: run one Data Center Sprinting simulation on a workload burst
+// and print what sprinting bought.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dcsprint"
+)
+
+func main() {
+	// A Yahoo-style workload with one burst: demand climbs to 3.2x the
+	// facility's no-sprinting capacity for 15 minutes, starting at minute 5.
+	burst := dcsprint.YahooTrace(7, 3.2, 15*time.Minute)
+
+	// Run the three-phase sprinting controller with the Greedy strategy
+	// (activate whatever the demand asks for) at the paper's defaults:
+	// 48-core servers with 12 cores normally active, 10% facility
+	// headroom, 0.5 Ah per-server batteries and a 12-minute TES tank.
+	res, err := dcsprint.Run(dcsprint.Scenario{Name: "quickstart", Trace: burst})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("burst served at %.2fx the no-sprinting performance\n", res.Improvement())
+	fmt.Printf("sprint sustained above capacity for %v\n", res.SprintSustained)
+
+	w := dcsprint.Phases(res)
+	fmt.Printf("phase 1 (breaker overload) began at %v\n", w.Phase1Start)
+	fmt.Printf("phase 2 (UPS discharge)    began at %v\n", w.Phase2Start)
+	fmt.Printf("phase 3 (TES cooling)      began at %v\n", w.Phase3Start)
+
+	if res.TrippedAt >= 0 {
+		fmt.Printf("a breaker tripped at %v — this should not happen under the controller\n", res.TrippedAt)
+	} else {
+		fmt.Println("no breaker tripped and the room stayed below the thermal threshold")
+	}
+
+	// Compare against doing nothing: every request above capacity dropped.
+	baseline, err := dcsprint.Run(dcsprint.Scenario{
+		Name:     "no-sprinting",
+		Trace:    burst,
+		Strategy: dcsprint.FixedBound(1), // never activate extra cores
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without sprinting the same burst is served at %.2fx (requests dropped)\n",
+		baseline.Improvement())
+}

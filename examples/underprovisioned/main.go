@@ -1,0 +1,71 @@
+// Under-provisioned facility: the paper's premise is that future data
+// centers under-provision their power infrastructure (headroom below the
+// NEC 25%) and lean on renewables, so bursts cannot be served by headroom
+// alone. This example sweeps the DC-level headroom from 0% to 20% and the
+// facility PUE, showing that sprinting keeps working even with zero
+// headroom — the stored energy carries it — and how much each percent of
+// headroom buys.
+//
+//	go run ./examples/underprovisioned
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dcsprint"
+)
+
+func main() {
+	const seed = 7
+	burst := dcsprint.YahooTrace(seed, 3.2, 15*time.Minute)
+
+	fmt.Println("facility headroom sweep (Yahoo 3.2x burst, 15 min):")
+	fmt.Printf("%9s %22s %22s\n", "headroom", "greedy performance", "sprint sustained")
+	for _, h := range []float64{0, 0.05, 0.10, 0.15, 0.20} {
+		res, err := dcsprint.Run(dcsprint.Scenario{
+			Name:                 fmt.Sprintf("headroom-%.0f%%", 100*h),
+			Trace:                burst,
+			DCHeadroom:           h,
+			ExplicitZeroHeadroom: h == 0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f%% %21.3fx %22v\n", 100*h, res.Improvement(), res.SprintSustained)
+	}
+
+	fmt.Println("\nPUE sweep (10% headroom): an efficient facility leaves more of the")
+	fmt.Println("breaker budget for servers; an inefficient one spends it on cooling:")
+	fmt.Printf("%6s %22s\n", "PUE", "greedy performance")
+	for _, pue := range []float64{1.2, 1.35, 1.53, 1.7, 2.0} {
+		res, err := dcsprint.Run(dcsprint.Scenario{
+			Name:  fmt.Sprintf("pue-%.2f", pue),
+			Trace: burst,
+			PUE:   pue,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.2f %21.3fx\n", pue, res.Improvement())
+	}
+
+	fmt.Println("\nwithout the TES tank (facilities that skipped thermal storage):")
+	for _, noTES := range []bool{false, true} {
+		res, err := dcsprint.Run(dcsprint.Scenario{
+			Name:  fmt.Sprintf("tes=%v", !noTES),
+			Trace: burst,
+			NoTES: noTES,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "with TES   "
+		if noTES {
+			label = "without TES"
+		}
+		fmt.Printf("%s %.3fx over no sprinting, sustained %v\n",
+			label, res.Improvement(), res.SprintSustained)
+	}
+}

@@ -1,0 +1,599 @@
+package dcsprint
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const testSeed = 1
+
+func TestFig2TripCurveShape(t *testing.T) {
+	pts := Fig2TripCurve([]float64{0, 30, 60, 100, 400, 500})
+	if pts[0].TripTime != -1 {
+		t.Fatal("0% overload must never trip")
+	}
+	// The paper's calibration points: 60% -> ~1 min, 30% -> ~4 min.
+	if d := pts[1].TripTime; d < 238*time.Second || d > 242*time.Second {
+		t.Fatalf("30%% overload trip = %v, want ~4 min", d)
+	}
+	if d := pts[2].TripTime; d < 59*time.Second || d > 61*time.Second {
+		t.Fatalf("60%% overload trip = %v, want ~1 min", d)
+	}
+	if !pts[5].Instant {
+		t.Fatal("500% overload must be magnetic")
+	}
+	// Monotone decreasing through the long-delay region.
+	if pts[1].TripTime <= pts[2].TripTime || pts[2].TripTime <= pts[3].TripTime {
+		t.Fatal("trip curve not monotone")
+	}
+}
+
+func TestFig4PhaseTimeline(t *testing.T) {
+	res, w, err := Fig4(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrippedAt >= 0 {
+		t.Fatal("Fig 4 run tripped")
+	}
+	// The three phases begin in order and all occur.
+	if w.Phase1Start < 0 || w.Phase2Start < 0 || w.Phase3Start < 0 {
+		t.Fatalf("missing phase: %+v", w)
+	}
+	if !(w.Phase1Start < w.Phase2Start && w.Phase2Start < w.Phase3Start) {
+		t.Fatalf("phases out of order: %+v", w)
+	}
+	if w.SprintEnd <= w.Phase3Start {
+		t.Fatalf("sprint ended before phase 3: %+v", w)
+	}
+	// Fig 4's defining shapes: the PDU breaker load exceeds its rating
+	// during phase 1-2, and the DC-level load exceeds its rating during
+	// the sprint, while TES cuts the cooling power in phase 3.
+	tele := res.Telemetry
+	if tele.PDULoad.Max() <= float64(res.PDURated) {
+		t.Fatal("PDU breaker was never overloaded")
+	}
+	if tele.DCLoad.Max() <= float64(res.DCRated) {
+		t.Fatal("DC breaker was never overloaded")
+	}
+	normalCooling := tele.CoolingPower.Samples[0]
+	cut := false
+	for i, p := range tele.Phase {
+		if p == 3 && tele.CoolingPower.Samples[i] < 0.5*normalCooling {
+			cut = true
+			break
+		}
+	}
+	if !cut {
+		t.Fatal("phase 3 never cut the chiller power")
+	}
+}
+
+func TestFig5BothPanels(t *testing.T) {
+	degrees := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4}
+	a, b := Fig5(degrees)
+	if len(a) != len(degrees) || len(b) != len(degrees) {
+		t.Fatalf("row counts: %d, %d", len(a), len(b))
+	}
+	// Paper anchor: N=4 R100 profit > $0.4M in panel (a).
+	last := a[len(a)-1]
+	if profit := last.R100 - last.Cost; profit < 4e5 {
+		t.Fatalf("N=4 R100 profit = %v", profit)
+	}
+	// Panel (b) has more users: retention revenue is diluted for low
+	// bursts, so R50 in (b) never exceeds (a).
+	for i := range a {
+		if b[i].R50 > a[i].R50+1 {
+			t.Fatalf("R50 panel b %v above panel a %v at N=%v", b[i].R50, a[i].R50, a[i].MaxDegree)
+		}
+	}
+}
+
+func TestFig8HeadlineComparison(t *testing.T) {
+	d, err := Fig8(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 8(a): uncontrolled sprinting trips the breaker a few minutes in
+	// (paper: 5 min 20 s) and the facility dies.
+	if d.UncontrolledTrip < 4*time.Minute || d.UncontrolledTrip > 8*time.Minute {
+		t.Fatalf("uncontrolled trip at %v", d.UncontrolledTrip)
+	}
+	// Fig 8(b): DCS sustains the sprint with no trip and large improvement.
+	if d.Controlled.TrippedAt >= 0 {
+		t.Fatal("controlled run tripped")
+	}
+	if d.Controlled.Improvement() < 1.5 {
+		t.Fatalf("controlled improvement = %v", d.Controlled.Improvement())
+	}
+	// §VII-A energy split: UPS dominates; TES and CB both contribute.
+	if d.UPSShare < 0.3 {
+		t.Fatalf("UPS share = %v, want dominant", d.UPSShare)
+	}
+	if d.TESShare <= 0 || d.CBShare <= 0 {
+		t.Fatalf("degenerate split: TES %v CB %v", d.TESShare, d.CBShare)
+	}
+	if math.Abs(d.UPSShare+d.TESShare+d.CBShare-1) > 1e-9 {
+		t.Fatal("shares do not sum to 1")
+	}
+}
+
+func TestFig9StrategyOrdering(t *testing.T) {
+	rows, err := Fig9(testSeed, []float64{-100, -20, 0, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Oracle dominates everything; everything stays in the paper's
+		// broad band.
+		for name, v := range map[string]float64{"greedy": r.Greedy, "prediction": r.Prediction, "heuristic": r.Heuristic} {
+			if v > r.Oracle+0.01 {
+				t.Fatalf("err %v: %s %.3f above oracle %.3f", r.ErrorPercent, name, v, r.Oracle)
+			}
+		}
+		if r.Greedy < 1.5 || r.Oracle > 2.2 {
+			t.Fatalf("err %v: band violated: %+v", r.ErrorPercent, r)
+		}
+	}
+	// Greedy and Oracle are estimation-independent.
+	for _, r := range rows[1:] {
+		if r.Greedy != rows[0].Greedy || r.Oracle != rows[0].Oracle {
+			t.Fatal("greedy/oracle vary with estimation error")
+		}
+	}
+	// With zero error both predictors approach the oracle (§VII-B).
+	zero := rows[2]
+	if zero.Oracle-zero.Prediction > 0.1 || zero.Oracle-zero.Heuristic > 0.1 {
+		t.Fatalf("zero-error gap too large: %+v", zero)
+	}
+}
+
+func TestFig10PanelShapes(t *testing.T) {
+	degrees := []float64{2.6, 3.0, 3.4}
+	short, err := Fig10(testSeed, 5*time.Minute, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Fig10(testSeed, 15*time.Minute, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panel (a): short bursts don't exhaust the stored energy, so Greedy
+	// matches Oracle.
+	for _, r := range short {
+		if math.Abs(r.Greedy-r.Oracle) > 0.02 {
+			t.Fatalf("short burst deg %v: greedy %.3f != oracle %.3f", r.BurstDegree, r.Greedy, r.Oracle)
+		}
+	}
+	// Panel (b): at high degrees Greedy drains the energy inefficiently
+	// and falls below Prediction (paper's key Fig 10(b) result).
+	last := long[len(long)-1]
+	if last.Greedy >= last.Prediction {
+		t.Fatalf("long burst deg %v: greedy %.3f not below prediction %.3f", last.BurstDegree, last.Greedy, last.Prediction)
+	}
+	if last.Prediction > last.Oracle+0.01 {
+		t.Fatalf("prediction above oracle: %+v", last)
+	}
+	// The paper's headline range: 1.75-2.45x on the Yahoo trace.
+	for _, rows := range [][]Fig10Row{short, long} {
+		for _, r := range rows {
+			if r.Oracle < 1.6 || r.Oracle > 2.7 {
+				t.Fatalf("oracle %.3f outside the headline band at degree %v", r.Oracle, r.BurstDegree)
+			}
+		}
+	}
+}
+
+func TestFig11TestbedShapes(t *testing.T) {
+	reserves := []time.Duration{time.Second, 10 * time.Second, 30 * time.Second,
+		time.Minute, 90 * time.Second, 3 * time.Minute, 10 * time.Minute}
+	d, err := Fig11(7, reserves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 11(a): the power run shows both full-power and half-power CB
+	// samples (the relay shifting half the load to the UPS).
+	if d.PowerRun.CBPower.Min() >= d.PowerRun.TotalPower.Min() {
+		t.Fatal("CB power never dropped below total: UPS never engaged")
+	}
+	// CB-only trips near the paper's 65 s.
+	if d.CBOnly < 50*time.Second || d.CBOnly > 85*time.Second {
+		t.Fatalf("CB-only sustained %v", d.CBOnly)
+	}
+	// Fig 11(b): interior maximum, beating CB First.
+	bestIdx := 0
+	for i, p := range d.Sweep {
+		if p.Ours > d.Sweep[bestIdx].Ours {
+			bestIdx = i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(d.Sweep)-1 {
+		t.Fatalf("sweep maximum at the edge: %v", d.Sweep[bestIdx].Reserve)
+	}
+	if d.Sweep[bestIdx].Ours <= d.Sweep[bestIdx].CBFirst {
+		t.Fatal("ours does not beat CB First at the optimum")
+	}
+}
+
+func TestHeadroomSweepMonotone(t *testing.T) {
+	rows, err := HeadroomSweep(testSeed, []float64{0, 0.10, 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Greedy < rows[i-1].Greedy-0.02 {
+			t.Fatalf("greedy improvement fell with headroom: %+v", rows)
+		}
+	}
+	if rows[0].Greedy <= 1.1 {
+		t.Fatalf("zero headroom improvement = %v, want sprinting still viable", rows[0].Greedy)
+	}
+}
+
+func TestPUESweep(t *testing.T) {
+	rows, err := PUESweep(testSeed, []float64{1.2, 1.53, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Greedy < 1.2 || r.Prediction < 1.2 {
+			t.Fatalf("PUE %v: degenerate improvements %+v", r.X, r)
+		}
+	}
+}
+
+func TestNoTESAblationShape(t *testing.T) {
+	rows, err := NoTESAblation(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// §V: without TES sprinting still works but achieves less.
+		if r.Without >= r.With {
+			t.Fatalf("%s: without-TES %.3f not below with-TES %.3f", r.Name, r.Without, r.With)
+		}
+		if r.Without <= 1.2 {
+			t.Fatalf("%s: without-TES %.3f, want sprinting still viable", r.Name, r.Without)
+		}
+	}
+}
+
+func TestReserveSweepSafety(t *testing.T) {
+	rows, err := ReserveSweep(testSeed, []time.Duration{
+		10 * time.Second, time.Minute, 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Tripped {
+			t.Fatalf("reserve %v tripped a breaker", r.Reserve)
+		}
+	}
+	// A more aggressive reserve never hurts performance.
+	if rows[0].Improvement < rows[len(rows)-1].Improvement-0.02 {
+		t.Fatalf("aggressive reserve underperformed conservative: %+v", rows)
+	}
+}
+
+func TestStandardBoundTableCached(t *testing.T) {
+	a, err := StandardBoundTable(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StandardBoundTable(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("table not cached")
+	}
+	// Long bursts get bounds no higher than short ones at the same degree.
+	short := a.Lookup(2*time.Minute, 3.2)
+	long := a.Lookup(30*time.Minute, 3.2)
+	if long > short {
+		t.Fatalf("bound grew with duration: %v -> %v", short, long)
+	}
+}
+
+func TestSkewExperimentShape(t *testing.T) {
+	rows, err := SkewExperiment(testSeed, []float64{0, 0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The §V-B coordination property: imbalance must never trip a
+		// breaker, whatever it costs in performance.
+		if r.Tripped {
+			t.Fatalf("skew %v tripped a breaker", r.Skew)
+		}
+		if r.Improvement < 1.2 {
+			t.Fatalf("skew %v improvement = %v", r.Skew, r.Improvement)
+		}
+	}
+	// Strong imbalance costs performance: hot groups exhaust their PDU
+	// breakers and batteries first.
+	if rows[2].Improvement >= rows[0].Improvement {
+		t.Fatalf("skew 0.8 (%v) not below uniform (%v)", rows[2].Improvement, rows[0].Improvement)
+	}
+}
+
+func TestSkewWeights(t *testing.T) {
+	w := SkewWeights(5, 0.5)
+	if len(w) != 5 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if w[0] != 0.5 || w[4] != 1.5 || w[2] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+	if got := SkewWeights(1, 0.5); got[0] != 1 {
+		t.Fatalf("single group weight = %v", got[0])
+	}
+}
+
+func TestEmergencyComparisonShape(t *testing.T) {
+	rows, err := EmergencyComparison(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]EmergencyRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+		if r.Tripped {
+			t.Fatalf("%s tripped", r.System)
+		}
+	}
+	dcs, cap := byName["dcs"], byName["dvfs-capping"]
+	// The paper's positioning: capping cannot serve a burst, sprinting can.
+	if cap.BurstPerformance > 1.001 {
+		t.Fatalf("capping served a burst: %v", cap.BurstPerformance)
+	}
+	if dcs.BurstPerformance < 1.5 {
+		t.Fatalf("DCS burst performance = %v", dcs.BurstPerformance)
+	}
+	// During the supply dip, sprinting's stored energy rides through while
+	// capping throttles.
+	if dcs.DipMinPerformance < 0.999 {
+		t.Fatalf("DCS throttled during the dip: %v", dcs.DipMinPerformance)
+	}
+	if cap.DipMinPerformance >= 0.999 {
+		t.Fatalf("capping did not throttle during the dip: %v", cap.DipMinPerformance)
+	}
+	// No-TES sprinting also rides the dip (UPS only).
+	if noTES := byName["dcs-no-tes"]; noTES.DipMinPerformance < 0.999 {
+		t.Fatalf("no-TES DCS throttled during the dip: %v", noTES.DipMinPerformance)
+	}
+}
+
+func TestAdaptiveComparisonShape(t *testing.T) {
+	rows, err := AdaptiveComparison(testSeed, []time.Duration{5 * time.Minute, 15 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Oracle dominates; the online predictor stays close to it and
+		// never collapses below the conservative offline Prediction by
+		// much.
+		if r.Adaptive > r.Oracle+0.01 {
+			t.Fatalf("%v: adaptive %.3f above oracle %.3f", r.Duration, r.Adaptive, r.Oracle)
+		}
+		if r.Oracle-r.Adaptive > 0.25 {
+			t.Fatalf("%v: adaptive %.3f far from oracle %.3f", r.Duration, r.Adaptive, r.Oracle)
+		}
+	}
+	// On long bursts, online evidence suffices: Adaptive beats Greedy.
+	long := rows[len(rows)-1]
+	if long.Adaptive < long.Greedy {
+		t.Fatalf("long burst: adaptive %.3f below greedy %.3f", long.Adaptive, long.Greedy)
+	}
+}
+
+func TestOutageExperimentShape(t *testing.T) {
+	rows, err := OutageExperiment(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OutageRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	gen, bare := byName["dcs+genset"], byName["dcs-only"]
+	// The §III-B machinery: UPS bridges the crank, the generator carries
+	// the outage, service never degrades.
+	if !gen.Survived || gen.MinPerformance < 0.999 {
+		t.Fatalf("genset facility did not ride through: %+v", gen)
+	}
+	if gen.GenEnergy <= 0 {
+		t.Fatal("generator supplied no energy")
+	}
+	// Without the generator, the stores cannot carry a 10-minute deep
+	// curtailment.
+	if bare.Survived {
+		t.Fatalf("store-only facility survived a 10-minute 85%% curtailment: %+v", bare)
+	}
+	if bare.GenEnergy != 0 {
+		t.Fatal("generator energy recorded without a generator")
+	}
+}
+
+func TestEnduranceReportShape(t *testing.T) {
+	rows, err := EnduranceReport(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(chem string, k int) EnduranceRow {
+		for _, r := range rows {
+			if r.Chemistry == chem && r.BurstsPerMonth == k {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d", chem, k)
+		return EnduranceRow{}
+	}
+	// A Greedy 15-minute 3.2x sprint drains the batteries deeply.
+	if dod := get("LFP", 10).DepthOfDischarge; dod <= 0.5 || dod > 1 {
+		t.Fatalf("DoD = %v", dod)
+	}
+	// The §IV-B anchor: LFP takes 10 such sprints a month with no
+	// lifetime cost; 200 would be far too many.
+	if !get("LFP", 10).LifetimeNeutral {
+		t.Fatal("LFP at 10 bursts/month not lifetime-neutral")
+	}
+	if get("LFP", 200).LifetimeNeutral {
+		t.Fatal("LFP at 200 full bursts/month reported neutral")
+	}
+	// Lead-acid is strictly more fragile than LFP at every frequency.
+	for _, k := range []int{3, 10, 30, 200} {
+		la, lfp := get("LA", k), get("LFP", k)
+		if la.ProjectedYears > lfp.ProjectedYears {
+			t.Fatalf("LA outlasted LFP at %d bursts/month", k)
+		}
+		if la.LifetimeNeutral && !lfp.LifetimeNeutral {
+			t.Fatalf("LA neutral where LFP is not at %d", k)
+		}
+	}
+}
+
+func TestChipPCMSweepShape(t *testing.T) {
+	rows, err := ChipPCMSweep(testSeed, []float64{2, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, mid, unlimited := rows[0], rows[1], rows[2]
+	// The §IV prerequisite: a small chip PCM package ends the DC sprint
+	// early, regardless of the facility-level stores.
+	if small.Improvement >= mid.Improvement {
+		t.Fatalf("2-min PCM (%v) not below 10-min PCM (%v)", small.Improvement, mid.Improvement)
+	}
+	if small.SprintSustained >= mid.SprintSustained {
+		t.Fatalf("2-min PCM sustained %v >= 10-min %v", small.SprintSustained, mid.SprintSustained)
+	}
+	// Beyond ~10 minutes the facility-level stores bind instead.
+	if diff := unlimited.Improvement - mid.Improvement; diff > 0.05 {
+		t.Fatalf("10-min PCM %v far from unlimited %v", mid.Improvement, unlimited.Improvement)
+	}
+	// Even a tiny package still sprints a little.
+	if small.Improvement <= 1.05 {
+		t.Fatalf("2-min PCM improvement = %v", small.Improvement)
+	}
+}
+
+func TestDayExperimentShape(t *testing.T) {
+	rep, err := DayExperiment(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several distinct sprint events over the day (~200/month in §V-D).
+	if rep.BurstEvents < 3 || rep.BurstEvents > 15 {
+		t.Fatalf("burst events = %d", rep.BurstEvents)
+	}
+	// The safety invariants hold over the full 24 hours.
+	if rep.Tripped || rep.Overheated {
+		t.Fatalf("day run unsafe: %+v", rep)
+	}
+	// Sprinting happened (batteries dipped) and the idle-time recharge
+	// restored them by day's end.
+	if rep.MinUPSSoC >= 0.95 {
+		t.Fatalf("batteries never used: min SoC %v", rep.MinUPSSoC)
+	}
+	if rep.EndUPSSoC < 0.99 {
+		t.Fatalf("batteries not recharged by day's end: %v", rep.EndUPSSoC)
+	}
+	// The §V-D/§IV-B claim at day scale: this duty cycle is free on LFP.
+	if !rep.LifetimeNeutral {
+		t.Fatalf("a Fig-1 month wears the battery beyond budget: %v", rep.MonthlyDamage)
+	}
+	if rep.Improvement <= 1.1 {
+		t.Fatalf("improvement = %v", rep.Improvement)
+	}
+}
+
+func TestBurstinessSweepShape(t *testing.T) {
+	rows, err := BurstinessSweep(testSeed, []float64{0.5, 0.6, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform traffic at mean 0.7 never crosses capacity: no episodes,
+	// no improvement to have.
+	if rows[0].Episodes != 0 || rows[0].Improvement != 1 {
+		t.Fatalf("uniform row = %+v", rows[0])
+	}
+	// Burstier traffic has more to gain from sprinting, and the safety
+	// property holds at every bias.
+	prev := 0.0
+	for _, r := range rows {
+		if r.Tripped {
+			t.Fatalf("bias %v tripped", r.Bias)
+		}
+		if r.Burstiness < prev {
+			t.Fatalf("burstiness not increasing at bias %v", r.Bias)
+		}
+		prev = r.Burstiness
+	}
+	if rows[2].Improvement <= rows[1].Improvement {
+		t.Fatalf("improvement did not grow with burstiness: %+v", rows)
+	}
+}
+
+func TestMonteCarloStability(t *testing.T) {
+	st, err := MonteCarlo(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trips != 0 {
+		t.Fatalf("%d trips across seeds", st.Trips)
+	}
+	if st.Mean < 1.5 || st.Mean > 2.2 {
+		t.Fatalf("mean improvement = %v", st.Mean)
+	}
+	// The headline number is stable against realization noise.
+	if st.StdDev > 0.05 {
+		t.Fatalf("stddev = %v, want tight", st.StdDev)
+	}
+	if st.Min > st.Mean || st.Max < st.Mean {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	if _, err := MonteCarlo(0); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+}
+
+func TestPlanStores(t *testing.T) {
+	// A short burst needs less than the paper's default battery.
+	short, err := PlanStores(testSeed, 2.0, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.BatteryAh > 0.5 {
+		t.Fatalf("short burst needs %v Ah, want <= default 0.5", short.BatteryAh)
+	}
+	if short.Improvement < 0.99*short.Target {
+		t.Fatalf("plan does not serve the burst: %+v", short)
+	}
+	// A longer burst needs at least as much storage as the short one.
+	long, err := PlanStores(testSeed, 2.0, 12*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.BatteryAh < short.BatteryAh {
+		t.Fatalf("longer burst planned less battery: %v vs %v", long.BatteryAh, short.BatteryAh)
+	}
+	// A sustained high burst is bounded by the cooling/power ceilings, not
+	// by storage: the planner must say so instead of recommending a size.
+	if _, err := PlanStores(testSeed, 2.6, 15*time.Minute); err == nil {
+		t.Fatal("thermally unreachable burst got a store plan")
+	}
+	// Degenerate input.
+	if _, err := PlanStores(testSeed, 1.0, 5*time.Minute); err == nil {
+		t.Fatal("burst-free degree accepted")
+	}
+}

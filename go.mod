@@ -1,0 +1,3 @@
+module dcsprint
+
+go 1.22

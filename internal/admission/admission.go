@@ -1,0 +1,143 @@
+// Package admission replays a simulation's demand and capacity series
+// through a request-level FIFO queueing model with bounded backlog — the
+// admission control the paper keeps as a last resort (§V-A, after
+// Bhattacharya et al.): requests that cannot be queued are dropped, and
+// queued requests pay a delay.
+//
+// The replay converts the simulator's throughput-level result into the
+// user-facing metrics the economics model reasons about: the fraction of
+// requests dropped and the queueing delay distribution.
+package admission
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/trace"
+)
+
+// Config bounds the queue.
+type Config struct {
+	// QueueDepth is the largest backlog, in capacity-seconds (one unit is
+	// one second of the facility's peak-normal throughput). Work arriving
+	// beyond it is dropped. Zero means no queueing at all: anything above
+	// the instantaneous capacity is dropped immediately.
+	QueueDepth float64
+	// MaxDelay optionally drops queued work whose projected wait exceeds
+	// this deadline (interactive requests go stale). Zero means no
+	// deadline.
+	MaxDelay time.Duration
+}
+
+// Stats summarizes a replay.
+type Stats struct {
+	// Offered, Served and Dropped are work totals in capacity-seconds.
+	// Offered = Served + Dropped + whatever remains queued at the end.
+	Offered, Served, Dropped float64
+	// Remaining is the backlog left when the series ended.
+	Remaining float64
+	// DropRate is Dropped / Offered (0 when nothing was offered).
+	DropRate float64
+	// MeanDelay is the time-average projected queueing delay.
+	MeanDelay time.Duration
+	// MaxDelay is the worst projected queueing delay.
+	MaxDelay time.Duration
+	// MaxBacklog is the deepest queue observed, in capacity-seconds.
+	MaxBacklog float64
+}
+
+// Replay runs the queue: demand arrives, capacity serves (backlog first,
+// then new arrivals), the bounded queue absorbs the difference. Both series
+// must share step and length. Capacity is the throughput the facility can
+// sustain each tick (e.g. degree^alpha from the simulator's Degree series),
+// not the throughput it happened to deliver.
+func Replay(demand, capacity *trace.Series, cfg Config) (Stats, error) {
+	if demand == nil || capacity == nil {
+		return Stats{}, fmt.Errorf("admission: nil series")
+	}
+	if demand.Step != capacity.Step {
+		return Stats{}, fmt.Errorf("admission: step mismatch %v vs %v", demand.Step, capacity.Step)
+	}
+	if demand.Len() != capacity.Len() {
+		return Stats{}, fmt.Errorf("admission: length mismatch %d vs %d", demand.Len(), capacity.Len())
+	}
+	if cfg.QueueDepth < 0 {
+		return Stats{}, fmt.Errorf("admission: negative queue depth %v", cfg.QueueDepth)
+	}
+
+	dt := demand.Step.Seconds()
+	var st Stats
+	var backlog float64
+	var delaySum float64
+	for i := 0; i < demand.Len(); i++ {
+		arrivals := demand.Samples[i] * dt
+		if arrivals < 0 {
+			arrivals = 0
+		}
+		cap := capacity.Samples[i] * dt
+		if cap < 0 {
+			cap = 0
+		}
+		st.Offered += arrivals
+
+		// Serve the backlog first (FIFO), then the new arrivals.
+		serveOld := backlog
+		if serveOld > cap {
+			serveOld = cap
+		}
+		backlog -= serveOld
+		remainingCap := cap - serveOld
+		serveNew := arrivals
+		if serveNew > remainingCap {
+			serveNew = remainingCap
+		}
+		st.Served += serveOld + serveNew
+
+		// Queue what capacity could not take, dropping beyond the bound.
+		queued := arrivals - serveNew
+		backlog += queued
+		if backlog > cfg.QueueDepth {
+			st.Dropped += backlog - cfg.QueueDepth
+			backlog = cfg.QueueDepth
+		}
+
+		// Projected delay for work at the back of the queue: the backlog
+		// divided by the current service rate. Work with no service in
+		// sight pays the deadline (or a full-window wait) rather than
+		// infinity.
+		var delay float64
+		switch {
+		case backlog <= 0:
+			delay = 0
+		case capacity.Samples[i] > 0:
+			delay = backlog / capacity.Samples[i]
+		default:
+			delay = demand.Duration().Seconds()
+		}
+		if cfg.MaxDelay > 0 && delay > cfg.MaxDelay.Seconds() {
+			// Shed the stale tail of the queue down to the deadline.
+			keep := cfg.MaxDelay.Seconds() * capacity.Samples[i]
+			if keep < 0 {
+				keep = 0
+			}
+			if backlog > keep {
+				st.Dropped += backlog - keep
+				backlog = keep
+				delay = cfg.MaxDelay.Seconds()
+			}
+		}
+		delaySum += delay
+		if d := time.Duration(delay * float64(time.Second)); d > st.MaxDelay {
+			st.MaxDelay = d
+		}
+		if backlog > st.MaxBacklog {
+			st.MaxBacklog = backlog
+		}
+	}
+	st.Remaining = backlog
+	if st.Offered > 0 {
+		st.DropRate = st.Dropped / st.Offered
+	}
+	st.MeanDelay = time.Duration(delaySum / float64(demand.Len()) * float64(time.Second))
+	return st, nil
+}

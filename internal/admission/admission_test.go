@@ -1,0 +1,245 @@
+package admission
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcsprint/internal/trace"
+)
+
+func series(t *testing.T, samples ...float64) *trace.Series {
+	t.Helper()
+	s, err := trace.New(time.Second, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReplayValidation(t *testing.T) {
+	d := series(t, 1, 1)
+	c := series(t, 1, 1)
+	if _, err := Replay(nil, c, Config{}); err == nil {
+		t.Error("nil demand accepted")
+	}
+	if _, err := Replay(d, nil, Config{}); err == nil {
+		t.Error("nil capacity accepted")
+	}
+	short := series(t, 1)
+	if _, err := Replay(d, short, Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	other, err := trace.New(time.Minute, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(d, other, Config{}); err == nil {
+		t.Error("step mismatch accepted")
+	}
+	if _, err := Replay(d, c, Config{QueueDepth: -1}); err == nil {
+		t.Error("negative queue depth accepted")
+	}
+}
+
+func TestReplayUnderloadServesEverything(t *testing.T) {
+	d := series(t, 0.5, 0.8, 0.3)
+	c := series(t, 1, 1, 1)
+	st, err := Replay(d, c, Config{QueueDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 0 || st.DropRate != 0 {
+		t.Fatalf("dropped %v under load", st.Dropped)
+	}
+	if math.Abs(st.Served-1.6) > 1e-12 {
+		t.Fatalf("served = %v, want 1.6", st.Served)
+	}
+	if st.MeanDelay != 0 || st.MaxDelay != 0 {
+		t.Fatalf("delays under load: %v / %v", st.MeanDelay, st.MaxDelay)
+	}
+}
+
+func TestReplayZeroQueueDropsExcessImmediately(t *testing.T) {
+	d := series(t, 2, 2)
+	c := series(t, 1, 1)
+	st, err := Replay(d, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Dropped-2) > 1e-12 {
+		t.Fatalf("dropped = %v, want 2", st.Dropped)
+	}
+	if math.Abs(st.DropRate-0.5) > 1e-12 {
+		t.Fatalf("drop rate = %v, want 0.5", st.DropRate)
+	}
+}
+
+func TestReplayQueueAbsorbsShortBurst(t *testing.T) {
+	// A 2-second burst of 2x over capacity 1, then idle: the queue holds
+	// the extra 2 units and drains them afterwards.
+	d := series(t, 2, 2, 0, 0, 0)
+	c := series(t, 1, 1, 1, 1, 1)
+	st, err := Replay(d, c, Config{QueueDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped = %v with room in the queue", st.Dropped)
+	}
+	if math.Abs(st.Served-4) > 1e-12 {
+		t.Fatalf("served = %v, want all 4", st.Served)
+	}
+	if st.MaxBacklog < 1.5 || st.MaxBacklog > 2.5 {
+		t.Fatalf("max backlog = %v, want ~2", st.MaxBacklog)
+	}
+	if st.MaxDelay < time.Second {
+		t.Fatalf("max delay = %v, want >= 1s", st.MaxDelay)
+	}
+	if st.Remaining != 0 {
+		t.Fatalf("remaining = %v, want drained", st.Remaining)
+	}
+}
+
+func TestReplayBoundedQueueDrops(t *testing.T) {
+	d := series(t, 3, 3, 3)
+	c := series(t, 1, 1, 1)
+	st, err := Replay(d, c, Config{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each tick: 3 arrive, 1 served, queue caps at 1 -> 1 dropped on the
+	// first tick, then 2 per tick.
+	if math.Abs(st.Dropped-5) > 1e-12 {
+		t.Fatalf("dropped = %v, want 5", st.Dropped)
+	}
+	if st.MaxBacklog > 1+1e-12 {
+		t.Fatalf("backlog %v exceeded the bound", st.MaxBacklog)
+	}
+}
+
+func TestReplayDeadlineShedsStaleWork(t *testing.T) {
+	// Deep queue but a 2-second deadline: backlog beyond 2 s of service
+	// is shed even though the queue has room.
+	d := series(t, 5, 0, 0, 0, 0)
+	c := series(t, 1, 1, 1, 1, 1)
+	st, err := Replay(d, c, Config{QueueDepth: 100, MaxDelay: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxDelay > 2*time.Second {
+		t.Fatalf("max delay = %v beyond the deadline", st.MaxDelay)
+	}
+	if st.Dropped < 1.5 {
+		t.Fatalf("dropped = %v, want the stale tail shed", st.Dropped)
+	}
+}
+
+func TestReplayZeroCapacity(t *testing.T) {
+	d := series(t, 1, 1)
+	c := series(t, 0, 0)
+	st, err := Replay(d, c, Config{QueueDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 0 {
+		t.Fatalf("served = %v with zero capacity", st.Served)
+	}
+	if st.MaxDelay <= 0 {
+		t.Fatal("zero-capacity wait not reported")
+	}
+}
+
+func TestReplayNegativeSamplesTreatedAsZero(t *testing.T) {
+	d := series(t, -1, 1)
+	c := series(t, 1, -1)
+	st, err := Replay(d, c, Config{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered != 1 {
+		t.Fatalf("offered = %v, want 1", st.Offered)
+	}
+}
+
+// Property: work is conserved — offered = served + dropped + remaining.
+func TestReplayConservationProperty(t *testing.T) {
+	f := func(dRaw, cRaw []uint8, depth uint8) bool {
+		n := len(dRaw)
+		if len(cRaw) < n {
+			n = len(cRaw)
+		}
+		if n == 0 {
+			return true
+		}
+		ds := make([]float64, n)
+		cs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ds[i] = float64(dRaw[i]) / 16
+			cs[i] = float64(cRaw[i]) / 16
+		}
+		demand, err := trace.New(time.Second, ds)
+		if err != nil {
+			return false
+		}
+		capacity, err := trace.New(time.Second, cs)
+		if err != nil {
+			return false
+		}
+		st, err := Replay(demand, capacity, Config{QueueDepth: float64(depth) / 4})
+		if err != nil {
+			return false
+		}
+		total := st.Served + st.Dropped + st.Remaining
+		return math.Abs(total-st.Offered) < 1e-9*math.Max(1, st.Offered)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more capacity never serves less or drops more.
+func TestReplayCapacityMonotoneProperty(t *testing.T) {
+	f := func(dRaw []uint8, lowCap uint8) bool {
+		if len(dRaw) == 0 {
+			return true
+		}
+		ds := make([]float64, len(dRaw))
+		for i := range dRaw {
+			ds[i] = float64(dRaw[i]) / 16
+		}
+		demand, err := trace.New(time.Second, ds)
+		if err != nil {
+			return false
+		}
+		low := float64(lowCap) / 32
+		csLow := make([]float64, len(ds))
+		csHigh := make([]float64, len(ds))
+		for i := range ds {
+			csLow[i] = low
+			csHigh[i] = low + 1
+		}
+		capLow, err := trace.New(time.Second, csLow)
+		if err != nil {
+			return false
+		}
+		capHigh, err := trace.New(time.Second, csHigh)
+		if err != nil {
+			return false
+		}
+		cfg := Config{QueueDepth: 2}
+		a, err := Replay(demand, capLow, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Replay(demand, capHigh, cfg)
+		if err != nil {
+			return false
+		}
+		return b.Served >= a.Served-1e-9 && b.Dropped <= a.Dropped+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

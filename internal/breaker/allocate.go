@@ -1,0 +1,72 @@
+package breaker
+
+import (
+	"dcsprint/internal/units"
+)
+
+// Allocate divides a parent budget among children with the given demands
+// using water-filling: no child receives more than its demand, and surplus
+// left by under-demanding children is redistributed to the others until
+// either every demand is met or the budget is exhausted.
+//
+// This implements the paper's PDU-coordination rule (§V-B): the sum of the
+// child allocations never exceeds the parent budget, so overloading
+// PDU-level breakers can never trip the substation-level breaker beyond its
+// managed bound.
+//
+// The returned slice is the per-child allocation, parallel to demands.
+// Negative demands are treated as zero.
+func Allocate(budget units.Watts, demands []units.Watts) []units.Watts {
+	out := make([]units.Watts, len(demands))
+	if budget <= 0 || len(demands) == 0 {
+		return out
+	}
+	remaining := budget
+	unmet := make([]int, 0, len(demands))
+	for i, d := range demands {
+		if d > 0 {
+			unmet = append(unmet, i)
+		}
+	}
+	// Iterate: grant each unmet child an equal share, capped by its demand.
+	// Children that hit their cap drop out; their leftover share is
+	// redistributed next round. Terminates because each round either
+	// satisfies at least one child or splits the remainder exactly.
+	for len(unmet) > 0 && remaining > 0 {
+		share := remaining / units.Watts(len(unmet))
+		if share <= 0 {
+			break
+		}
+		next := unmet[:0]
+		progressed := false
+		for _, i := range unmet {
+			need := demands[i] - out[i]
+			if need <= share {
+				out[i] += need
+				remaining -= need
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		if !progressed {
+			// Nobody was capped: split the remainder evenly and stop.
+			for _, i := range next {
+				out[i] += share
+				remaining -= share
+			}
+			break
+		}
+		unmet = next
+	}
+	return out
+}
+
+// Sum returns the total of a power slice.
+func Sum(ws []units.Watts) units.Watts {
+	var total units.Watts
+	for _, w := range ws {
+		total += w
+	}
+	return total
+}

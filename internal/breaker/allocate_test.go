@@ -1,0 +1,117 @@
+package breaker
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcsprint/internal/units"
+)
+
+func TestAllocateMeetsDemandWhenBudgetSuffices(t *testing.T) {
+	got := Allocate(100, []units.Watts{20, 30, 10})
+	want := []units.Watts{20, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Allocate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllocateEvenSplitWhenScarce(t *testing.T) {
+	got := Allocate(90, []units.Watts{100, 100, 100})
+	for i, g := range got {
+		if math.Abs(float64(g-30)) > 1e-9 {
+			t.Fatalf("child %d got %v, want 30", i, g)
+		}
+	}
+}
+
+func TestAllocateWaterFilling(t *testing.T) {
+	// Budget 100 over demands (10, 80, 80): the small demand is satisfied,
+	// and the surplus splits evenly between the large ones: 10, 45, 45.
+	got := Allocate(100, []units.Watts{10, 80, 80})
+	want := []units.Watts{10, 45, 45}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-9 {
+			t.Fatalf("Allocate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllocateCascadedSurplus(t *testing.T) {
+	// Budget 100 over (10, 20, 100): first round share 33.3 satisfies the
+	// first two; the third absorbs the remaining 70.
+	got := Allocate(100, []units.Watts{10, 20, 100})
+	want := []units.Watts{10, 20, 70}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-9 {
+			t.Fatalf("Allocate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllocateEdgeCases(t *testing.T) {
+	if got := Allocate(0, []units.Watts{5}); got[0] != 0 {
+		t.Error("zero budget must allocate nothing")
+	}
+	if got := Allocate(-10, []units.Watts{5}); got[0] != 0 {
+		t.Error("negative budget must allocate nothing")
+	}
+	if got := Allocate(10, nil); len(got) != 0 {
+		t.Error("nil demands must return empty")
+	}
+	got := Allocate(10, []units.Watts{-5, 8})
+	if got[0] != 0 || got[1] != 8 {
+		t.Fatalf("negative demand handling: got %v", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]units.Watts{1, 2, 3.5}); got != 6.5 {
+		t.Fatalf("Sum = %v, want 6.5", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+// Properties: allocations are capped by demand, non-negative, and their sum
+// never exceeds min(budget, total demand); when budget >= total demand every
+// demand is met exactly.
+func TestAllocateInvariantsProperty(t *testing.T) {
+	f := func(budgetRaw uint32, demandRaw []uint16) bool {
+		budget := units.Watts(budgetRaw % 100000)
+		demands := make([]units.Watts, len(demandRaw))
+		var total units.Watts
+		for i, d := range demandRaw {
+			demands[i] = units.Watts(d)
+			total += units.Watts(d)
+		}
+		got := Allocate(budget, demands)
+		if len(got) != len(demands) {
+			return false
+		}
+		var sum units.Watts
+		for i, g := range got {
+			if g < 0 || g > demands[i]+1e-9 {
+				return false
+			}
+			sum += g
+		}
+		if sum > budget+1e-6 || sum > total+1e-6 {
+			return false
+		}
+		if budget >= total {
+			for i, g := range got {
+				if d := demands[i]; d > 0 && math.Abs(float64(g-d)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package chip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcsprint/internal/units"
+)
+
+func newChip(t *testing.T, cfg Config) *Thermal {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", Default(), true},
+		{"zero sustainable", Config{SustainablePower: 0, PCMCapacity: 1}, false},
+		{"negative capacity", Config{SustainablePower: 10, PCMCapacity: -1}, false},
+		{"negative refreeze", Config{SustainablePower: 10, RefreezeRate: -1}, false},
+		{"zero capacity ok (no sprint budget)", Config{SustainablePower: 10}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestDefaultSustainsFullSprintThirtyMinutes(t *testing.T) {
+	// The sized-for-servers package: a 125 W full sprint over the 35 W
+	// heatsink point lasts 30 minutes.
+	c := newChip(t, Default())
+	secs := 0
+	for ; secs < 3600; secs++ {
+		if c.Exhausted() {
+			break
+		}
+		c.Step(125, time.Second)
+	}
+	if secs < 1795 || secs > 1805 {
+		t.Fatalf("full sprint sustained %d s, want ~1800", secs)
+	}
+}
+
+func TestStepMeltsAndRefreezes(t *testing.T) {
+	c := newChip(t, Config{SustainablePower: 35, PCMCapacity: 900, RefreezeRate: 20})
+	// 10 s at +90 W melts all 900 J.
+	for i := 0; i < 10; i++ {
+		c.Step(125, time.Second)
+	}
+	if !c.Exhausted() {
+		t.Fatalf("PCM not exhausted: headroom %v", c.Headroom())
+	}
+	// MaxPower collapses to the sustainable point.
+	if got := c.MaxPower(time.Second); got != 35 {
+		t.Fatalf("exhausted MaxPower = %v, want 35", got)
+	}
+	// Running cool refreezes at up to the refreeze rate.
+	for i := 0; i < 10; i++ {
+		c.Step(5, time.Second) // 30 W of heatsink headroom, capped at 20
+	}
+	if got := c.Headroom(); math.Abs(float64(got-200)) > 1e-9 {
+		t.Fatalf("refrozen headroom = %v, want 200 J", got)
+	}
+	// Refreeze is bounded by the actual heatsink headroom too.
+	c2 := newChip(t, Config{SustainablePower: 35, PCMCapacity: 900, RefreezeRate: 20})
+	for i := 0; i < 10; i++ {
+		c2.Step(125, time.Second)
+	}
+	c2.Step(30, time.Second) // only 5 W of headroom
+	if got := c2.Headroom(); math.Abs(float64(got-5)) > 1e-9 {
+		t.Fatalf("bounded refreeze headroom = %v, want 5 J", got)
+	}
+}
+
+func TestMaxPower(t *testing.T) {
+	c := newChip(t, Config{SustainablePower: 35, PCMCapacity: 900})
+	// Fresh: 900 J over 10 s adds 90 W.
+	if got := c.MaxPower(10 * time.Second); got != 125 {
+		t.Fatalf("MaxPower(10s) = %v, want 125", got)
+	}
+	if got := c.MaxPower(0); got != 35 {
+		t.Fatalf("MaxPower(0) = %v, want sustainable", got)
+	}
+}
+
+func TestStepZeroDt(t *testing.T) {
+	c := newChip(t, Default())
+	before := c.Headroom()
+	c.Step(1000, 0)
+	if c.Headroom() != before {
+		t.Fatal("zero dt changed state")
+	}
+}
+
+// Property: headroom stays within [0, capacity]; running at or below the
+// sustainable power never melts PCM.
+func TestPCMBoundsProperty(t *testing.T) {
+	f := func(powers []uint8) bool {
+		c, err := New(Config{SustainablePower: 35, PCMCapacity: 500, RefreezeRate: 25})
+		if err != nil {
+			return false
+		}
+		for _, p := range powers {
+			before := c.Headroom()
+			c.Step(units.Watts(p), time.Second)
+			h := c.Headroom()
+			if h < 0 || h > 500 {
+				return false
+			}
+			if units.Watts(p) <= 35 && h < before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,893 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/chip"
+	"dcsprint/internal/cooling"
+	"dcsprint/internal/genset"
+	"dcsprint/internal/power"
+	"dcsprint/internal/server"
+	"dcsprint/internal/tes"
+	"dcsprint/internal/units"
+)
+
+// DefaultReserve is the reserve time-to-trip the controller maintains on
+// every breaker (§V-B: "If the remaining time is less than 1 minute, we
+// decrease the upper bound of CB overload until the remaining time equals
+// to 1 minute. Note here the 1 minute is a user-defined parameter").
+const DefaultReserve = time.Minute
+
+// DefaultThermalGuard is the minimum time-to-overheat the controller keeps
+// in hand; a plan that would overheat the room sooner is rejected and the
+// sprinting degree lowered.
+const DefaultThermalGuard = 30 * time.Second
+
+// DefaultBurstCooloff is how long demand must stay within normal capacity
+// before the controller considers a burst event over. The MS trace's
+// "consecutive bursts" separated by short dips are treated as one event, as
+// in the paper's aggregate 16.2-minute burst duration.
+const DefaultBurstCooloff = 2 * time.Minute
+
+// Config assembles a sprinting controller.
+type Config struct {
+	// Server is the server model (cores, power, performance).
+	Server server.Config
+	// Cooling is the plant/thermal model configuration.
+	Cooling cooling.Config
+	// Strategy bounds the sprinting degree. Nil means Greedy.
+	Strategy Strategy
+	// Reserve is the breaker reserve time-to-trip. Zero means
+	// DefaultReserve.
+	Reserve time.Duration
+	// ThermalGuard is the minimum time-to-overheat kept in hand. Zero
+	// means DefaultThermalGuard.
+	ThermalGuard time.Duration
+	// BurstCooloff ends a burst event after this much continuous
+	// within-capacity demand. Zero means DefaultBurstCooloff.
+	BurstCooloff time.Duration
+	// Weights skews the demand across PDU groups: group g sees
+	// demand x Weights[g]. Nil means uniform. Values must be positive;
+	// they are normalized to mean 1 so the facility-level demand is
+	// unchanged. Heterogeneous weights exercise the paper's §V-B
+	// parent/child breaker coordination.
+	Weights []float64
+	// Uncontrolled disables every data-center-level safeguard: cores
+	// follow demand, all power flows through the breakers, no UPS or TES.
+	// This is the paper's Fig 8(a) baseline, which trips the breakers.
+	Uncontrolled bool
+}
+
+// Input is one tick's environment.
+type Input struct {
+	// Demand is the normalized facility demand (1.0 = peak-normal
+	// capacity).
+	Demand float64
+	// SupplyLimit optionally caps the utility power available at the DC
+	// level (a grid curtailment or renewable shortfall). Zero means
+	// unlimited; the breaker rating still applies either way.
+	SupplyLimit units.Watts
+}
+
+// TickResult reports one tick of controller output and telemetry.
+type TickResult struct {
+	// Demand is the normalized demand the tick served.
+	Demand float64
+	// Delivered is the normalized throughput achieved (<= Demand).
+	Delivered float64
+	// ActiveCores is the largest per-server active core count across the
+	// PDU groups (they differ only under heterogeneous weights).
+	ActiveCores int
+	// Degree is the mean realized sprinting degree across groups.
+	Degree float64
+	// Bound is the strategy's clamped upper bound this tick.
+	Bound float64
+	// Phase is 0 outside sprinting, then 1 (CB), 2 (UPS), 3 (TES).
+	Phase int
+	// ITPower is the total server power.
+	ITPower units.Watts
+	// CoolingPower is the cooling-plant electrical power.
+	CoolingPower units.Watts
+	// DCLoad is the load on the DC-level breaker.
+	DCLoad units.Watts
+	// PDULoad is the load on the most-loaded PDU breaker.
+	PDULoad units.Watts
+	// UPSPower is the total battery discharge power.
+	UPSPower units.Watts
+	// GenPower is the on-site generator output (zero without a genset).
+	GenPower units.Watts
+	// TESHeatRate is the heat absorption rate of the TES tank.
+	TESHeatRate units.Watts
+	// RoomTemp is the room temperature after the tick.
+	RoomTemp units.Celsius
+	// Tripped reports a breaker trip during this tick.
+	Tripped bool
+	// Dead reports that the facility is down (post-trip shutdown).
+	Dead bool
+}
+
+// EnergySplit reports where a sprint's additional energy came from
+// (§VII-A: with the MS trace, UPS and TES provide 54% and 13%).
+type EnergySplit struct {
+	// UPS is the energy delivered by batteries.
+	UPS units.Joules
+	// TES is the chiller energy saved while the TES carried cooling.
+	TES units.Joules
+	// CBOverload is the energy delivered above breaker ratings.
+	CBOverload units.Joules
+}
+
+// Total returns the total additional energy.
+func (e EnergySplit) Total() units.Joules { return e.UPS + e.TES + e.CBOverload }
+
+// Controller runs the three-phase Data Center Sprinting methodology over a
+// power tree, a room thermal model and an optional TES tank.
+type Controller struct {
+	cfg     Config
+	tree    *power.Tree
+	room    *cooling.Room
+	tank    *tes.Tank // nil disables Phase 3 (§V: "data centers without TES")
+	gen     *genset.Generator
+	chip    *chip.Thermal
+	weights []float64 // normalized per-PDU demand weights, mean 1
+
+	burstActive bool
+	sprintTime  time.Duration // cumulative over-capacity time this event
+	cooloff     time.Duration // continuous within-capacity time
+	peakDemand  float64
+	degreeSum   float64
+	degreeTicks int
+	budgetTotal units.Joules
+	tesActive   bool
+	tesDelay    time.Duration
+	dead        bool
+
+	// Event-log state.
+	now           time.Duration
+	events        []Event
+	prevPhase     int
+	prevTES       bool
+	prevGenStart  bool
+	prevGenOnline bool
+	chipExhausted bool
+
+	split EnergySplit
+}
+
+// plan is one tick's (possibly unsafe, when forced) power assignment.
+type plan struct {
+	flow         power.Flow
+	delivered    float64 // facility-normalized throughput
+	maxCores     int     // largest group core count
+	meanDegree   float64
+	heatGen      units.Watts
+	heatAbsorbed units.Watts
+	chillerElec  units.Watts
+	tesAbsorb    units.Watts
+	upsRecharge  []units.Watts
+	tesRecharge  units.Watts
+	tesOn        bool
+	sprinting    bool
+}
+
+// New returns a controller. The tank may be nil (no TES installed).
+func New(cfg Config, tree *power.Tree, room *cooling.Room, tank *tes.Tank) (*Controller, error) {
+	if tree == nil || room == nil {
+		return nil, fmt.Errorf("core: nil tree or room")
+	}
+	if err := cfg.Server.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Cooling.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = Greedy{}
+	}
+	if cfg.Reserve <= 0 {
+		cfg.Reserve = DefaultReserve
+	}
+	if cfg.ThermalGuard <= 0 {
+		cfg.ThermalGuard = DefaultThermalGuard
+	}
+	if cfg.BurstCooloff <= 0 {
+		cfg.BurstCooloff = DefaultBurstCooloff
+	}
+	weights, err := normalizeWeights(cfg.Weights, len(tree.PDUs))
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:     cfg,
+		tree:    tree,
+		room:    room,
+		tank:    tank,
+		weights: weights,
+		tesDelay: cooling.TESActivationDelay(
+			cfg.Server.PeakNormalPower(), cfg.Server.MaxAdditionalPower()),
+	}, nil
+}
+
+// normalizeWeights validates per-group weights and scales them to mean 1.
+func normalizeWeights(w []float64, groups int) ([]float64, error) {
+	out := make([]float64, groups)
+	if len(w) == 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out, nil
+	}
+	if len(w) != groups {
+		return nil, fmt.Errorf("core: %d weights for %d PDU groups", len(w), groups)
+	}
+	var sum float64
+	for i, v := range w {
+		if v <= 0 {
+			return nil, fmt.Errorf("core: non-positive weight %v at group %d", v, i)
+		}
+		sum += v
+	}
+	mean := sum / float64(groups)
+	for i, v := range w {
+		out[i] = v / mean
+	}
+	return out, nil
+}
+
+// AttachGenerator gives the controller a diesel generator set to start
+// during utility supply emergencies (§III-B's bridge machinery). Attach
+// before the first tick.
+func (c *Controller) AttachGenerator(g *genset.Generator) { c.gen = g }
+
+// AttachChipThermal gives the controller the chip-level PCM model whose
+// exhaustion ends Data Center Sprinting (§IV: "If the chip-level sprinting
+// can be no longer sustained, we also finish Data Center Sprinting").
+// Attach before the first tick.
+func (c *Controller) AttachChipThermal(t *chip.Thermal) { c.chip = t }
+
+// chipCoreCap returns the largest per-server core count the chip package
+// can sustain for the reserve window given its remaining PCM budget.
+func (c *Controller) chipCoreCap() int {
+	if c.chip == nil {
+		return c.cfg.Server.TotalCores
+	}
+	maxChip := c.chip.SustainablePower() + c.chip.Headroom().Over(c.cfg.Reserve)
+	srv := c.cfg.Server
+	n := int(float64(maxChip-srv.ChipIdlePower) / float64(srv.CorePower))
+	if n < srv.NormalCores {
+		n = srv.NormalCores
+	}
+	if n > srv.TotalCores {
+		n = srv.TotalCores
+	}
+	return n
+}
+
+// Split returns the additional-energy provenance accumulated so far.
+func (c *Controller) Split() EnergySplit { return c.split }
+
+// Dead reports whether an uncontrolled trip has shut the facility down.
+func (c *Controller) Dead() bool { return c.dead }
+
+// BudgetTotal returns the additional-energy budget estimated at the start
+// of the current burst event (zero outside bursts).
+func (c *Controller) BudgetTotal() units.Joules { return c.budgetTotal }
+
+// state builds the strategy snapshot for this tick.
+func (c *Controller) state(demand float64) State {
+	avg := 1.0
+	if c.degreeTicks > 0 {
+		avg = c.degreeSum / float64(c.degreeTicks)
+	}
+	return State{
+		Elapsed:     c.sprintTime,
+		Demand:      demand,
+		PeakDemand:  c.peakDemand,
+		AvgDegree:   avg,
+		MaxDegree:   c.cfg.Server.MaxDegree(),
+		BudgetTotal: c.budgetTotal,
+		BudgetLeft:  EstimateBudget(c.tree, c.tank, c.cfg.Cooling, c.cfg.Reserve),
+		DegreePower: c.degreePower(),
+	}
+}
+
+// degreePower is the extra facility power of one unit of sprinting degree.
+func (c *Controller) degreePower() units.Watts {
+	s := c.cfg.Server
+	return s.CorePower * units.Watts(s.NormalCores*c.tree.Config().Servers)
+}
+
+// Tick advances the controller by dt under the given normalized demand with
+// an unconstrained utility supply.
+func (c *Controller) Tick(demand float64, dt time.Duration) TickResult {
+	return c.TickInput(Input{Demand: demand}, dt)
+}
+
+// TickInput advances the controller by dt under the given environment.
+func (c *Controller) TickInput(in Input, dt time.Duration) TickResult {
+	demand := in.Demand
+	if dt <= 0 {
+		return TickResult{Demand: demand, Dead: c.dead}
+	}
+	if c.dead {
+		c.now += dt
+		return TickResult{Demand: demand, Dead: true, RoomTemp: c.room.Temperature()}
+	}
+	c.now += dt
+
+	// Burst event bookkeeping.
+	if demand > 1 {
+		if !c.burstActive {
+			c.burstActive = true
+			c.sprintTime = 0
+			c.peakDemand = demand
+			c.degreeSum, c.degreeTicks = 0, 0
+			c.budgetTotal = EstimateBudget(c.tree, c.tank, c.cfg.Cooling, c.cfg.Reserve)
+			c.emit(EventBurstStarted, fmt.Sprintf("demand %.2fx, budget %v", demand, c.budgetTotal))
+		}
+		if demand > c.peakDemand {
+			c.peakDemand = demand
+		}
+		c.cooloff = 0
+	} else if c.burstActive {
+		c.cooloff += dt
+		if c.cooloff >= c.cfg.BurstCooloff {
+			c.burstActive = false
+			c.budgetTotal = 0
+			c.tesActive = false
+			c.emit(EventBurstEnded, "")
+		}
+	}
+
+	if c.cfg.Uncontrolled {
+		return c.tickUncontrolled(demand, dt)
+	}
+
+	// Generator dispatch policy: start on any curtailment below the
+	// normal facility peak, stop once the grid recovers.
+	if c.gen != nil {
+		normalTotal := c.tree.PeakNormalIT() + c.cfg.Cooling.NormalCoolingPower()
+		switch {
+		case in.SupplyLimit > 0 && in.SupplyLimit < normalTotal:
+			c.gen.RequestStart()
+		case c.gen.Started():
+			c.gen.Stop()
+		}
+		if started := c.gen.Started(); started != c.prevGenStart {
+			if started {
+				c.emit(EventGeneratorStarted, "cranking")
+			} else {
+				c.emit(EventGeneratorStopped, "grid recovered")
+			}
+			c.prevGenStart = started
+		}
+		if online := c.gen.Online(); online != c.prevGenOnline {
+			if online {
+				c.emit(EventGeneratorOnline, "")
+			}
+			c.prevGenOnline = online
+		}
+	}
+
+	bound := units.Clamp(c.cfg.Strategy.UpperBound(c.state(demand)), 1, c.cfg.Server.MaxDegree())
+	capCores := c.cfg.Server.CoresForDegree(bound)
+	if chipCap := c.chipCoreCap(); capCores > chipCap {
+		capCores = chipCap
+	}
+
+	// Find the largest safe global core cap. Feasibility is monotone in
+	// the cap (fewer cores mean less power and less heat), so binary
+	// search: the inner planner already sheds load group-by-group under
+	// power constraints, and the cap descent mainly serves the thermal
+	// guard, which needs a global reduction. The normal-core plan is
+	// within every rating by construction, so the forced fallback only
+	// triggers when a breaker has been stressed by an external event.
+	p, ok := c.plan(capCores, in, dt, false)
+	if !ok {
+		lo, hi := c.cfg.Server.NormalCores, capCores-1
+		best := -1
+		var bestPlan plan
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if cand, okc := c.plan(mid, in, dt, false); okc {
+				best, bestPlan = mid, cand
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		if best >= 0 {
+			p, ok = bestPlan, true
+		}
+	}
+	if !ok {
+		p, _ = c.plan(c.cfg.Server.NormalCores, in, dt, true)
+	}
+	res := c.commit(p, in, dt)
+	res.Bound = bound
+	return res
+}
+
+// plan builds a tick plan with every group's core count capped at capCores.
+// When force is false the plan is rejected (ok = false) if any constraint
+// cannot be met; when force is true the plan clamps to whatever the stores
+// can deliver and lets the breakers carry the remainder.
+func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) (plan, bool) {
+	srv := c.cfg.Server
+	groupSize := units.Watts(c.tree.Config().ServersPerPDU)
+	nPDU := len(c.tree.PDUs)
+
+	// Per-group demand and desired operating point.
+	type groupPlan struct {
+		demand    float64
+		cores     int
+		perServer units.Watts
+		delivered float64
+	}
+	groups := make([]groupPlan, nPDU)
+	sprinting := false
+	for g := range groups {
+		d := in.Demand * c.weights[g]
+		cores := srv.CoresForThroughput(d)
+		if cores < srv.NormalCores {
+			cores = srv.NormalCores
+		}
+		if cores > capCores {
+			cores = capCores
+		}
+		perServer, delivered := srv.PowerAtDemand(cores, d)
+		groups[g] = groupPlan{demand: d, cores: cores, perServer: perServer, delivered: delivered}
+		if cores > srv.NormalCores {
+			sprinting = true
+		}
+	}
+
+	heatGen := func() units.Watts {
+		var total units.Watts
+		for g := range groups {
+			total += groups[g].perServer * groupSize
+		}
+		return total
+	}
+
+	coolNormal := c.cfg.Cooling.NormalCoolingPower()
+	gen := heatGen()
+
+	// A supply emergency: the curtailed grid plus the generator cannot
+	// carry the facility. The TES then rides the emergency regardless of
+	// sprinting, shedding 2/3 of the chiller power.
+	supplyShort := false
+	if in.SupplyLimit > 0 {
+		avail := in.SupplyLimit
+		if c.gen != nil {
+			avail += c.gen.Available(dt)
+		}
+		if avail < gen+coolNormal {
+			supplyShort = true
+		}
+	}
+
+	// Phase 3 decision: the TES engages once the sprint has run long
+	// enough that the room would otherwise approach the CFD budget — or
+	// immediately in a supply emergency — and stays engaged until the
+	// tank is spent or the need passes.
+	tesOn := sprinting && c.tesActive
+	if sprinting && !tesOn && c.tank != nil && !c.tank.Empty() && c.sprintTime >= c.tesDelay {
+		tesOn = true
+	}
+	if !tesOn && supplyShort && c.tank != nil && !c.tank.Empty() {
+		tesOn = true
+	}
+	if c.tank == nil || c.tank.Empty() {
+		tesOn = false
+	}
+	var chillerElec, chillerAbsorb, tesAbsorb units.Watts
+	if tesOn {
+		tesAbsorb = gen
+		if max := c.tank.MaxAbsorb(dt); tesAbsorb > max {
+			tesAbsorb = max
+		}
+		chillerElec = c.tank.ChillerPowerWhileDischarging(coolNormal)
+	} else {
+		chillerElec = coolNormal
+		chillerAbsorb = gen
+		if cap := c.cfg.Cooling.ChillerHeatCapacity(); chillerAbsorb > cap {
+			chillerAbsorb = cap
+		}
+	}
+	heatAbsorbed := chillerAbsorb + tesAbsorb
+
+	// Thermal guard: never commit to a heat gap that would overheat the
+	// room within the guard window.
+	if gap := gen - heatAbsorbed; gap > 0 && !force {
+		if t, finite := c.room.TimeToThreshold(gap); finite && t < c.cfg.ThermalGuard {
+			return plan{}, false
+		}
+	}
+
+	// DC level first: the utility feed and the DC breaker bound the total
+	// breaker-drawn server power; water-fill it across the groups'
+	// breaker-share wants (§V-B parent/child coordination — overloading
+	// child breakers never exceeds the parent's managed bound).
+	dcAllow := c.tree.DCBreaker.MaxLoadFor(c.cfg.Reserve)
+	if in.SupplyLimit > 0 {
+		supply := in.SupplyLimit
+		if c.gen != nil {
+			supply += c.gen.Available(dt)
+		}
+		if supply < dcAllow {
+			dcAllow = supply
+		}
+	}
+	serverBudget := dcAllow - chillerElec
+	if serverBudget < 0 {
+		serverBudget = 0
+	}
+	wants := make([]units.Watts, nPDU)
+	for g, pdu := range c.tree.PDUs {
+		need := groups[g].perServer * groupSize
+		bound := pdu.Breaker.MaxLoadFor(c.cfg.Reserve)
+		if need < bound {
+			wants[g] = need
+		} else {
+			wants[g] = bound
+		}
+	}
+	cbAlloc := breaker.Allocate(serverBudget, wants)
+
+	// PDU level: whatever the breaker share cannot carry rides the UPS;
+	// a group whose battery cannot cover the difference sheds cores.
+	flow := power.Flow{
+		PDUServer: make([]units.Watts, nPDU),
+		PDUUPS:    make([]units.Watts, nPDU),
+		Cooling:   chillerElec,
+	}
+	for g, pdu := range c.tree.PDUs {
+		gp := &groups[g]
+		upsMax := pdu.UPS.MaxOutput(dt)
+		afford := cbAlloc[g] + upsMax
+		need := gp.perServer * groupSize
+		for need > afford+1e-9 && gp.cores > srv.NormalCores {
+			gp.cores--
+			gp.perServer, gp.delivered = srv.PowerAtDemand(gp.cores, gp.demand)
+			need = gp.perServer * groupSize
+		}
+		if need > afford+1e-9 {
+			// Load shedding, the true last resort (§V-A's admission
+			// control): even the normal operating point exceeds the
+			// deliverable power, so the group serves only what the
+			// affordable budget carries rather than stressing a breaker.
+			shed := srv.DemandForPower(gp.cores, afford/groupSize)
+			if shed < gp.demand {
+				gp.delivered = shed
+				gp.perServer, _ = srv.PowerAtDemand(gp.cores, shed)
+				need = gp.perServer * groupSize
+			}
+		}
+		if need > afford+1e-9 && !force {
+			// Not even an idle server fits the budget: a blackout no
+			// shedding can avoid.
+			return plan{}, false
+		}
+		ups := need - cbAlloc[g]
+		if ups < 0 {
+			ups = 0
+		}
+		if ups > upsMax {
+			ups = upsMax // force mode: the breakers carry the shortfall
+		}
+		flow.PDUServer[g] = need
+		flow.PDUUPS[g] = ups
+	}
+
+	// Assemble the result from the (possibly reduced) groups.
+	p := plan{
+		flow:         flow,
+		chillerElec:  chillerElec,
+		tesAbsorb:    tesAbsorb,
+		tesOn:        tesOn,
+		heatAbsorbed: heatAbsorbed,
+	}
+	var deliveredSum, degreeSum float64
+	for g := range groups {
+		deliveredSum += groups[g].delivered
+		degreeSum += srv.Degree(groups[g].cores)
+		if groups[g].cores > p.maxCores {
+			p.maxCores = groups[g].cores
+		}
+	}
+	p.delivered = deliveredSum / float64(nPDU)
+	p.meanDegree = degreeSum / float64(nPDU)
+	p.heatGen = heatGen()
+	p.sprinting = p.maxCores > srv.NormalCores
+	// Recompute the absorption for the possibly reduced heat: the chiller
+	// only removes what exists, and the tank must not drain faster than
+	// the servers actually dissipate.
+	if p.tesOn {
+		if p.tesAbsorb > p.heatGen {
+			p.tesAbsorb = p.heatGen
+		}
+		p.heatAbsorbed = p.tesAbsorb
+	} else {
+		chillerAbsorb = p.heatGen
+		if cap := c.cfg.Cooling.ChillerHeatCapacity(); chillerAbsorb > cap {
+			chillerAbsorb = cap
+		}
+		p.heatAbsorbed = chillerAbsorb
+	}
+
+	// Idle headroom recharges the stores (the paper: "the used battery
+	// capacity can be recharged later when the power demand is low").
+	if !p.sprinting && in.Demand <= 0.98 {
+		c.planRecharge(&p, dcAllow, dt)
+	}
+	return p, true
+}
+
+// planRecharge adds UPS and TES recharge within the breaker ratings and the
+// available supply.
+func (c *Controller) planRecharge(p *plan, dcAllow units.Watts, dt time.Duration) {
+	limit := c.tree.DCBreaker.Rated
+	if dcAllow < limit {
+		limit = dcAllow
+	}
+	dcSpare := limit - p.flow.DCLoad()
+	if dcSpare <= 0 {
+		return
+	}
+	p.upsRecharge = make([]units.Watts, len(c.tree.PDUs))
+	for i, pdu := range c.tree.PDUs {
+		if dcSpare <= 0 {
+			break
+		}
+		spare := pdu.Breaker.Rated - p.flow.PDULoad(i)
+		if spare <= 0 {
+			continue
+		}
+		if spare > dcSpare {
+			spare = dcSpare
+		}
+		room := pdu.UPS.TotalEnergy() - pdu.UPS.Stored()
+		if need := room.Over(dt); spare > need {
+			spare = need
+		}
+		p.upsRecharge[i] = spare
+		dcSpare -= spare
+	}
+	if c.tank != nil && dcSpare > 0 && c.tank.SoC() < 1 {
+		// Re-cooling the tank costs chiller power proportional to the
+		// plant's heat-to-electric ratio.
+		perHeat := float64(c.cfg.Cooling.NormalCoolingPower()) / float64(c.cfg.Cooling.ChillerHeatCapacity())
+		if perHeat > 0 {
+			p.tesRecharge = units.Watts(float64(dcSpare) / perHeat)
+		}
+	}
+}
+
+// commit executes a plan: steps the breakers, batteries, tank and room, and
+// accumulates burst bookkeeping and the energy split.
+func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
+	demand := in.Demand
+	flow := p.flow
+
+	// Apply recharge loads before stepping the breakers.
+	coolingPower := p.chillerElec
+	if p.tesRecharge > 0 && c.tank != nil {
+		perHeat := float64(c.cfg.Cooling.NormalCoolingPower()) / float64(c.cfg.Cooling.ChillerHeatCapacity())
+		accepted := c.tank.Recharge(p.tesRecharge, dt)
+		coolingPower += units.Watts(float64(accepted) * perHeat)
+	}
+	flow.Cooling = coolingPower
+	for i := range p.upsRecharge {
+		accepted := c.tree.PDUs[i].UPS.Recharge(p.upsRecharge[i], dt)
+		flow.PDUServer[i] += accepted // recharge draw rides the PDU feed
+	}
+
+	// The generator carries the share of the load the curtailed grid
+	// cannot; Step also advances its crank/ramp clock.
+	var genUsed units.Watts
+	if c.gen != nil {
+		var want units.Watts
+		if in.SupplyLimit > 0 {
+			if short := flow.DCLoad() - in.SupplyLimit; short > 0 {
+				want = short
+			}
+		}
+		genUsed = c.gen.Step(want, dt)
+	}
+
+	err := c.tree.Step(flow, dt)
+	c.room.Step(p.heatGen, p.heatAbsorbed, dt)
+	if c.chip != nil {
+		// Track the hottest chip: the largest per-server chip power of
+		// the tick (server power minus the constant non-CPU share).
+		var hottest units.Watts
+		group := units.Watts(c.tree.Config().ServersPerPDU)
+		for i := range flow.PDUServer {
+			perServer := flow.PDUServer[i] / group
+			if chipPower := perServer - c.cfg.Server.NonCPUPower; chipPower > hottest {
+				hottest = chipPower
+			}
+		}
+		c.chip.Step(hottest, dt)
+	}
+	var tesRate units.Watts
+	if p.tesAbsorb > 0 && c.tank != nil {
+		tesRate = c.tank.Discharge(p.tesAbsorb, dt)
+	}
+	c.tesActive = p.tesOn && c.tank != nil && !c.tank.Empty()
+
+	// Physical supply enforcement: a forced plan that draws more than the
+	// grid and generator can deliver browns the facility out.
+	if err == nil && in.SupplyLimit > 0 && flow.DCLoad() > in.SupplyLimit+genUsed+1 {
+		err = fmt.Errorf("core: brownout: load %v exceeds supply %v + generator %v",
+			flow.DCLoad(), in.SupplyLimit, genUsed)
+	}
+
+	// Energy-split accounting.
+	var upsTotal, maxPDULoad units.Watts
+	for i := range flow.PDUUPS {
+		upsTotal += flow.PDUUPS[i]
+		load := flow.PDULoad(i)
+		if load > maxPDULoad {
+			maxPDULoad = load
+		}
+		if over := load - c.tree.PDUs[i].Breaker.Rated; over > 0 {
+			c.split.CBOverload += units.ForDuration(over, dt)
+		}
+	}
+	if over := flow.DCLoad() - c.tree.DCBreaker.Rated; over > 0 {
+		c.split.CBOverload += units.ForDuration(over, dt)
+	}
+	c.split.UPS += units.ForDuration(upsTotal, dt)
+	if p.tesOn {
+		saved := c.cfg.Cooling.NormalCoolingPower() - p.chillerElec
+		if saved > 0 {
+			c.split.TES += units.ForDuration(saved, dt)
+		}
+	}
+
+	// Burst bookkeeping: sprint time and average degree accumulate over
+	// over-capacity ticks.
+	if c.burstActive && demand > 1 {
+		c.sprintTime += dt
+		c.degreeSum += p.meanDegree
+		c.degreeTicks++
+	}
+
+	phase := 0
+	switch {
+	case p.tesOn:
+		phase = 3
+	case upsTotal > 0 && p.sprinting:
+		phase = 2
+	case p.sprinting:
+		phase = 1
+	}
+
+	res := TickResult{
+		Demand:       demand,
+		Delivered:    p.delivered,
+		ActiveCores:  p.maxCores,
+		Degree:       p.meanDegree,
+		Phase:        phase,
+		ITPower:      p.heatGen,
+		CoolingPower: coolingPower,
+		DCLoad:       flow.DCLoad(),
+		PDULoad:      maxPDULoad,
+		UPSPower:     upsTotal,
+		GenPower:     genUsed,
+		TESHeatRate:  tesRate,
+		RoomTemp:     c.room.Temperature(),
+	}
+	if err != nil {
+		// A trip under the controller indicates the reserve was breached
+		// by an external event; the facility sheds load and the run ends.
+		res.Tripped = true
+		res.Delivered = 0
+		c.dead = true
+		res.Dead = true
+	}
+
+	// Transition events.
+	if phase != c.prevPhase {
+		c.emit(EventPhaseChanged, fmt.Sprintf("phase %d -> %d", c.prevPhase, phase))
+		c.prevPhase = phase
+	}
+	if c.tesActive != c.prevTES {
+		if c.tesActive {
+			c.emit(EventTESActivated, fmt.Sprintf("tank %.0f%% full", 100*c.tank.SoC()))
+		} else if c.tank != nil && c.tank.Empty() {
+			c.emit(EventTESExhausted, "")
+		}
+		c.prevTES = c.tesActive
+	}
+	if c.chip != nil && !c.chipExhausted && c.chip.Exhausted() {
+		c.chipExhausted = true
+		c.emit(EventChipPCMExhausted, "chip-level sprinting no longer sustainable")
+	}
+	if res.Dead {
+		if res.Tripped && in.SupplyLimit > 0 && flow.DCLoad() > in.SupplyLimit+genUsed {
+			c.emit(EventBrownout, err.Error())
+		} else {
+			c.emit(EventBreakerTripped, err.Error())
+		}
+	}
+	return res
+}
+
+// tickUncontrolled implements the Fig 8(a) baseline: chip-level sprinting
+// with no data-center-level control — cores follow demand, all power flows
+// through the breakers, the chiller is never helped, and the first trip
+// shuts the facility down.
+func (c *Controller) tickUncontrolled(demand float64, dt time.Duration) TickResult {
+	srv := c.cfg.Server
+	groupSize := units.Watts(c.tree.Config().ServersPerPDU)
+	coolNormal := c.cfg.Cooling.NormalCoolingPower()
+
+	nPDU := len(c.tree.PDUs)
+	flow := power.Flow{
+		PDUServer: make([]units.Watts, nPDU),
+		PDUUPS:    make([]units.Watts, nPDU),
+		Cooling:   coolNormal,
+	}
+	var heatGen, maxPDULoad units.Watts
+	var deliveredSum, degreeSum float64
+	maxCores := 0
+	for g := 0; g < nPDU; g++ {
+		d := demand * c.weights[g]
+		n := srv.CoresForThroughput(d)
+		if n < srv.NormalCores {
+			n = srv.NormalCores
+		}
+		perServer, delivered := srv.PowerAtDemand(n, d)
+		group := perServer * groupSize
+		flow.PDUServer[g] = group
+		heatGen += group
+		deliveredSum += delivered
+		degreeSum += srv.Degree(n)
+		if n > maxCores {
+			maxCores = n
+		}
+		if group > maxPDULoad {
+			maxPDULoad = group
+		}
+	}
+	chillerAbsorb := heatGen
+	if cap := c.cfg.Cooling.ChillerHeatCapacity(); chillerAbsorb > cap {
+		chillerAbsorb = cap
+	}
+
+	err := c.tree.Step(flow, dt)
+	c.room.Step(heatGen, chillerAbsorb, dt)
+
+	res := TickResult{
+		Demand:       demand,
+		Delivered:    deliveredSum / float64(nPDU),
+		ActiveCores:  maxCores,
+		Degree:       degreeSum / float64(nPDU),
+		Bound:        srv.MaxDegree(),
+		ITPower:      heatGen,
+		CoolingPower: coolNormal,
+		DCLoad:       flow.DCLoad(),
+		PDULoad:      maxPDULoad,
+		RoomTemp:     c.room.Temperature(),
+	}
+	if maxCores > srv.NormalCores {
+		res.Phase = 1
+	}
+	if err != nil || c.room.Overheated() {
+		res.Tripped = err != nil
+		res.Delivered = 0
+		c.dead = true
+		res.Dead = true
+		if err != nil {
+			c.emit(EventBreakerTripped, err.Error())
+		} else {
+			c.emit(EventBrownout, "room overheated")
+		}
+	}
+	return res
+}

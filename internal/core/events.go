@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a controller event.
+type EventKind int
+
+// Controller event kinds, in rough lifecycle order.
+const (
+	// EventBurstStarted marks the first over-capacity demand of an event.
+	EventBurstStarted EventKind = iota + 1
+	// EventBurstEnded marks the cool-off completing.
+	EventBurstEnded
+	// EventPhaseChanged marks any controller phase transition.
+	EventPhaseChanged
+	// EventTESActivated and EventTESExhausted bracket Phase 3.
+	EventTESActivated
+	EventTESExhausted
+	// EventGeneratorStarted, EventGeneratorOnline and
+	// EventGeneratorStopped track the genset lifecycle.
+	EventGeneratorStarted
+	EventGeneratorOnline
+	EventGeneratorStopped
+	// EventChipPCMExhausted marks the §IV chip-level prerequisite ending
+	// the sprint.
+	EventChipPCMExhausted
+	// EventBreakerTripped and EventBrownout are terminal failures.
+	EventBreakerTripped
+	EventBrownout
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventBurstStarted:
+		return "burst-started"
+	case EventBurstEnded:
+		return "burst-ended"
+	case EventPhaseChanged:
+		return "phase-changed"
+	case EventTESActivated:
+		return "tes-activated"
+	case EventTESExhausted:
+		return "tes-exhausted"
+	case EventGeneratorStarted:
+		return "generator-started"
+	case EventGeneratorOnline:
+		return "generator-online"
+	case EventGeneratorStopped:
+		return "generator-stopped"
+	case EventChipPCMExhausted:
+		return "chip-pcm-exhausted"
+	case EventBreakerTripped:
+		return "breaker-tripped"
+	case EventBrownout:
+		return "brownout"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one recorded controller transition.
+type Event struct {
+	// Time is the simulation time of the transition.
+	Time time.Duration
+	// Kind classifies it.
+	Kind EventKind
+	// Detail is a short human-readable annotation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%v %v", e.Time, e.Kind)
+	}
+	return fmt.Sprintf("%v %v: %s", e.Time, e.Kind, e.Detail)
+}
+
+// maxEvents bounds the log so a pathological run cannot grow unboundedly.
+const maxEvents = 4096
+
+// emit appends an event, dropping silently once the log is full.
+func (c *Controller) emit(kind EventKind, detail string) {
+	if len(c.events) >= maxEvents {
+		return
+	}
+	c.events = append(c.events, Event{Time: c.now, Kind: kind, Detail: detail})
+}
+
+// Events returns the transitions recorded so far (shared slice; do not
+// mutate).
+func (c *Controller) Events() []Event { return c.events }

@@ -1,0 +1,178 @@
+package core
+
+// Failure-injection tests: the controller's safety properties must survive
+// component failures the planner did not anticipate — dead battery groups,
+// a TES tank emptied mid-sprint, and a grid that collapses without warning.
+
+import (
+	"testing"
+	"time"
+)
+
+// drainGroupBatteries empties the batteries of the first n PDU groups,
+// simulating failed battery strings.
+func drainGroupBatteries(f *facility, n int) {
+	for i := 0; i < n && i < len(f.tree.PDUs); i++ {
+		b := f.tree.PDUs[i].UPS
+		for b.SoC() > 0 {
+			if b.Discharge(b.MaxOutput(time.Second), time.Second) == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestSprintSurvivesPartialBatteryFailure(t *testing.T) {
+	f := newFacility(t, facilityOpts{})
+	// Two of the five groups lose their batteries before the burst.
+	drainGroupBatteries(f, 2)
+	var excess float64
+	for i := 0; i < 600; i++ {
+		res := f.ctl.Tick(2.5, time.Second)
+		if res.Tripped {
+			t.Fatalf("tripped at %d with failed battery groups", i)
+		}
+		if res.RoomTemp >= 40 {
+			t.Fatalf("overheated at %d", i)
+		}
+		if res.Delivered > 1 {
+			excess += res.Delivered - 1
+		}
+	}
+	if excess == 0 {
+		t.Fatal("facility never sprinted despite three healthy groups")
+	}
+	// The healthy facility serves more excess work in total. (It may
+	// sprint for *less time* — losing batteries acts like an implicit
+	// degree bound, stretching a smaller budget thinner — so the metric
+	// is work, not duration.)
+	healthy := newFacility(t, facilityOpts{})
+	var healthyExcess float64
+	for i := 0; i < 600; i++ {
+		if res := healthy.ctl.Tick(2.5, time.Second); res.Delivered > 1 {
+			healthyExcess += res.Delivered - 1
+		}
+	}
+	if excess > healthyExcess {
+		t.Fatalf("degraded facility served more excess work (%.1f) than healthy (%.1f)", excess, healthyExcess)
+	}
+}
+
+func TestSprintSurvivesAllBatteriesFailed(t *testing.T) {
+	f := newFacility(t, facilityOpts{})
+	drainGroupBatteries(f, len(f.tree.PDUs))
+	for i := 0; i < 600; i++ {
+		res := f.ctl.Tick(2.5, time.Second)
+		if res.Tripped {
+			t.Fatalf("tripped at %d with no batteries (CB+TES only)", i)
+		}
+		if res.UPSPower > 0 {
+			t.Fatalf("UPS power %v reported from empty batteries", res.UPSPower)
+		}
+	}
+}
+
+func TestTESDrainedMidSprint(t *testing.T) {
+	f := newFacility(t, facilityOpts{})
+	// Run into phase 3 first.
+	sawTES := false
+	for i := 0; i < 240; i++ {
+		if res := f.ctl.Tick(1.8, time.Second); res.Phase == 3 {
+			sawTES = true
+			break
+		}
+	}
+	if !sawTES {
+		t.Fatal("setup: never reached phase 3")
+	}
+	// A valve failure dumps the remaining cold.
+	f.tank.Discharge(1e12, time.Hour)
+	if !f.tank.Empty() {
+		t.Fatal("setup: tank not drained")
+	}
+	// The controller must fall back without tripping or overheating.
+	for i := 0; i < 600; i++ {
+		res := f.ctl.Tick(1.8, time.Second)
+		if res.Tripped {
+			t.Fatalf("tripped at %d after TES failure", i)
+		}
+		if res.RoomTemp >= 40 {
+			t.Fatalf("overheated at %d after TES failure: %v", i, res.RoomTemp)
+		}
+		if res.Phase == 3 {
+			t.Fatalf("phase 3 reported at %d with an empty tank", i)
+		}
+	}
+}
+
+func TestSuddenSupplyCollapseMidSprint(t *testing.T) {
+	f := newFacility(t, facilityOpts{})
+	rated := f.tree.DCBreaker.Rated
+	// Sprint normally for two minutes.
+	for i := 0; i < 120; i++ {
+		if res := f.ctl.Tick(2.0, time.Second); res.Tripped {
+			t.Fatalf("setup trip at %d", i)
+		}
+	}
+	// The grid collapses to 40% with no warning; the controller must shed
+	// the sprint rather than trip, and keep serving what it can.
+	for i := 0; i < 120; i++ {
+		res := f.ctl.TickInput(Input{Demand: 2.0, SupplyLimit: rated * 40 / 100}, time.Second)
+		if res.Tripped {
+			t.Fatalf("tripped at %d after supply collapse", i)
+		}
+		if res.Delivered < 1-1e-9 {
+			t.Fatalf("shed below normal capacity at %d: %v", i, res.Delivered)
+		}
+		if res.DCLoad > rated*40/100+1e-6 {
+			t.Fatalf("load %v exceeds the collapsed supply", res.DCLoad)
+		}
+	}
+}
+
+func TestDemandSpikeBeyondEverything(t *testing.T) {
+	// A pathological demand spike (10x) must be served at the chip
+	// ceiling without any safety violation.
+	f := newFacility(t, facilityOpts{})
+	res := f.ctl.Tick(10, time.Second)
+	if res.Tripped {
+		t.Fatal("tripped on a demand spike")
+	}
+	max := f.ctl.cfg.Server.MaxThroughput()
+	if res.Delivered > max {
+		t.Fatalf("delivered %v beyond the ceiling %v", res.Delivered, max)
+	}
+}
+
+func TestNegativeDemandIsSafe(t *testing.T) {
+	f := newFacility(t, facilityOpts{})
+	res := f.ctl.Tick(-1, time.Second)
+	if res.Tripped || res.Delivered != 0 {
+		t.Fatalf("negative demand: %+v", res)
+	}
+	if res.ActiveCores < 12 {
+		t.Fatalf("cores %d below normal", res.ActiveCores)
+	}
+}
+
+func TestGeneratorFailureToStart(t *testing.T) {
+	// Attach no generator but hit a curtailment the stores can bridge for
+	// a while: the controller uses them and degrades gracefully at the
+	// end rather than panicking.
+	f := newFacility(t, facilityOpts{})
+	rated := f.tree.DCBreaker.Rated
+	var died bool
+	for i := 0; i < 1200; i++ {
+		res := f.ctl.TickInput(Input{Demand: 0.9, SupplyLimit: rated * 25 / 100}, time.Second)
+		if res.Delivered < 0 {
+			t.Fatalf("negative delivery at %d", i)
+		}
+		if res.Dead {
+			died = true
+			break
+		}
+	}
+	if !died {
+		t.Fatal("a 75% curtailment with no generator should eventually exhaust the stores")
+	}
+}

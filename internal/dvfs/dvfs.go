@@ -1,0 +1,102 @@
+// Package dvfs implements the power-capping baseline the paper positions
+// itself against (§II): dynamic voltage and frequency scaling that keeps
+// power consumption under a cap by throttling — the opposite philosophy to
+// sprinting, which temporarily exceeds the limits.
+//
+// The model runs the server's normal cores at a frequency f in
+// [FloorFrequency, 1] (normalized to nominal). Throughput scales linearly
+// with f; dynamic core power scales with f^Exponent (cubic for classic
+// voltage-frequency scaling). Capping can therefore never serve demand
+// above 1.0 — it only degrades gracefully when the available power drops —
+// which is exactly the paper's argument: "power capping ... throttl[es]
+// their power when they need it the most".
+package dvfs
+
+import (
+	"fmt"
+	"math"
+
+	"dcsprint/internal/server"
+	"dcsprint/internal/units"
+)
+
+// Config describes a DVFS capping policy over a server model.
+type Config struct {
+	// Server is the underlying server model; capping runs its NormalCores
+	// only (the dark cores stay dark — no sprinting).
+	Server server.Config
+	// FloorFrequency is the lowest normalized frequency (default 0.3).
+	FloorFrequency float64
+	// Exponent is the dynamic-power exponent in P ∝ f^Exponent
+	// (default 3, classic cubic DVFS).
+	Exponent float64
+}
+
+// Default returns cubic DVFS over the paper's default server.
+func Default() Config {
+	return Config{Server: server.Default(), FloorFrequency: 0.3, Exponent: 3}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	if c.FloorFrequency <= 0 || c.FloorFrequency > 1 {
+		return fmt.Errorf("dvfs: floor frequency %v out of (0, 1]", c.FloorFrequency)
+	}
+	if c.Exponent < 1 {
+		return fmt.Errorf("dvfs: exponent %v below 1", c.Exponent)
+	}
+	return nil
+}
+
+// dynamicBudget is the full-frequency dynamic power of the normal cores.
+func (c Config) dynamicBudget() float64 {
+	return float64(c.Server.CorePower) * float64(c.Server.NormalCores)
+}
+
+// staticPower is the frequency-independent server power.
+func (c Config) staticPower() units.Watts {
+	return c.Server.NonCPUPower + c.Server.ChipIdlePower
+}
+
+// FrequencyForBudget returns the highest normalized frequency whose
+// full-utilization power fits the per-server budget, clamped to
+// [FloorFrequency, 1]. A budget below even the floor's power still returns
+// the floor — a server cannot throttle below its minimum operating point.
+func (c Config) FrequencyForBudget(budget units.Watts) float64 {
+	dyn := float64(budget - c.staticPower())
+	if dyn <= 0 {
+		return c.FloorFrequency
+	}
+	f := math.Pow(dyn/c.dynamicBudget(), 1/c.Exponent)
+	return units.Clamp(f, c.FloorFrequency, 1)
+}
+
+// Throttle serves the given normalized demand within a per-server power
+// budget. It returns the throughput delivered (<= min(demand, 1)) and the
+// power actually drawn (utilization below 1 spends proportionally less
+// dynamic power).
+func (c Config) Throttle(demand float64, budget units.Watts) (delivered float64, drawn units.Watts) {
+	if demand < 0 {
+		demand = 0
+	}
+	f := c.FrequencyForBudget(budget)
+	delivered = demand
+	if delivered > f {
+		delivered = f
+	}
+	util := 0.0
+	if f > 0 {
+		util = delivered / f
+	}
+	drawn = c.staticPower() + units.Watts(util*c.dynamicBudget()*math.Pow(f, c.Exponent))
+	return delivered, drawn
+}
+
+// PeakPower returns the per-server power at full frequency and utilization
+// (the capping baseline's maximum, 55 W with the defaults).
+func (c Config) PeakPower() units.Watts {
+	return c.staticPower() + units.Watts(c.dynamicBudget())
+}

@@ -1,0 +1,151 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcsprint/internal/units"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero floor", func(c *Config) { c.FloorFrequency = 0 }, false},
+		{"floor above 1", func(c *Config) { c.FloorFrequency = 1.5 }, false},
+		{"exponent below 1", func(c *Config) { c.Exponent = 0.5 }, false},
+		{"bad server", func(c *Config) { c.Server.TotalCores = 0 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestPeakPowerMatchesServerModel(t *testing.T) {
+	// At full frequency the capping server is exactly the paper's 55 W
+	// peak-normal server.
+	if got := Default().PeakPower(); got != 55 {
+		t.Fatalf("PeakPower = %v, want 55 W", got)
+	}
+}
+
+func TestFrequencyForBudget(t *testing.T) {
+	c := Default()
+	tests := []struct {
+		name   string
+		budget units.Watts
+		want   float64
+	}{
+		{"full budget", 55, 1},
+		{"over budget clamps", 100, 1},
+		{"no dynamic headroom", 25, c.FloorFrequency},
+		{"negative", -5, c.FloorFrequency},
+		// 25 static + 30 x f^3: budget 40 -> f = (15/30)^(1/3).
+		{"half dynamic", 40, math.Pow(0.5, 1.0/3.0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.FrequencyForBudget(tt.budget); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("FrequencyForBudget(%v) = %v, want %v", tt.budget, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestThrottleNeverExceedsCapacityOne(t *testing.T) {
+	c := Default()
+	// The paper's argument: capping cannot serve a burst.
+	delivered, drawn := c.Throttle(3.0, 55)
+	if delivered != 1 {
+		t.Fatalf("delivered = %v, want capped at 1", delivered)
+	}
+	if drawn != 55 {
+		t.Fatalf("drawn = %v, want 55", drawn)
+	}
+}
+
+func TestThrottleDegradesGracefully(t *testing.T) {
+	c := Default()
+	// 40 W budget: f ~ 0.794, so demand 1.0 is served at 0.794.
+	delivered, drawn := c.Throttle(1.0, 40)
+	if math.Abs(delivered-math.Pow(0.5, 1.0/3.0)) > 1e-12 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	if drawn > 40+1e-9 {
+		t.Fatalf("drawn %v exceeds the budget", drawn)
+	}
+	// Low demand under a tight budget draws less than the budget.
+	delivered, drawn = c.Throttle(0.2, 40)
+	if delivered != 0.2 {
+		t.Fatalf("low demand delivered = %v", delivered)
+	}
+	if drawn >= 40 {
+		t.Fatalf("under-utilized draw = %v, want below budget", drawn)
+	}
+}
+
+func TestThrottleNegativeDemand(t *testing.T) {
+	delivered, drawn := Default().Throttle(-1, 55)
+	if delivered != 0 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	if drawn != 25 {
+		t.Fatalf("idle draw = %v, want static 25 W", drawn)
+	}
+}
+
+// Property: delivered <= min(demand, 1); drawn <= max(budget, floor power);
+// drawn never below static power.
+func TestThrottleInvariantProperty(t *testing.T) {
+	c := Default()
+	floorPower := c.staticPower() + units.Watts(c.dynamicBudget()*math.Pow(c.FloorFrequency, c.Exponent))
+	f := func(demandRaw, budgetRaw uint16) bool {
+		demand := float64(demandRaw) / 10000 // 0 .. 6.5
+		budget := units.Watts(budgetRaw) / 100
+		delivered, drawn := c.Throttle(demand, budget)
+		if delivered > demand+1e-12 || delivered > 1+1e-12 {
+			return false
+		}
+		limit := budget
+		if limit < floorPower {
+			limit = floorPower
+		}
+		return drawn >= c.staticPower()-1e-9 && drawn <= limit+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more budget never delivers less.
+func TestThrottleMonotoneProperty(t *testing.T) {
+	c := Default()
+	f := func(a, b uint16) bool {
+		ba, bb := units.Watts(a)/100, units.Watts(b)/100
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		da, _ := c.Throttle(1.0, ba)
+		db, _ := c.Throttle(1.0, bb)
+		return da <= db+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

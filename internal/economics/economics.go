@@ -1,0 +1,223 @@
+// Package economics implements the paper's cost/revenue analysis of Data
+// Center Sprinting (§V-D, Fig 5): the amortized cost of provisioning
+// normally-dark cores against the revenue of serving bursts (avoided outage
+// loss) and of retaining customers (avoided permanent user loss).
+package economics
+
+import (
+	"fmt"
+	"math"
+
+	"dcsprint/internal/trace"
+)
+
+// MinutesPerMonth is the paper's 43,200-minute month.
+const MinutesPerMonth = 43200
+
+// Model holds the paper's economic parameters.
+type Model struct {
+	// CoreCost is the provisioning cost of one additional core, USD
+	// (paper: $40, after Shilov).
+	CoreCost float64
+	// AmortizationMonths spreads the core cost (paper: 48).
+	AmortizationMonths float64
+	// NormalCoresPerServer is the normally active core count used for the
+	// cost example (paper: 10, the Xeon 10-core of EC2 servers).
+	NormalCoresPerServer int
+	// Servers is the data-center size (paper: 18,750, the average of a
+	// small 12,500 and a large 25,000 facility).
+	Servers int
+	// OutagePerMinute is the revenue lost per minute of denied service
+	// (paper: $7,900, Ponemon Institute).
+	OutagePerMinute float64
+	// UserLossFraction is the fraction of users permanently lost to a
+	// slow/denied experience (paper: 0.002, the Google 0.4 s result).
+	UserLossFraction float64
+}
+
+// Default returns the paper's parameters.
+func Default() Model {
+	return Model{
+		CoreCost:             40,
+		AmortizationMonths:   48,
+		NormalCoresPerServer: 10,
+		Servers:              18750,
+		OutagePerMinute:      7900,
+		UserLossFraction:     0.002,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.CoreCost < 0 || m.OutagePerMinute < 0 {
+		return fmt.Errorf("economics: negative cost parameter")
+	}
+	if m.AmortizationMonths <= 0 {
+		return fmt.Errorf("economics: non-positive amortization %v", m.AmortizationMonths)
+	}
+	if m.NormalCoresPerServer <= 0 || m.Servers <= 0 {
+		return fmt.Errorf("economics: non-positive sizes")
+	}
+	if m.UserLossFraction < 0 || m.UserLossFraction > 1 {
+		return fmt.Errorf("economics: user loss fraction %v out of [0,1]", m.UserLossFraction)
+	}
+	return nil
+}
+
+// MonthlyCoreCost returns the per-month cost of provisioning the extra
+// cores for a maximum sprinting degree N: $CoreCost x normal x (N-1) per
+// server, amortized ($156,250 x (N-1) with the defaults).
+func (m Model) MonthlyCoreCost(maxDegree float64) float64 {
+	if maxDegree <= 1 {
+		return 0
+	}
+	perServer := m.CoreCost * float64(m.NormalCoresPerServer) * (maxDegree - 1) / m.AmortizationMonths
+	return perServer * float64(m.Servers)
+}
+
+// HandlingRevenue returns the monthly revenue of serving bursts that would
+// otherwise be denied: OutagePerMinute x L x (M-1) x K, where L is the burst
+// duration in minutes, M the average burst magnitude (normalized to the
+// no-sprinting capacity) and K the bursts per month. Magnitudes at or below
+// 1 need no sprinting and earn nothing.
+func (m Model) HandlingRevenue(burstMinutes, magnitude float64, burstsPerMonth int) float64 {
+	if magnitude <= 1 || burstMinutes <= 0 || burstsPerMonth <= 0 {
+		return 0
+	}
+	return m.OutagePerMinute * burstMinutes * (magnitude - 1) * float64(burstsPerMonth)
+}
+
+// MonthlyChurnLoss returns the revenue lost per month to permanently losing
+// the UserLossFraction of users ($682,560 with the defaults: $7,900 x
+// 43,200 x 0.2%).
+func (m Model) MonthlyChurnLoss() float64 {
+	return m.OutagePerMinute * MinutesPerMonth * m.UserLossFraction
+}
+
+// RetentionRevenue returns the monthly revenue of keeping the customers
+// whose requests bursts would otherwise drop: (churn loss / Ut) x
+// min(U0 x (M-1) x K, Ut). utOverU0 is Ut/U0, the total user base as a
+// multiple of the simultaneously-serviceable users.
+func (m Model) RetentionRevenue(magnitude float64, burstsPerMonth int, utOverU0 float64) float64 {
+	if magnitude <= 1 || burstsPerMonth <= 0 || utOverU0 <= 0 {
+		return 0
+	}
+	affected := (magnitude - 1) * float64(burstsPerMonth) / utOverU0
+	if affected > 1 {
+		affected = 1
+	}
+	return m.MonthlyChurnLoss() * affected
+}
+
+// MonthlyRevenue totals handling and retention revenue.
+func (m Model) MonthlyRevenue(burstMinutes, magnitude float64, burstsPerMonth int, utOverU0 float64) float64 {
+	return m.HandlingRevenue(burstMinutes, magnitude, burstsPerMonth) +
+		m.RetentionRevenue(magnitude, burstsPerMonth, utOverU0)
+}
+
+// Fig5Row is one x-axis point of Fig 5: the cost and the revenues for
+// bursts utilizing 50/75/100% of the additional cores.
+type Fig5Row struct {
+	// MaxDegree is N, the x-axis.
+	MaxDegree float64
+	// Cost is the monthly core-provisioning cost (curve "C").
+	Cost float64
+	// R50, R75, R100 are the monthly revenues for burst magnitudes that
+	// utilize 50%, 75% and 100% of the additional cores.
+	R50, R75, R100 float64
+}
+
+// Fig5 reproduces one panel of Fig 5 (a: utOverU0 = 4; b: utOverU0 = 6)
+// with the paper's stress-test workload: three 5-minute bursts per month.
+//
+// The Rxx curves fix the burst magnitude at xx% utilization of the largest
+// provisioning on the axis (the figure's N = 4): M50 = 2.5, M75 = 3.25,
+// M100 = 4. A facility provisioned with degree N serves min(M, N), so low
+// bursts leave large provisionings underutilized — the paper's observation
+// that "if the bursts are relatively low, the profit becomes less with more
+// additional cores".
+func Fig5(m Model, utOverU0 float64, degrees []float64) []Fig5Row {
+	const (
+		burstMinutes   = 5
+		burstsPerMonth = 3
+	)
+	maxN := 0.0
+	for _, n := range degrees {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	rows := make([]Fig5Row, 0, len(degrees))
+	for _, n := range degrees {
+		served := func(util float64) float64 {
+			return math.Min(1+util*(maxN-1), n)
+		}
+		rows = append(rows, Fig5Row{
+			MaxDegree: n,
+			Cost:      m.MonthlyCoreCost(n),
+			R50:       m.MonthlyRevenue(burstMinutes, served(0.50), burstsPerMonth, utOverU0),
+			R75:       m.MonthlyRevenue(burstMinutes, served(0.75), burstsPerMonth, utOverU0),
+			R100:      m.MonthlyRevenue(burstMinutes, served(1.00), burstsPerMonth, utOverU0),
+		})
+	}
+	return rows
+}
+
+// TraceRevenue estimates the monthly sprinting revenue of serving a
+// repeating daily traffic trace (the paper's Fig 1 example: ~$19M/month at
+// N = 4, Ut = 4 U0). The trace is in raw traffic units; capacity is the
+// traffic the facility serves without sprinting; maxThroughput caps what
+// sprinting can serve (the chip ceiling). Handling revenue accrues per
+// over-capacity minute in proportion to the extra demand served; retention
+// uses the mean burst magnitude and the count of burst episodes, scaled
+// from the trace span to a month.
+func TraceRevenue(m Model, day *trace.Series, capacity, maxThroughput, utOverU0 float64) float64 {
+	if capacity <= 0 || day.Len() == 0 {
+		return 0
+	}
+	minutes := day.Step.Minutes()
+	var handlingPerSpan float64
+	var burstEpisodes int
+	var burstMagSum float64
+	inBurst := false
+	for _, v := range day.Samples {
+		mag := v / capacity
+		if mag <= 1 {
+			inBurst = false
+			continue
+		}
+		if !inBurst {
+			burstEpisodes++
+			inBurst = true
+		}
+		served := math.Min(mag, maxThroughput)
+		handlingPerSpan += m.OutagePerMinute * (served - 1) * minutes
+		burstMagSum += mag
+	}
+	spanDays := day.Duration().Hours() / 24
+	if spanDays <= 0 {
+		return 0
+	}
+	monthly := handlingPerSpan * 30 / spanDays
+	if burstEpisodes > 0 {
+		// Approximate the per-episode magnitude with the mean over the
+		// over-capacity samples.
+		meanMag := burstMagSum / sampleCountAbove(day, capacity)
+		k := int(float64(burstEpisodes) * 30 / spanDays)
+		monthly += m.RetentionRevenue(meanMag, k, utOverU0)
+	}
+	return monthly
+}
+
+func sampleCountAbove(s *trace.Series, capacity float64) float64 {
+	n := 0
+	for _, v := range s.Samples {
+		if v/capacity > 1 {
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return float64(n)
+}

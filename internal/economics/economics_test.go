@@ -1,0 +1,173 @@
+package economics
+
+import (
+	"math"
+	"testing"
+
+	"dcsprint/internal/workload"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Model)
+		ok   bool
+	}{
+		{"default", func(m *Model) {}, true},
+		{"negative core cost", func(m *Model) { m.CoreCost = -1 }, false},
+		{"zero amortization", func(m *Model) { m.AmortizationMonths = 0 }, false},
+		{"zero servers", func(m *Model) { m.Servers = 0 }, false},
+		{"zero cores", func(m *Model) { m.NormalCoresPerServer = 0 }, false},
+		{"loss fraction above 1", func(m *Model) { m.UserLossFraction = 1.5 }, false},
+		{"negative outage", func(m *Model) { m.OutagePerMinute = -1 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := Default()
+			tt.mut(&m)
+			if err := m.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMonthlyCoreCostMatchesPaper(t *testing.T) {
+	// §V-D: "$40 x (10N - 10)/48 = $8.3(N-1)" per server, and
+	// "$8.3(N-1) x 18,750 = $156,250(N-1)" per data center.
+	m := Default()
+	tests := []struct {
+		n    float64
+		want float64
+	}{
+		{1, 0},
+		{2, 156250},
+		{4, 468750},
+		{0.5, 0}, // no extra cores
+	}
+	for _, tt := range tests {
+		if got := m.MonthlyCoreCost(tt.n); math.Abs(got-tt.want) > 1 {
+			t.Errorf("MonthlyCoreCost(%v) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestHandlingRevenueMatchesPaper(t *testing.T) {
+	// §V-D: "$7,900 x L x (M-1) x K".
+	m := Default()
+	if got := m.HandlingRevenue(5, 4, 3); math.Abs(got-355500) > 1 {
+		t.Fatalf("HandlingRevenue(5, 4, 3) = %v, want 355500", got)
+	}
+	if got := m.HandlingRevenue(5, 1, 3); got != 0 {
+		t.Fatalf("magnitude 1 revenue = %v, want 0 (sprinting not needed)", got)
+	}
+	if got := m.HandlingRevenue(0, 4, 3); got != 0 {
+		t.Fatalf("zero-duration revenue = %v", got)
+	}
+	if got := m.HandlingRevenue(5, 4, 0); got != 0 {
+		t.Fatalf("zero-burst revenue = %v", got)
+	}
+}
+
+func TestMonthlyChurnLossMatchesPaper(t *testing.T) {
+	// §V-D: "$7,900 x 43,200 x 0.2% = $682,560".
+	if got := Default().MonthlyChurnLoss(); math.Abs(got-682560) > 1 {
+		t.Fatalf("MonthlyChurnLoss = %v, want 682560", got)
+	}
+}
+
+func TestRetentionRevenue(t *testing.T) {
+	m := Default()
+	// N=4 bursts at full magnitude: (M-1)K = 9 affected-user units over
+	// Ut = 4 U0 -> saturates at the full churn loss.
+	if got := m.RetentionRevenue(4, 3, 4); math.Abs(got-682560) > 1 {
+		t.Fatalf("saturated retention = %v, want 682560", got)
+	}
+	// Low bursts: (1.5-1)x3/4 = 0.375 of the churn loss.
+	want := 682560 * 0.375
+	if got := m.RetentionRevenue(1.5, 3, 4); math.Abs(got-want) > 1 {
+		t.Fatalf("partial retention = %v, want %v", got, want)
+	}
+	// More users dilute the same burst impact (Fig 5b discussion).
+	if m.RetentionRevenue(1.5, 3, 6) >= m.RetentionRevenue(1.5, 3, 4) {
+		t.Fatal("larger user base did not dilute retention revenue")
+	}
+	if got := m.RetentionRevenue(1, 3, 4); got != 0 {
+		t.Fatalf("magnitude 1 retention = %v", got)
+	}
+}
+
+func TestFig5PaperAnchors(t *testing.T) {
+	// §V-D: with N=4 and Ut=4U0, full-magnitude bursts make "a monthly
+	// profit of more than $0.4 M".
+	rows := Fig5(Default(), 4, []float64{1, 2, 3, 4})
+	last := rows[len(rows)-1]
+	if last.MaxDegree != 4 {
+		t.Fatalf("last row degree = %v", last.MaxDegree)
+	}
+	profit := last.R100 - last.Cost
+	if profit < 400000 {
+		t.Fatalf("N=4 R100 profit = %v, want > $0.4M", profit)
+	}
+	// Low bursts (R50) get less profitable as N rises: the paper's "if
+	// the bursts are relatively low, the profit becomes less with more
+	// additional cores".
+	profitR50N2 := rows[1].R50 - rows[1].Cost
+	profitR50N4 := rows[3].R50 - rows[3].Cost
+	if profitR50N4 >= profitR50N2 {
+		t.Fatalf("R50 profit grew with N: N2 %v -> N4 %v", profitR50N2, profitR50N4)
+	}
+	// Costs are linear in N-1, revenues non-decreasing in N.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cost <= rows[i-1].Cost {
+			t.Fatal("cost not increasing in N")
+		}
+		if rows[i].R100 < rows[i-1].R100 {
+			t.Fatal("R100 decreasing in N")
+		}
+	}
+}
+
+func TestFig5LargerUserBase(t *testing.T) {
+	a := Fig5(Default(), 4, []float64{4})
+	b := Fig5(Default(), 6, []float64{4})
+	// Fig 5(b): "the extra revenue due to reducing customer loss may
+	// become less" with more users — for magnitudes that do not saturate.
+	if b[0].R50 > a[0].R50 {
+		t.Fatalf("R50 with Ut=6U0 (%v) above Ut=4U0 (%v)", b[0].R50, a[0].R50)
+	}
+}
+
+func TestTraceRevenueFig1Example(t *testing.T) {
+	// §V-D: the Fig 1 workload repeated for a month, capacity 4 GB/s,
+	// N=4, Ut=4U0 yields roughly $19M of monthly sprinting revenue. Our
+	// synthetic day differs from the original, so assert the order of
+	// magnitude.
+	day := workload.SyntheticMSDay(3)
+	got := TraceRevenue(Default(), day, 4, 3.48*1.15, 4)
+	if got < 3e6 || got > 6e7 {
+		t.Fatalf("TraceRevenue = %v, want O($10M)", got)
+	}
+	// Sprinting revenue dwarfs the N=4 core cost — the paper's central
+	// profitability claim.
+	if cost := Default().MonthlyCoreCost(4); got < 5*cost {
+		t.Fatalf("revenue %v not >> cost %v", got, cost)
+	}
+}
+
+func TestTraceRevenueEdgeCases(t *testing.T) {
+	day := workload.SyntheticMSDay(3)
+	if got := TraceRevenue(Default(), day, 0, 4, 4); got != 0 {
+		t.Errorf("zero capacity revenue = %v", got)
+	}
+	// Capacity far above the peak: no bursts, no revenue.
+	if got := TraceRevenue(Default(), day, 1000, 4, 4); got != 0 {
+		t.Errorf("no-burst revenue = %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package genset models the diesel generator of §III-B: when utility power
+// fails, the UPS carries the facility for the tens of seconds the generator
+// needs to crank, and the generator then carries the load until the grid
+// returns. Data Center Sprinting assumes this machinery exists — it is why
+// the batteries are provisioned generously enough to be borrowed for
+// sprinting — so the simulator models it to exercise the controller's
+// supply-emergency path.
+package genset
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/units"
+)
+
+// Config sizes a generator set.
+type Config struct {
+	// Capacity is the rated electrical output.
+	Capacity units.Watts
+	// StartDelay is the cranking + transfer time with zero output
+	// (paper: "the startup of diesel generator usually takes tens of
+	// seconds").
+	StartDelay time.Duration
+	// RampTime is how long output takes to climb from zero to Capacity
+	// after the start delay. Zero means an instant step.
+	RampTime time.Duration
+}
+
+// Default returns a generator able to carry the given facility load with a
+// 45-second start and a 15-second ramp.
+func Default(facilityLoad units.Watts) Config {
+	return Config{
+		Capacity:   facilityLoad,
+		StartDelay: 45 * time.Second,
+		RampTime:   15 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("genset: non-positive capacity %v", c.Capacity)
+	}
+	if c.StartDelay < 0 || c.RampTime < 0 {
+		return fmt.Errorf("genset: negative timing")
+	}
+	return nil
+}
+
+// Generator is a startable on-site source. The zero value is unusable;
+// construct with New.
+type Generator struct {
+	cfg        Config
+	started    bool
+	sinceStart time.Duration
+}
+
+// New returns a stopped generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// RequestStart begins the start sequence; a no-op if already started.
+func (g *Generator) RequestStart() {
+	g.started = true
+}
+
+// Stop shuts the generator down immediately (grid restored).
+func (g *Generator) Stop() {
+	g.started = false
+	g.sinceStart = 0
+}
+
+// Started reports whether a start has been requested (the set may still be
+// cranking).
+func (g *Generator) Started() bool { return g.started }
+
+// Online reports whether the generator is producing any power.
+func (g *Generator) Online() bool {
+	return g.started && g.sinceStart >= g.cfg.StartDelay
+}
+
+// Available returns the output the generator can sustain over the next dt,
+// given its start/ramp state. It does not advance time.
+func (g *Generator) Available(dt time.Duration) units.Watts {
+	if !g.started || dt <= 0 {
+		return 0
+	}
+	at := g.sinceStart
+	if at < g.cfg.StartDelay {
+		return 0
+	}
+	if g.cfg.RampTime <= 0 {
+		return g.cfg.Capacity
+	}
+	ramp := float64(at-g.cfg.StartDelay) / float64(g.cfg.RampTime)
+	if ramp >= 1 {
+		return g.cfg.Capacity
+	}
+	return units.Watts(ramp * float64(g.cfg.Capacity))
+}
+
+// Step delivers up to the requested power for dt and advances the
+// generator's clock. It returns the power actually delivered.
+func (g *Generator) Step(request units.Watts, dt time.Duration) units.Watts {
+	if dt <= 0 {
+		return 0
+	}
+	avail := g.Available(dt)
+	if g.started {
+		g.sinceStart += dt
+	}
+	if request <= 0 {
+		return 0
+	}
+	if request > avail {
+		return avail
+	}
+	return request
+}

@@ -1,0 +1,157 @@
+package genset
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcsprint/internal/units"
+)
+
+func newGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", Default(100000), true},
+		{"zero capacity", Config{Capacity: 0}, false},
+		{"negative delay", Config{Capacity: 1, StartDelay: -time.Second}, false},
+		{"negative ramp", Config{Capacity: 1, RampTime: -time.Second}, false},
+		{"instant", Config{Capacity: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestStartSequence(t *testing.T) {
+	g := newGen(t, Config{Capacity: 1000, StartDelay: 30 * time.Second, RampTime: 10 * time.Second})
+	if g.Started() || g.Online() {
+		t.Fatal("fresh generator is started")
+	}
+	if got := g.Step(500, time.Second); got != 0 {
+		t.Fatalf("stopped generator delivered %v", got)
+	}
+	g.RequestStart()
+	if !g.Started() {
+		t.Fatal("RequestStart did not latch")
+	}
+	// Cranking: no output for the first 30 s.
+	for i := 0; i < 30; i++ {
+		if got := g.Step(500, time.Second); got != 0 {
+			t.Fatalf("output %v at %d s, still cranking", got, i)
+		}
+	}
+	if !g.Online() {
+		t.Fatal("not online after the start delay")
+	}
+	// Ramping: output climbs over 10 s.
+	var prev units.Watts
+	sawPartial := false
+	for i := 0; i < 10; i++ {
+		got := g.Step(1000, time.Second)
+		if got < prev {
+			t.Fatalf("ramp not monotone at %d: %v < %v", i, got, prev)
+		}
+		if got > 0 && got < 1000 {
+			sawPartial = true
+		}
+		prev = got
+	}
+	if !sawPartial {
+		t.Fatal("ramp never produced partial output")
+	}
+	// Full output thereafter, capped by the request.
+	if got := g.Step(1000, time.Second); got != 1000 {
+		t.Fatalf("full output = %v", got)
+	}
+	if got := g.Step(400, time.Second); got != 400 {
+		t.Fatalf("partial request = %v", got)
+	}
+	if got := g.Step(5000, time.Second); got != 1000 {
+		t.Fatalf("over-request = %v, want capacity", got)
+	}
+}
+
+func TestStopResets(t *testing.T) {
+	g := newGen(t, Config{Capacity: 1000, StartDelay: time.Second})
+	g.RequestStart()
+	g.Step(0, 2*time.Second)
+	if !g.Online() {
+		t.Fatal("setup: generator should be online")
+	}
+	g.Stop()
+	if g.Started() || g.Online() {
+		t.Fatal("Stop did not reset")
+	}
+	// A restart cranks again from zero.
+	g.RequestStart()
+	if got := g.Available(time.Second); got != 0 {
+		t.Fatalf("restart skipped the crank: %v", got)
+	}
+}
+
+func TestInstantRamp(t *testing.T) {
+	g := newGen(t, Config{Capacity: 800, StartDelay: 2 * time.Second})
+	g.RequestStart()
+	g.Step(0, 2*time.Second)
+	if got := g.Available(time.Second); got != 800 {
+		t.Fatalf("instant-ramp output = %v, want 800", got)
+	}
+}
+
+func TestStepEdgeCases(t *testing.T) {
+	g := newGen(t, Config{Capacity: 100, StartDelay: 0})
+	g.RequestStart()
+	if got := g.Step(50, 0); got != 0 {
+		t.Fatalf("zero dt delivered %v", got)
+	}
+	if got := g.Step(-5, time.Second); got != 0 {
+		t.Fatalf("negative request delivered %v", got)
+	}
+	if got := g.Available(0); got != 0 {
+		t.Fatalf("Available(0) = %v", got)
+	}
+}
+
+// Property: delivered power never exceeds the request or the capacity, and
+// is zero before the start delay elapses.
+func TestGeneratorInvariantProperty(t *testing.T) {
+	f := func(reqs []uint16, delaySecs uint8) bool {
+		cfg := Config{Capacity: 1000, StartDelay: time.Duration(delaySecs) * time.Second, RampTime: 5 * time.Second}
+		g, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		g.RequestStart()
+		elapsed := time.Duration(0)
+		for _, r := range reqs {
+			got := g.Step(units.Watts(r), time.Second)
+			if got > units.Watts(r) || got > cfg.Capacity {
+				return false
+			}
+			if elapsed < cfg.StartDelay && got != 0 {
+				return false
+			}
+			elapsed += time.Second
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

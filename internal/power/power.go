@@ -1,0 +1,228 @@
+// Package power assembles the data-center power-delivery tree the sprinting
+// controller manages: a utility feed protected by the DC-level (substation)
+// breaker, fanning out to PDUs — each protected by its own breaker and
+// backed by the aggregated distributed UPS of its server group — plus the
+// cooling plant tapped at the DC level.
+//
+// Per the paper's setup (§VI-A): each PDU feeds 200 servers and its breaker
+// is rated at the NEC 25% headroom over the group's peak normal power
+// (55 W x 200 x 1.25 = 13.75 kW); the DC-level breaker is rated at the
+// facility's peak normal total power (IT x PUE) times 1 + headroom, where
+// the headroom is below the NEC 25% because the facility is
+// under-provisioned (default 10%, swept 0-20%).
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/units"
+	"dcsprint/internal/ups"
+)
+
+// Config sizes a power-delivery tree.
+type Config struct {
+	// Servers is the total server count. It must be a multiple of
+	// ServersPerPDU.
+	Servers int
+	// ServersPerPDU is the PDU group size (paper: 200).
+	ServersPerPDU int
+	// ServerPeakNormal is the per-server peak power without sprinting.
+	ServerPeakNormal units.Watts
+	// PDUHeadroom is the NEC provisioning headroom of PDU breakers
+	// (paper: 0.25).
+	PDUHeadroom float64
+	// DCHeadroom is the under-provisioned facility headroom of the
+	// DC-level breaker over peak normal total power (paper default 0.10).
+	DCHeadroom float64
+	// PUE converts IT power to total power for DC-level sizing.
+	PUE float64
+	// Curve is the breaker trip characteristic for every breaker.
+	Curve breaker.TripCurve
+	// Battery is the per-server UPS battery.
+	Battery ups.BatteryConfig
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Servers <= 0 || c.ServersPerPDU <= 0 {
+		return fmt.Errorf("power: non-positive server counts (%d, %d)", c.Servers, c.ServersPerPDU)
+	}
+	if c.Servers%c.ServersPerPDU != 0 {
+		return fmt.Errorf("power: servers %d not a multiple of PDU size %d", c.Servers, c.ServersPerPDU)
+	}
+	if c.ServerPeakNormal <= 0 {
+		return fmt.Errorf("power: non-positive server peak power %v", c.ServerPeakNormal)
+	}
+	if c.PDUHeadroom < 0 || c.DCHeadroom < 0 {
+		return fmt.Errorf("power: negative headroom")
+	}
+	if c.PUE < 1 {
+		return fmt.Errorf("power: PUE %v below 1", c.PUE)
+	}
+	if err := c.Curve.Validate(); err != nil {
+		return err
+	}
+	return c.Battery.Validate()
+}
+
+// PDU is one power distribution unit: a breaker feeding a server group,
+// with the group's aggregated distributed UPS.
+type PDU struct {
+	// Breaker protects the PDU feed.
+	Breaker *breaker.Breaker
+	// UPS is the aggregated battery of the group's servers.
+	UPS *ups.Battery
+	// Servers is the group size.
+	Servers int
+}
+
+// Tree is the assembled power-delivery hierarchy.
+type Tree struct {
+	// DCBreaker protects the substation-level feed (servers + cooling).
+	DCBreaker *breaker.Breaker
+	// PDUs are the distribution units.
+	PDUs []*PDU
+
+	cfg Config
+}
+
+// New builds the tree: one breaker per PDU, one aggregated UPS per PDU
+// group, and the DC-level breaker sized from the headroom and PUE.
+func New(cfg Config) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nPDU := cfg.Servers / cfg.ServersPerPDU
+	pduRated := cfg.ServerPeakNormal * units.Watts(float64(cfg.ServersPerPDU)*(1+cfg.PDUHeadroom))
+	dcRated := units.Watts(float64(cfg.ServerPeakNormal) * float64(cfg.Servers) * cfg.PUE * (1 + cfg.DCHeadroom))
+
+	dcb, err := breaker.New("dc", dcRated, cfg.Curve)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{DCBreaker: dcb, PDUs: make([]*PDU, 0, nPDU), cfg: cfg}
+	for i := 0; i < nPDU; i++ {
+		b, err := breaker.New(fmt.Sprintf("pdu-%d", i), pduRated, cfg.Curve)
+		if err != nil {
+			return nil, err
+		}
+		batt, err := ups.NewGroup(cfg.ServersPerPDU, cfg.Battery)
+		if err != nil {
+			return nil, err
+		}
+		t.PDUs = append(t.PDUs, &PDU{Breaker: b, UPS: batt, Servers: cfg.ServersPerPDU})
+	}
+	return t, nil
+}
+
+// Config returns the sizing configuration the tree was built with.
+func (t *Tree) Config() Config { return t.cfg }
+
+// PeakNormalIT returns the facility's peak IT power without sprinting.
+func (t *Tree) PeakNormalIT() units.Watts {
+	return t.cfg.ServerPeakNormal * units.Watts(t.cfg.Servers)
+}
+
+// Flow is one tick's power assignment, produced by the controller.
+type Flow struct {
+	// PDUServer is the total server power drawn in each PDU group.
+	PDUServer []units.Watts
+	// PDUUPS is the battery-supplied share of each group's server power;
+	// it never exceeds the group's server power.
+	PDUUPS []units.Watts
+	// Cooling is the cooling-plant power, fed at the DC level.
+	Cooling units.Watts
+}
+
+// PDULoad returns the power the i-th PDU breaker carries under the flow.
+func (f Flow) PDULoad(i int) units.Watts {
+	load := f.PDUServer[i] - f.PDUUPS[i]
+	if load < 0 {
+		return 0
+	}
+	return load
+}
+
+// DCLoad returns the power the DC-level breaker carries under the flow:
+// every PDU draw plus cooling. Battery-supplied power bypasses both breaker
+// levels (the batteries sit at the servers).
+func (f Flow) DCLoad() units.Watts {
+	var total units.Watts
+	for i := range f.PDUServer {
+		total += f.PDULoad(i)
+	}
+	return total + f.Cooling
+}
+
+// Step advances every breaker one tick under the given flow and discharges
+// the group batteries by their assigned share. It returns the first breaker
+// trip encountered (PDU breakers are checked before the DC breaker, as a
+// PDU trip blacks out its group first in a real facility).
+func (t *Tree) Step(f Flow, dt time.Duration) error {
+	if len(f.PDUServer) != len(t.PDUs) || len(f.PDUUPS) != len(t.PDUs) {
+		return fmt.Errorf("power: flow width %d/%d, want %d", len(f.PDUServer), len(f.PDUUPS), len(t.PDUs))
+	}
+	var firstErr error
+	for i, p := range t.PDUs {
+		delivered := p.UPS.Discharge(f.PDUUPS[i], dt)
+		// Any shortfall the battery could not deliver falls back on the
+		// PDU feed: the servers draw it regardless.
+		shortfall := f.PDUUPS[i] - delivered
+		if shortfall < 0 {
+			shortfall = 0
+		}
+		load := f.PDULoad(i) + shortfall
+		if err := p.Breaker.Step(load, dt); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := t.DCBreaker.Step(f.DCLoad(), dt); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Tripped reports whether any breaker in the tree has opened.
+func (t *Tree) Tripped() bool {
+	if t.DCBreaker.Tripped() {
+		return true
+	}
+	for _, p := range t.PDUs {
+		if p.Breaker.Tripped() {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset closes every breaker and clears thermal state (experiment reuse).
+func (t *Tree) Reset() {
+	t.DCBreaker.Reset()
+	for _, p := range t.PDUs {
+		p.Breaker.Reset()
+	}
+}
+
+// StoredUPSEnergy returns the total deliverable battery energy remaining.
+func (t *Tree) StoredUPSEnergy() units.Joules {
+	var total units.Joules
+	for _, p := range t.PDUs {
+		total += p.UPS.Available()
+	}
+	return total
+}
+
+// UPSSoC returns the fleet-aggregate battery state of charge in [0, 1].
+func (t *Tree) UPSSoC() float64 {
+	var stored, total units.Joules
+	for _, p := range t.PDUs {
+		stored += p.UPS.Stored()
+		total += p.UPS.TotalEnergy()
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(stored) / float64(total)
+}

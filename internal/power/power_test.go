@@ -1,0 +1,261 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/units"
+	"dcsprint/internal/ups"
+)
+
+func testConfig() Config {
+	return Config{
+		Servers:          1000,
+		ServersPerPDU:    200,
+		ServerPeakNormal: 55,
+		PDUHeadroom:      0.25,
+		DCHeadroom:       0.10,
+		PUE:              1.53,
+		Curve:            breaker.Bulletin1489A(),
+		Battery:          ups.DefaultServerBattery(),
+	}
+}
+
+func newTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tree, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tree
+}
+
+func TestPaperSizing(t *testing.T) {
+	tree := newTree(t, testConfig())
+	if got := len(tree.PDUs); got != 5 {
+		t.Fatalf("PDU count = %d, want 5", got)
+	}
+	// §VI-A: PDU breaker rated 55 W x 200 x 1.25 = 13.75 kW.
+	if got := tree.PDUs[0].Breaker.Rated; got != 13750 {
+		t.Fatalf("PDU rating = %v, want 13.75 kW", got)
+	}
+	// DC breaker: 55 kW IT x 1.53 PUE x 1.10 headroom.
+	want := units.Watts(55 * 1000 * 1.53 * 1.10)
+	if got := tree.DCBreaker.Rated; math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("DC rating = %v, want %v", got, want)
+	}
+	if got := tree.PeakNormalIT(); got != 55000 {
+		t.Fatalf("PeakNormalIT = %v, want 55 kW", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero servers", func(c *Config) { c.Servers = 0 }, false},
+		{"zero group", func(c *Config) { c.ServersPerPDU = 0 }, false},
+		{"non-multiple", func(c *Config) { c.Servers = 1001 }, false},
+		{"zero server power", func(c *Config) { c.ServerPeakNormal = 0 }, false},
+		{"negative PDU headroom", func(c *Config) { c.PDUHeadroom = -0.1 }, false},
+		{"negative DC headroom", func(c *Config) { c.DCHeadroom = -0.1 }, false},
+		{"zero DC headroom ok", func(c *Config) { c.DCHeadroom = 0 }, true},
+		{"PUE below 1", func(c *Config) { c.PUE = 0.8 }, false},
+		{"bad curve", func(c *Config) { c.Curve = breaker.TripCurve{} }, false},
+		{"bad battery", func(c *Config) { c.Battery = ups.BatteryConfig{} }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mut(&cfg)
+			_, err := New(cfg)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func uniformFlow(tree *Tree, perPDU, upsPerPDU, cooling units.Watts) Flow {
+	n := len(tree.PDUs)
+	f := Flow{
+		PDUServer: make([]units.Watts, n),
+		PDUUPS:    make([]units.Watts, n),
+		Cooling:   cooling,
+	}
+	for i := range f.PDUServer {
+		f.PDUServer[i] = perPDU
+		f.PDUUPS[i] = upsPerPDU
+	}
+	return f
+}
+
+func TestFlowLoads(t *testing.T) {
+	tree := newTree(t, testConfig())
+	f := uniformFlow(tree, 11000, 2000, 30000)
+	if got := f.PDULoad(0); got != 9000 {
+		t.Fatalf("PDULoad = %v, want 9000", got)
+	}
+	if got := f.DCLoad(); got != 5*9000+30000 {
+		t.Fatalf("DCLoad = %v, want 75000", got)
+	}
+	// UPS covering more than the group draw cannot push power upstream.
+	f2 := uniformFlow(tree, 1000, 5000, 0)
+	if got := f2.PDULoad(0); got != 0 {
+		t.Fatalf("over-covered PDULoad = %v, want 0", got)
+	}
+}
+
+func TestStepNormalOperation(t *testing.T) {
+	tree := newTree(t, testConfig())
+	// Peak normal: 11 kW per PDU group plus cooling 55 kW x (PUE-1).
+	f := uniformFlow(tree, 11000, 0, 29150)
+	for i := 0; i < 600; i++ {
+		if err := tree.Step(f, time.Second); err != nil {
+			t.Fatalf("trip at peak normal load after %d s: %v", i, err)
+		}
+	}
+	if tree.Tripped() {
+		t.Fatal("tree tripped at peak normal load")
+	}
+}
+
+func TestStepPDUTripsOnSustainedOverload(t *testing.T) {
+	tree := newTree(t, testConfig())
+	// 60% overload on each PDU breaker (13.75 kW x 1.6 = 22 kW), cooling
+	// low so the DC breaker stays under its rating.
+	f := uniformFlow(tree, 22000, 0, 0)
+	var err error
+	secs := 0
+	for ; secs < 300; secs++ {
+		if err = tree.Step(f, time.Second); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, breaker.ErrTripped) {
+		t.Fatalf("no trip: %v", err)
+	}
+	if secs < 55 || secs > 65 {
+		t.Fatalf("tripped after %d s, want ~60", secs)
+	}
+	if !tree.Tripped() {
+		t.Fatal("Tripped() = false")
+	}
+}
+
+func TestUPSReducesPDULoad(t *testing.T) {
+	tree := newTree(t, testConfig())
+	// 22 kW server draw per group with 9 kW on battery: PDU load 13 kW,
+	// under the 13.75 kW rating — no trip, batteries drain.
+	f := uniformFlow(tree, 22000, 9000, 0)
+	start := tree.StoredUPSEnergy()
+	for i := 0; i < 60; i++ {
+		if err := tree.Step(f, time.Second); err != nil {
+			t.Fatalf("tripped despite UPS support: %v", err)
+		}
+	}
+	drained := start - tree.StoredUPSEnergy()
+	// 5 groups x 9 kW x 60 s = 2.7 MJ delivered (more drained with loss).
+	if drained < units.Joules(2.7e6) {
+		t.Fatalf("UPS drained %v, want >= 2.7 MJ", drained)
+	}
+}
+
+func TestUPSShortfallFallsBackToPDU(t *testing.T) {
+	cfg := testConfig()
+	tree := newTree(t, cfg)
+	// Drain the batteries completely first.
+	f := uniformFlow(tree, 22000, 100000, 0)
+	for tree.StoredUPSEnergy() > 0 {
+		_ = tree.Step(f, time.Second)
+		if tree.Tripped() {
+			break
+		}
+	}
+	tree.Reset()
+	// Now ask the empty batteries for 9 kW: the full 22 kW lands on the
+	// PDU breakers (60% overload) and they trip in ~a minute.
+	var err error
+	secs := 0
+	for ; secs < 300; secs++ {
+		if err = tree.Step(f, time.Second); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, breaker.ErrTripped) {
+		t.Fatal("empty UPS did not push the load back onto the PDU")
+	}
+	if secs > 70 {
+		t.Fatalf("tripped after %d s, want ~60 (full load on PDU)", secs)
+	}
+}
+
+func TestStepFlowWidthMismatch(t *testing.T) {
+	tree := newTree(t, testConfig())
+	f := Flow{PDUServer: make([]units.Watts, 2), PDUUPS: make([]units.Watts, 2)}
+	if err := tree.Step(f, time.Second); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestDCBreakerSeesCooling(t *testing.T) {
+	tree := newTree(t, testConfig())
+	// Server load at peak normal, cooling pushed far beyond the DC
+	// rating's headroom: only the DC breaker is overloaded.
+	f := uniformFlow(tree, 11000, 0, 60000)
+	var tripped error
+	secs := 0
+	for ; secs < 600; secs++ {
+		if tripped = tree.Step(f, time.Second); tripped != nil {
+			break
+		}
+	}
+	if tripped == nil {
+		t.Fatal("DC breaker never tripped")
+	}
+	if !tree.DCBreaker.Tripped() {
+		t.Fatal("trip was not the DC breaker")
+	}
+	for _, p := range tree.PDUs {
+		if p.Breaker.Tripped() {
+			t.Fatal("PDU breaker tripped unexpectedly")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tree := newTree(t, testConfig())
+	f := uniformFlow(tree, 80000, 0, 0) // magnetic trip on PDUs
+	_ = tree.Step(f, time.Second)
+	if !tree.Tripped() {
+		t.Fatal("setup: expected trip")
+	}
+	tree.Reset()
+	if tree.Tripped() {
+		t.Fatal("Reset left breakers tripped")
+	}
+}
+
+func TestUPSSoC(t *testing.T) {
+	tree := newTree(t, testConfig())
+	if got := tree.UPSSoC(); got != 1 {
+		t.Fatalf("fresh SoC = %v, want 1", got)
+	}
+	// Drain every group to half charge (respecting the power limit).
+	for _, p := range tree.PDUs {
+		for p.UPS.SoC() > 0.5 {
+			if p.UPS.Discharge(p.UPS.MaxOutput(time.Second), time.Second) == 0 {
+				break
+			}
+		}
+	}
+	if got := tree.UPSSoC(); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("half SoC = %v, want ~0.5", got)
+	}
+}

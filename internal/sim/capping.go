@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/dvfs"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/units"
+)
+
+// CappingResult is the outcome of a DVFS power-capping baseline run.
+type CappingResult struct {
+	// Required and Achieved are the demand and delivered series.
+	Required, Achieved *trace.Series
+	// AvgBurstPerformance is the mean achieved performance over the
+	// over-capacity ticks (capping cannot exceed 1.0, so this is at most
+	// 1 and below 1 when the supply also sags).
+	AvgBurstPerformance float64
+	// MinPerformance is the worst achieved/required ratio of the run
+	// (requests served over requests offered, capped at 1) — the
+	// interesting quantity during a supply emergency.
+	MinPerformance float64
+	// ITPowerPeak is the highest total server power drawn.
+	ITPowerPeak units.Watts
+}
+
+// RunCapping drives the DVFS power-capping baseline (§II's related work)
+// over the same facility envelope as Run: the servers never exceed the
+// power cap implied by the DC rating and the per-tick supply limit, and
+// they throttle frequency when the cap forces them to. No UPS, TES or
+// breaker overload is used — capping's whole point is to stay within the
+// limits.
+func RunCapping(sc Scenario) (*CappingResult, error) {
+	if err := sc.normalize(); err != nil {
+		return nil, err
+	}
+	cfg := dvfs.Config{Server: sc.Server, FloorFrequency: 0.3, Exponent: 3}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	servers := float64(sc.Servers)
+	// The facility cap: the DC breaker rating, shared between IT and
+	// cooling. Cooling scales with IT power through the PUE, so the IT
+	// budget is the cap divided by the PUE.
+	dcRated := sc.Server.PeakNormalPower() * units.Watts(servers*sc.PUE*(1+sc.DCHeadroom))
+
+	n := sc.Trace.Len()
+	step := sc.Trace.Step
+	achieved := make([]float64, n)
+	res := &CappingResult{MinPerformance: 1}
+	var burstTicks int
+	var burstSum float64
+	for i := 0; i < n; i++ {
+		demand := sc.Trace.Samples[i]
+		cap := dcRated
+		if sc.Supply != nil {
+			frac := sc.Supply.At(time.Duration(i) * step)
+			if limited := units.Watts(frac) * dcRated; limited < cap {
+				cap = limited
+			}
+		}
+		perServer := units.Watts(float64(cap) / sc.PUE / servers)
+		delivered, drawn := cfg.Throttle(demand, perServer)
+		achieved[i] = delivered
+		if total := drawn * units.Watts(servers); total > res.ITPowerPeak {
+			res.ITPowerPeak = total
+		}
+		if demand > 0 {
+			ratio := delivered / demand
+			if ratio > 1 {
+				ratio = 1
+			}
+			if ratio < res.MinPerformance {
+				res.MinPerformance = ratio
+			}
+		}
+		if demand > 1 {
+			burstTicks++
+			burstSum += delivered
+		}
+	}
+	if burstTicks > 0 {
+		res.AvgBurstPerformance = burstSum / float64(burstTicks)
+	}
+	var err error
+	res.Required = sc.Trace.Clone()
+	res.Achieved, err = trace.New(step, achieved)
+	if err != nil {
+		return nil, fmt.Errorf("sim: capping series: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/core"
+	"dcsprint/internal/trace"
+)
+
+// OracleResult is the outcome of an Oracle exhaustive search.
+type OracleResult struct {
+	// Bound is the optimal constant sprinting-degree upper bound.
+	Bound float64
+	// Result is the run achieved at that bound.
+	Result *Result
+}
+
+// OracleSearch implements the paper's Oracle strategy (§V-A): with perfect
+// knowledge of the burst (the full trace), it exhaustively tries every
+// constant sprinting-degree upper bound the chip can realize (one per
+// activatable core count) and returns the one maximizing the average burst
+// performance. Candidates run in parallel.
+func OracleSearch(sc Scenario) (*OracleResult, error) {
+	if err := sc.normalize(); err != nil {
+		return nil, err
+	}
+	srv := sc.Server
+	bounds := make([]float64, 0, srv.TotalCores-srv.NormalCores+1)
+	for n := srv.NormalCores; n <= srv.TotalCores; n++ {
+		bounds = append(bounds, srv.Degree(n))
+	}
+	results, err := Parallel(bounds, func(b float64) (*Result, error) {
+		c := sc // copy
+		c.Strategy = core.FixedBound{Bound: b}
+		return Run(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := -1
+	for i, r := range results {
+		if best < 0 || r.AvgBurstPerformance > results[best].AvgBurstPerformance {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("sim: oracle search over no candidates")
+	}
+	return &OracleResult{Bound: bounds[best], Result: results[best]}, nil
+}
+
+// TraceMaker builds a demand trace for a parametric burst, used to populate
+// the bound table (e.g. the Yahoo generator with a fixed seed).
+type TraceMaker func(degree float64, duration time.Duration) *trace.Series
+
+// BuildBoundTable populates the Prediction strategy's lookup table by
+// running an Oracle search for every (duration, degree) grid cell.
+func BuildBoundTable(base Scenario, mk TraceMaker, durations []time.Duration, degrees []float64) (*core.BoundTable, error) {
+	type cell struct{ i, j int }
+	cells := make([]cell, 0, len(durations)*len(degrees))
+	for i := range durations {
+		for j := range degrees {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	vals, err := Parallel(cells, func(c cell) (float64, error) {
+		sc := base
+		sc.Trace = mk(degrees[c.j], durations[c.i])
+		or, err := OracleSearch(sc)
+		if err != nil {
+			return 0, err
+		}
+		return or.Bound, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bounds := make([][]float64, len(durations))
+	for i := range bounds {
+		bounds[i] = make([]float64, len(degrees))
+	}
+	for k, c := range cells {
+		bounds[c.i][c.j] = vals[k]
+	}
+	return core.NewBoundTable(durations, degrees, bounds)
+}

@@ -1,0 +1,383 @@
+// Package sim runs Data Center Sprinting experiments: it assembles a
+// facility from a scenario description, drives the controller with a demand
+// trace one second at a time, and reports the paper's metrics — achieved
+// versus required performance, the improvement factor over no-sprinting,
+// phase timelines, breaker trips and the additional-energy split.
+//
+// It also provides the Oracle of §V-A: an exhaustive search over constant
+// sprinting-degree bounds with perfect knowledge of the burst, and the
+// Oracle-built bound table the Prediction strategy consumes.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/chip"
+	"dcsprint/internal/cooling"
+	"dcsprint/internal/core"
+	"dcsprint/internal/genset"
+	"dcsprint/internal/power"
+	"dcsprint/internal/server"
+	"dcsprint/internal/tes"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/units"
+	"dcsprint/internal/ups"
+)
+
+// Scenario describes one simulation run. Zero fields take the paper's
+// defaults (§VI-A).
+type Scenario struct {
+	// Name labels the run in output.
+	Name string
+	// Trace is the normalized demand trace (1.0 = no-sprinting capacity).
+	Trace *trace.Series
+	// Strategy bounds the sprinting degree. Nil means Greedy.
+	Strategy core.Strategy
+	// Uncontrolled runs the Fig 8(a) baseline instead of the controller.
+	Uncontrolled bool
+	// NoTES removes the TES tank (ablation).
+	NoTES bool
+	// Servers is the facility size. Zero means DefaultServers.
+	Servers int
+	// ServersPerPDU is the PDU group size. Zero means 200.
+	ServersPerPDU int
+	// DCHeadroom is the under-provisioned facility headroom. Zero means
+	// 0.10; use a small negative epsilon via ExplicitZeroHeadroom for 0.
+	DCHeadroom float64
+	// ExplicitZeroHeadroom forces a 0% DC headroom (DCHeadroom zero value
+	// otherwise means "default").
+	ExplicitZeroHeadroom bool
+	// PUE is the facility PUE. Zero means 1.53.
+	PUE float64
+	// Reserve is the breaker reserve time. Zero means core.DefaultReserve.
+	Reserve time.Duration
+	// Server overrides the server model. Zero value means server.Default.
+	Server server.Config
+	// Weights skews demand across PDU groups (see core.Config.Weights).
+	// Nil means uniform.
+	Weights []float64
+	// Supply optionally limits the utility feed per tick, as a fraction
+	// of the DC breaker rating (1.0 = full). Nil means unconstrained.
+	// Use it to inject grid curtailments or renewable shortfalls.
+	Supply *trace.Series
+	// Generator attaches a diesel generator set sized for the facility's
+	// normal load (45 s start, 15 s ramp) for supply emergencies.
+	Generator bool
+	// ChipPCMMinutes bounds chip-level sprinting: the per-chip PCM package
+	// is sized to absorb a full sprint's excess heat for this many
+	// minutes (§IV's prerequisite). Zero leaves the chips unconstrained.
+	ChipPCMMinutes float64
+	// BatteryAh overrides the per-server battery capacity (paper default
+	// 0.5 Ah). Zero means the default.
+	BatteryAh float64
+	// TESMinutes overrides the tank size in minutes of full cooling load
+	// at peak normal power (paper default 12). Zero means the default;
+	// use NoTES to remove the tank entirely.
+	TESMinutes float64
+}
+
+// DefaultServers keeps single runs fast; the facility model is
+// scale-invariant in the server count because PDU groups are homogeneous
+// (verified by TestScaleInvariance), so experiments default to a small
+// facility and paper-scale (180,000 servers) is a config choice.
+const DefaultServers = 2000
+
+// normalize fills defaults in place and validates the scenario.
+func (s *Scenario) normalize() error {
+	if s.Trace == nil || s.Trace.Len() == 0 {
+		return fmt.Errorf("sim: scenario %q has no trace", s.Name)
+	}
+	if s.Servers == 0 {
+		s.Servers = DefaultServers
+	}
+	if s.ServersPerPDU == 0 {
+		s.ServersPerPDU = 200
+	}
+	if s.DCHeadroom == 0 && !s.ExplicitZeroHeadroom {
+		s.DCHeadroom = 0.10
+	}
+	if s.PUE == 0 {
+		s.PUE = 1.53
+	}
+	if s.Server.TotalCores == 0 {
+		s.Server = server.Default()
+	}
+	return nil
+}
+
+// Telemetry holds the per-tick series of one run, each aligned with the
+// input trace.
+type Telemetry struct {
+	// Required is the input demand.
+	Required *trace.Series
+	// Achieved is the delivered normalized throughput.
+	Achieved *trace.Series
+	// Degree is the realized sprinting degree.
+	Degree *trace.Series
+	// DCLoad and PDULoad are breaker loads in watts.
+	DCLoad, PDULoad *trace.Series
+	// UPSPower is total battery discharge in watts.
+	UPSPower *trace.Series
+	// GenPower is the on-site generator output in watts.
+	GenPower *trace.Series
+	// UPSSoC is the fleet-aggregate battery state of charge in [0, 1].
+	UPSSoC *trace.Series
+	// CoolingPower is the plant electrical power in watts.
+	CoolingPower *trace.Series
+	// TESRate is the TES heat-absorption rate in watts.
+	TESRate *trace.Series
+	// RoomTemp is the room temperature in Celsius.
+	RoomTemp *trace.Series
+	// Phase is the controller phase per tick.
+	Phase []int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Scenario echoes the normalized scenario.
+	Scenario Scenario
+	// Telemetry holds the per-tick series.
+	Telemetry Telemetry
+	// AvgBurstPerformance is the mean achieved performance over the
+	// over-capacity ticks, normalized to the no-sprinting performance
+	// (which serves exactly 1.0 during those ticks) — the paper's
+	// "average performance" metric.
+	AvgBurstPerformance float64
+	// SprintSustained is the total time delivered performance exceeded 1.
+	SprintSustained time.Duration
+	// TrippedAt is when a breaker tripped; negative when none did.
+	TrippedAt time.Duration
+	// Split is the additional-energy provenance.
+	Split core.EnergySplit
+	// Events is the controller's transition log.
+	Events []core.Event
+	// DCRated and PDURated echo the breaker ratings for plotting.
+	DCRated, PDURated units.Watts
+}
+
+// Improvement returns the paper's headline metric: average performance
+// during bursts relative to no sprinting. Without a burst it returns 1.
+func (r *Result) Improvement() float64 {
+	if r.AvgBurstPerformance == 0 {
+		return 1
+	}
+	return r.AvgBurstPerformance
+}
+
+// AvgBurstDegree returns the mean realized sprinting degree over the
+// over-capacity ticks — the Oracle run's value is the "real best average
+// sprinting degree" the Heuristic strategy estimates. Without a burst it
+// returns 1.
+func (r *Result) AvgBurstDegree() float64 {
+	var sum float64
+	var n int
+	for i, req := range r.Telemetry.Required.Samples {
+		if req > 1 {
+			sum += r.Telemetry.Degree.Samples[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// Run executes one scenario.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.normalize(); err != nil {
+		return nil, err
+	}
+	srv := sc.Server
+	battery := ups.DefaultServerBattery()
+	if sc.BatteryAh > 0 {
+		battery.Capacity = units.AmpHours(sc.BatteryAh)
+	}
+	treeCfg := power.Config{
+		Servers:          sc.Servers,
+		ServersPerPDU:    sc.ServersPerPDU,
+		ServerPeakNormal: srv.PeakNormalPower(),
+		PDUHeadroom:      0.25,
+		DCHeadroom:       sc.DCHeadroom,
+		PUE:              sc.PUE,
+		Curve:            breaker.Bulletin1489A(),
+		Battery:          battery,
+	}
+	tree, err := power.New(treeCfg)
+	if err != nil {
+		return nil, err
+	}
+	coolCfg := cooling.Default(tree.PeakNormalIT())
+	coolCfg.PUE = sc.PUE
+	room, err := cooling.NewRoom(coolCfg)
+	if err != nil {
+		return nil, err
+	}
+	var tank *tes.Tank
+	if !sc.NoTES {
+		tankCfg := tes.DefaultTank(tree.PeakNormalIT())
+		if sc.TESMinutes > 0 {
+			tankCfg.HeatCapacity = units.ForDuration(tree.PeakNormalIT(),
+				time.Duration(sc.TESMinutes*float64(time.Minute)))
+		}
+		tank, err = tes.New(tankCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctl, err := core.New(core.Config{
+		Server:       srv,
+		Cooling:      coolCfg,
+		Strategy:     sc.Strategy,
+		Reserve:      sc.Reserve,
+		Weights:      sc.Weights,
+		Uncontrolled: sc.Uncontrolled,
+	}, tree, room, tank)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Generator {
+		normalTotal := tree.PeakNormalIT() + coolCfg.NormalCoolingPower()
+		gen, err := genset.New(genset.Default(normalTotal))
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachGenerator(gen)
+	}
+	if sc.ChipPCMMinutes > 0 {
+		sustainable := srv.PeakNormalPower() - srv.NonCPUPower
+		excess := srv.PeakSprintPower() - srv.PeakNormalPower()
+		th, err := chip.New(chip.Config{
+			SustainablePower: sustainable,
+			PCMCapacity:      units.ForDuration(excess, time.Duration(sc.ChipPCMMinutes*float64(time.Minute))),
+			RefreezeRate:     excess / 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachChipThermal(th)
+	}
+
+	n := sc.Trace.Len()
+	step := sc.Trace.Step
+	tele := Telemetry{Phase: make([]int, n)}
+	required := make([]float64, n)
+	achieved := make([]float64, n)
+	degree := make([]float64, n)
+	dcLoad := make([]float64, n)
+	pduLoad := make([]float64, n)
+	upsPower := make([]float64, n)
+	genPower := make([]float64, n)
+	upsSoC := make([]float64, n)
+	coolPower := make([]float64, n)
+	tesRate := make([]float64, n)
+	roomTemp := make([]float64, n)
+
+	res := &Result{
+		TrippedAt: -1,
+		DCRated:   tree.DCBreaker.Rated,
+		PDURated:  tree.PDUs[0].Breaker.Rated,
+	}
+	var burstTicks int
+	var burstAchieved float64
+	for i := 0; i < n; i++ {
+		demand := sc.Trace.Samples[i]
+		in := core.Input{Demand: demand}
+		if sc.Supply != nil {
+			frac := sc.Supply.At(time.Duration(i) * step)
+			in.SupplyLimit = units.Watts(frac) * tree.DCBreaker.Rated
+		}
+		tick := ctl.TickInput(in, step)
+		required[i] = demand
+		achieved[i] = tick.Delivered
+		degree[i] = tick.Degree
+		dcLoad[i] = float64(tick.DCLoad)
+		pduLoad[i] = float64(tick.PDULoad)
+		upsPower[i] = float64(tick.UPSPower)
+		genPower[i] = float64(tick.GenPower)
+		upsSoC[i] = tree.UPSSoC()
+		coolPower[i] = float64(tick.CoolingPower)
+		tesRate[i] = float64(tick.TESHeatRate)
+		roomTemp[i] = float64(tick.RoomTemp)
+		tele.Phase[i] = tick.Phase
+		if tick.Tripped && res.TrippedAt < 0 {
+			res.TrippedAt = time.Duration(i) * step
+		}
+		if tick.Delivered > 1 {
+			res.SprintSustained += step
+		}
+		if demand > 1 {
+			burstTicks++
+			// The no-sprinting facility serves exactly 1.0 here, so the
+			// achieved value is already the per-tick improvement factor.
+			burstAchieved += tick.Delivered
+		}
+	}
+	if burstTicks > 0 {
+		res.AvgBurstPerformance = burstAchieved / float64(burstTicks)
+	}
+	res.Split = ctl.Split()
+	res.Events = ctl.Events()
+	res.Scenario = sc
+
+	mk := func(samples []float64) *trace.Series {
+		s, err := trace.New(step, samples)
+		if err != nil {
+			panic(fmt.Sprintf("sim: internal series error: %v", err)) // unreachable: step > 0
+		}
+		return s
+	}
+	tele.Required = mk(required)
+	tele.Achieved = mk(achieved)
+	tele.Degree = mk(degree)
+	tele.DCLoad = mk(dcLoad)
+	tele.PDULoad = mk(pduLoad)
+	tele.UPSPower = mk(upsPower)
+	tele.GenPower = mk(genPower)
+	tele.UPSSoC = mk(upsSoC)
+	tele.CoolingPower = mk(coolPower)
+	tele.TESRate = mk(tesRate)
+	tele.RoomTemp = mk(roomTemp)
+	res.Telemetry = tele
+	return res, nil
+}
+
+// Parallel maps fn over items with a bounded worker pool, preserving order.
+// The first error aborts nothing (all items still run) but is returned.
+func Parallel[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

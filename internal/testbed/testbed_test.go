@@ -1,0 +1,247 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/workload"
+)
+
+func util(t *testing.T) *trace.Series {
+	t.Helper()
+	return workload.SyntheticYahooServer(7)
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero rating", func(c *Config) { c.CBRated = 0 }, false},
+		{"bad curve", func(c *Config) { c.Curve = breaker.TripCurve{} }, false},
+		{"zero idle", func(c *Config) { c.IdlePower = 0 }, false},
+		{"peak below idle", func(c *Config) { c.PeakPower = 100 }, false},
+		{"negative battery", func(c *Config) { c.UPSEnergy = -1 }, false},
+		{"negative reserve", func(c *Config) { c.ReservedTripTime = -time.Second }, false},
+		{"zero battery ok", func(c *Config) { c.UPSEnergy = 0 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	tests := []struct {
+		p    Policy
+		want string
+	}{
+		{PolicyOurs, "ours"},
+		{PolicyCBFirst, "cb-first"},
+		{PolicyCBOnly, "cb-only"},
+		{Policy(9), "policy(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestServerPowerEnvelope(t *testing.T) {
+	cfg := Default()
+	if got := cfg.ServerPower(0); got != 273 {
+		t.Errorf("idle power = %v, want 273", got)
+	}
+	if got := cfg.ServerPower(1); got != 428 {
+		t.Errorf("peak power = %v, want 428", got)
+	}
+	if got := cfg.ServerPower(-1); got != 273 {
+		t.Errorf("clamped util: %v", got)
+	}
+	if got := cfg.ServerPower(2); got != 428 {
+		t.Errorf("clamped util: %v", got)
+	}
+}
+
+func TestRunRejectsEmptyTrace(t *testing.T) {
+	if _, err := Run(Default(), nil, PolicyOurs); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	empty := &trace.Series{Step: time.Second}
+	if _, err := Run(Default(), empty, PolicyOurs); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestCBOnlyTripsNearPaperTime(t *testing.T) {
+	// §VII-D: "Without the UPS, the CB will trip in 65 seconds."
+	r, err := Run(Default(), util(t), PolicyCBOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tripped {
+		t.Fatal("CB-only run did not trip")
+	}
+	if r.Sustained < 50*time.Second || r.Sustained > 85*time.Second {
+		t.Fatalf("CB-only sustained %v, want ~65 s", r.Sustained)
+	}
+	if r.UPSRemaining != Default().UPSEnergy {
+		t.Fatal("CB-only run touched the battery")
+	}
+}
+
+func TestOursOutlastsCBFirstAndCBOnly(t *testing.T) {
+	u := util(t)
+	cfg := Default()
+	cfg.ReservedTripTime = time.Minute
+	ours, err := Run(cfg, u, PolicyOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(cfg, u, PolicyCBFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := Run(cfg, u, PolicyCBOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Sustained <= first.Sustained {
+		t.Fatalf("ours %v did not outlast CB First %v", ours.Sustained, first.Sustained)
+	}
+	if first.Sustained <= only.Sustained {
+		t.Fatalf("CB First %v did not outlast CB-only %v", first.Sustained, only.Sustained)
+	}
+	// §VII-D: CB-only is roughly a quarter of our sustained time.
+	ratio := only.Sustained.Seconds() / ours.Sustained.Seconds()
+	if ratio < 0.1 || ratio > 0.5 {
+		t.Fatalf("CB-only/ours ratio = %.2f, want ~0.26", ratio)
+	}
+}
+
+func TestSweepHasInteriorMaximum(t *testing.T) {
+	// Fig 11(b): sustained time peaks at an intermediate reserved trip
+	// time — tiny reserves burn the breaker budget at high overloads,
+	// huge reserves strand it.
+	reserves := []time.Duration{
+		time.Second, 10 * time.Second, 30 * time.Second,
+		time.Minute, 90 * time.Second, 3 * time.Minute, 10 * time.Minute,
+	}
+	pts, err := Sweep(Default(), util(t), reserves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(reserves) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	best, bestIdx := time.Duration(0), -1
+	for i, p := range pts {
+		if p.Ours > best {
+			best, bestIdx = p.Ours, i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(pts)-1 {
+		t.Fatalf("maximum at the edge (reserve %v); want interior", pts[bestIdx].Reserve)
+	}
+	if best <= pts[bestIdx].CBFirst {
+		t.Fatalf("best ours %v does not beat CB First %v", best, pts[bestIdx].CBFirst)
+	}
+	// The extremes underperform the peak meaningfully.
+	if pts[0].Ours >= best || pts[len(pts)-1].Ours >= best {
+		t.Fatal("edge reserves match the peak; sweep has no shape")
+	}
+}
+
+func TestHighPowerOverloadShrinksWithModerateReserve(t *testing.T) {
+	// §VII-D: the sustained time is maximized when the CB is rarely
+	// overloaded while the server power is high; a moderate reserve
+	// (30 s) overloads less at high power than an aggressive one (10 s).
+	u := util(t)
+	cfg := Default()
+	cfg.ReservedTripTime = 10 * time.Second
+	aggressive, err := Run(cfg, u, PolicyOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReservedTripTime = 90 * time.Second
+	moderate, err := Run(cfg, u, PolicyOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moderate.OverloadHighPower >= aggressive.OverloadHighPower {
+		t.Fatalf("high-power overload: moderate %v vs aggressive %v",
+			moderate.OverloadHighPower, aggressive.OverloadHighPower)
+	}
+}
+
+func TestUPSHalvesCBLoad(t *testing.T) {
+	// While the relay is closed the breaker sees half the server power
+	// (Fig 11(a)): every recorded CB sample is either the full power or
+	// half of it (modulo the battery's last partial tick).
+	r, err := Run(Default(), util(t), PolicyOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halves := 0
+	for i := range r.CBPower.Samples {
+		p, cb := r.TotalPower.Samples[i], r.CBPower.Samples[i]
+		if cb > p+1e-9 {
+			t.Fatalf("CB power %v above total %v at %d", cb, p, i)
+		}
+		if cb < p/2-1e-9 {
+			t.Fatalf("CB power %v below half of total %v at %d", cb, p, i)
+		}
+		if cb < p-1e-9 {
+			halves++
+		}
+	}
+	if halves == 0 {
+		t.Fatal("UPS was never connected")
+	}
+}
+
+func TestZeroBatteryEqualsCBOnly(t *testing.T) {
+	cfg := Default()
+	cfg.UPSEnergy = 0
+	u := util(t)
+	ours, err := Run(cfg, u, PolicyOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := Run(cfg, u, PolicyCBOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Sustained != only.Sustained {
+		t.Fatalf("zero-battery ours %v != cb-only %v", ours.Sustained, only.Sustained)
+	}
+}
+
+func TestLowPowerServerNeverTrips(t *testing.T) {
+	cfg := Default()
+	cfg.IdlePower = 100
+	cfg.PeakPower = 200 // always under the 232 W rating
+	r, err := Run(cfg, util(t), PolicyCBOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tripped {
+		t.Fatal("under-rated server tripped the breaker")
+	}
+	if r.Sustained != util(t).Duration() {
+		t.Fatalf("sustained %v, want the full trace", r.Sustained)
+	}
+	if r.OverloadTime != 0 {
+		t.Fatalf("overload time %v, want 0", r.OverloadTime)
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV writes the series as two-column CSV: the sample start time in
+// seconds and the value. The header names the value column.
+func (s *Series) WriteCSV(w io.Writer, valueName string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "t_sec,%s\n", valueName); err != nil {
+		return err
+	}
+	step := s.Step.Seconds()
+	for i, v := range s.Samples {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", float64(i)*step, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a two-column CSV (time in seconds, value) into a Series.
+// A header line is skipped when its second field is not numeric. Samples
+// must be uniformly spaced; the step is inferred from the first two rows.
+// A single-row file needs an explicit fallback step and gets one second.
+//
+// This is the ingestion path for operators with real utilization or traffic
+// traces, replacing the synthetic generators.
+func ReadCSV(r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var times []float64
+	var values []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 columns, got %d", line, len(parts))
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("trace: line %d: bad value %q", line, parts[1])
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", line, parts[0])
+		}
+		times = append(times, t)
+		values = append(values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("trace: no samples")
+	}
+	step := time.Second
+	if len(times) >= 2 {
+		dt := times[1] - times[0]
+		if dt <= 0 {
+			return nil, fmt.Errorf("trace: non-increasing time column")
+		}
+		step = time.Duration(dt * float64(time.Second))
+		for i := 2; i < len(times); i++ {
+			got := times[i] - times[i-1]
+			if diff := got - dt; diff > 1e-9*dt || diff < -1e-9*dt {
+				return nil, fmt.Errorf("trace: non-uniform spacing at row %d: %g vs %g", i, got, dt)
+			}
+		}
+	}
+	return New(step, values)
+}

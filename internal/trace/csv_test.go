@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := mustNew(t, 2*time.Second, []float64{0.5, 1.25, 3, 0})
+	var b strings.Builder
+	if err := orig.WriteCSV(&b, "demand"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "t_sec,demand\n0,0.5\n2,1.25\n") {
+		t.Fatalf("unexpected CSV:\n%s", b.String())
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != orig.Step {
+		t.Fatalf("step %v, want %v", back.Step, orig.Step)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len %d, want %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Samples {
+		if math.Abs(back.Samples[i]-orig.Samples[i]) > 1e-12 {
+			t.Fatalf("sample %d: %v vs %v", i, back.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("0,1.5\n1,2.5\n2,3.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Step != time.Second || s.Samples[2] != 3.5 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestReadCSVSubSecondStep(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("t,v\n0,1\n0.25,2\n0.5,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != 250*time.Millisecond {
+		t.Fatalf("step = %v", s.Step)
+	}
+}
+
+func TestReadCSVSingleRow(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("0,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Step != time.Second || s.Samples[0] != 7 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("t,v\n\n0,1\n\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"header only", "t,v\n"},
+		{"one column", "t,v\n0\n"},
+		{"bad value mid-file", "0,1\n1,x\n"},
+		{"bad time", "t,v\nx,1\n1,2\n"},
+		{"non-uniform", "0,1\n1,2\n3,3\n"},
+		{"non-increasing", "0,1\n0,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("ReadCSV(%q) succeeded", tt.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips through WriteCSV and parses again to the
+// same samples.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("t_sec,demand\n0,0.5\n1,1.25\n2,3\n")
+	f.Add("0,1\n0.25,2\n0.5,3\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0,1\n1,x\n")
+	f.Add("t,v\n\n0,1\n\n5,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.Step <= 0 {
+			t.Fatalf("accepted series with step %v", s.Step)
+		}
+		var b strings.Builder
+		if err := s.WriteCSV(&b, "v"); err != nil {
+			t.Fatalf("WriteCSV on accepted series: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip length %d vs %d", back.Len(), s.Len())
+		}
+	})
+}

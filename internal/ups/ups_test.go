@@ -1,0 +1,287 @@
+package ups
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcsprint/internal/units"
+)
+
+func newFull(t *testing.T, cfg BatteryConfig) *Battery {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return b
+}
+
+func idealConfig() BatteryConfig {
+	return BatteryConfig{Capacity: 0.5, BusVoltage: 12, DischargeEfficiency: 1}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*BatteryConfig)
+		ok   bool
+	}{
+		{"default", func(c *BatteryConfig) {}, true},
+		{"zero capacity", func(c *BatteryConfig) { c.Capacity = 0 }, false},
+		{"negative voltage", func(c *BatteryConfig) { c.BusVoltage = -12 }, false},
+		{"negative discharge limit", func(c *BatteryConfig) { c.MaxDischarge = -1 }, false},
+		{"efficiency above 1", func(c *BatteryConfig) { c.DischargeEfficiency = 1.1 }, false},
+		{"negative efficiency", func(c *BatteryConfig) { c.DischargeEfficiency = -0.1 }, false},
+		{"MinSoC = 1", func(c *BatteryConfig) { c.MinSoC = 1 }, false},
+		{"MinSoC valid", func(c *BatteryConfig) { c.MinSoC = 0.2 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultServerBattery()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestPaperBatterySustainsSixMinutes(t *testing.T) {
+	// §VI-A: "The default battery capacity is 0.5 Ah, which can sustain the
+	// peak normal power of a server (i.e., 55 W) for about 6 minutes."
+	b := newFull(t, DefaultServerBattery())
+	secs := 0
+	for ; secs < 600; secs++ {
+		if got := b.Discharge(55, time.Second); got < 55 {
+			break
+		}
+	}
+	if secs < 330 || secs > 420 {
+		t.Fatalf("0.5 Ah battery sustained 55 W for %d s, want ~360 s", secs)
+	}
+}
+
+func TestNewGroupScales(t *testing.T) {
+	single := newFull(t, idealConfig())
+	group, err := NewGroup(200, idealConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := group.TotalEnergy(), single.TotalEnergy()*200; got != want {
+		t.Fatalf("group energy = %v, want %v", got, want)
+	}
+	if _, err := NewGroup(0, idealConfig()); err == nil {
+		t.Fatal("NewGroup(0) accepted")
+	}
+	if _, err := NewGroup(-3, idealConfig()); err == nil {
+		t.Fatal("NewGroup(-3) accepted")
+	}
+}
+
+func TestDischargeAccounting(t *testing.T) {
+	b := newFull(t, idealConfig()) // 21.6 kJ
+	got := b.Discharge(1000, time.Second)
+	if got != 1000 {
+		t.Fatalf("Discharge = %v, want 1000", got)
+	}
+	if b.Stored() != 20600 {
+		t.Fatalf("Stored = %v, want 20600 J", b.Stored())
+	}
+	if b.SoC() <= 0.95 || b.SoC() >= 0.96 {
+		t.Fatalf("SoC = %v", b.SoC())
+	}
+}
+
+func TestDischargeRespectsPowerLimit(t *testing.T) {
+	cfg := idealConfig()
+	cfg.MaxDischarge = 100
+	b := newFull(t, cfg)
+	if got := b.Discharge(500, time.Second); got != 100 {
+		t.Fatalf("Discharge beyond limit = %v, want 100", got)
+	}
+}
+
+func TestDischargeEmptiesExactly(t *testing.T) {
+	b := newFull(t, idealConfig()) // 21.6 kJ
+	// Ask for more than the battery holds in one second.
+	got := b.Discharge(50000, time.Second)
+	if math.Abs(float64(got-21600)) > 1e-6 {
+		t.Fatalf("Discharge on near-empty = %v, want 21600", got)
+	}
+	if b.Stored() != 0 {
+		t.Fatalf("Stored = %v, want 0", b.Stored())
+	}
+	if got := b.Discharge(10, time.Second); got != 0 {
+		t.Fatalf("Discharge from empty = %v, want 0", got)
+	}
+}
+
+func TestDischargeEfficiencyLoss(t *testing.T) {
+	cfg := idealConfig()
+	cfg.DischargeEfficiency = 0.9
+	b := newFull(t, cfg)
+	b.Discharge(900, time.Second) // delivers 900 J, drains 1000 J
+	if math.Abs(float64(b.Stored()-20600)) > 1e-6 {
+		t.Fatalf("Stored = %v, want 20600 (1000 J drained)", b.Stored())
+	}
+}
+
+func TestMinSoCFloor(t *testing.T) {
+	cfg := idealConfig()
+	cfg.MinSoC = 0.5
+	b := newFull(t, cfg)
+	total := float64(b.TotalEnergy())
+	drained := 0.0
+	for i := 0; i < 100; i++ {
+		drained += float64(b.Discharge(10000, time.Second))
+	}
+	if math.Abs(drained-total/2) > 1e-6 {
+		t.Fatalf("drained %v past the 50%% floor (total %v)", drained, total)
+	}
+	if b.SoC() < 0.499 {
+		t.Fatalf("SoC = %v fell below the floor", b.SoC())
+	}
+}
+
+func TestRecharge(t *testing.T) {
+	b := newFull(t, idealConfig())
+	b.Discharge(10000, time.Second)
+	if got := b.Recharge(5000, time.Second); got != 5000 {
+		t.Fatalf("Recharge = %v, want 5000", got)
+	}
+	// Top off: only 5000 J of room remains.
+	if got := b.Recharge(50000, time.Second); math.Abs(float64(got-5000)) > 1e-6 {
+		t.Fatalf("Recharge to full = %v, want 5000", got)
+	}
+	if b.SoC() != 1 {
+		t.Fatalf("SoC = %v, want 1", b.SoC())
+	}
+	if got := b.Recharge(10, time.Second); got != 0 {
+		t.Fatalf("Recharge when full = %v, want 0", got)
+	}
+}
+
+func TestRechargeRespectsLimit(t *testing.T) {
+	cfg := idealConfig()
+	cfg.MaxRecharge = 50
+	b := newFull(t, cfg)
+	b.Discharge(10000, time.Second)
+	if got := b.Recharge(500, time.Second); got != 50 {
+		t.Fatalf("Recharge beyond limit = %v, want 50", got)
+	}
+}
+
+func TestZeroAndNegativeRequests(t *testing.T) {
+	b := newFull(t, idealConfig())
+	if b.Discharge(0, time.Second) != 0 || b.Discharge(-5, time.Second) != 0 {
+		t.Error("non-positive discharge request must deliver 0")
+	}
+	if b.Discharge(5, 0) != 0 || b.Discharge(5, -time.Second) != 0 {
+		t.Error("non-positive dt must deliver 0")
+	}
+	if b.Recharge(0, time.Second) != 0 || b.Recharge(-5, time.Second) != 0 {
+		t.Error("non-positive recharge request must accept 0")
+	}
+	if b.MaxOutput(0) != 0 {
+		t.Error("MaxOutput(0) must be 0")
+	}
+}
+
+func TestEquivalentFullCycles(t *testing.T) {
+	b := newFull(t, idealConfig())
+	total := float64(b.TotalEnergy())
+	// Drain completely, recharge, drain half.
+	for i := 0; i < 200; i++ {
+		b.Discharge(units.Watts(total), time.Second)
+	}
+	for b.SoC() < 1 {
+		if b.Recharge(units.Watts(total), time.Second) == 0 {
+			break
+		}
+	}
+	for drained := 0.0; drained < total/2; {
+		drained += float64(b.Discharge(units.Watts(total/20), time.Second))
+	}
+	if got := b.EquivalentFullCycles(); got < 1.45 || got > 1.6 {
+		t.Fatalf("EquivalentFullCycles = %v, want ~1.5", got)
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	tests := []struct {
+		name       string
+		ups, group units.Watts
+		want       float64
+	}{
+		{"half", 50, 100, 0.5},
+		{"all", 100, 100, 1},
+		{"over-request clamps", 150, 100, 1},
+		{"zero need", 0, 100, 0},
+		{"negative need", -5, 100, 0},
+		{"zero group power", 50, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CoverageFraction(tt.ups, tt.group); got != tt.want {
+				t.Fatalf("CoverageFraction(%v, %v) = %v, want %v", tt.ups, tt.group, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: SoC stays in [MinSoC-eps, 1] and delivered power never exceeds
+// the request under arbitrary interleavings of discharge and recharge.
+func TestBatteryInvariantProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		cfg := DefaultServerBattery()
+		cfg.MinSoC = 0.1
+		b, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			p := units.Watts(op)
+			if op >= 0 {
+				if got := b.Discharge(p, time.Second); got > p {
+					return false
+				}
+			} else {
+				if got := b.Recharge(-p, time.Second); got > -p {
+					return false
+				}
+			}
+			if b.SoC() < cfg.MinSoC-1e-9 || b.SoC() > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy is conserved — delivered energy equals drained energy
+// times efficiency.
+func TestEnergyConservationProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		cfg := idealConfig()
+		cfg.DischargeEfficiency = 0.8
+		b, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		start := b.Stored()
+		var delivered units.Joules
+		for _, r := range reqs {
+			delivered += units.ForDuration(b.Discharge(units.Watts(r), time.Second), time.Second)
+		}
+		drained := start - b.Stored()
+		return math.Abs(float64(delivered)-0.8*float64(drained)) < 1e-6*math.Max(1, float64(drained))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

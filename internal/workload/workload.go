@@ -1,0 +1,285 @@
+// Package workload synthesizes the demand traces used by the paper's
+// evaluation and provides burst analysis and prediction-with-error helpers.
+//
+// The paper drives its experiments with two proprietary traces: a 30-minute
+// cut of a Microsoft data-center traffic matrix (IMC'09) and an aggregated
+// Yahoo! front-end request trace (Infocom'10). Neither is publicly
+// redistributable, so this package generates deterministic, seeded synthetic
+// equivalents that match the published statistics the controller actually
+// observes:
+//
+//   - MS cut: 30 minutes at 1 s resolution, consecutive bursts peaking at
+//     ~3x the no-sprinting capacity, with an aggregate over-demand time of
+//     16.2 minutes (the paper's stated "real burst duration").
+//   - Yahoo cut: a smooth 70-server aggregate normalized to peak 1.0, with
+//     one injected burst of configurable degree and duration starting at
+//     minute 5 (§VI-C).
+//
+// Demand values are normalized throughput: 1.0 is the whole data center's
+// peak performance without sprinting, so demand above 1.0 requires
+// sprinting and demand above the chip's maximum throughput must be dropped.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dcsprint/internal/trace"
+)
+
+// Step is the resolution of all generated experiment traces.
+const Step = time.Second
+
+// experimentLen is the 30-minute experiment window used by the paper.
+const experimentLen = 30 * time.Minute
+
+// burstSegment is one over-demand episode of the MS cut.
+type burstSegment struct {
+	start, length int // seconds
+	peak          float64
+}
+
+// msSegments reproduces the "consecutive bursts" of the paper's MS cut
+// (seconds 71,188-72,987 of the original trace). The segment lengths sum to
+// 972 s = 16.2 min, the paper's aggregate burst duration.
+var msSegments = []burstSegment{
+	{start: 180, length: 330, peak: 2.4},
+	{start: 560, length: 270, peak: 3.0},
+	{start: 900, length: 250, peak: 2.6},
+	{start: 1310, length: 122, peak: 1.8},
+}
+
+// MSBurstDuration is the aggregate over-demand time of the MS cut.
+const MSBurstDuration = 972 * time.Second
+
+// SyntheticMS returns the 30-minute MS-style experiment trace (Fig 7a):
+// a noisy sub-capacity baseline interrupted by consecutive bursts that
+// demand up to 3x the no-sprinting capacity.
+func SyntheticMS(seed int64) *trace.Series {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(experimentLen / Step)
+	samples := make([]float64, n)
+	for i := range samples {
+		// Baseline: 0.55-0.9, smooth wander plus jitter, strictly below 1.
+		wander := 0.15 * math.Sin(2*math.Pi*float64(i)/700)
+		jitter := 0.08 * (rng.Float64() - 0.5)
+		samples[i] = clamp(0.72+wander+jitter, 0.4, 0.95)
+	}
+	for _, seg := range msSegments {
+		for j := 0; j < seg.length; j++ {
+			i := seg.start + j
+			if i >= n {
+				break
+			}
+			x := float64(j) / float64(seg.length)
+			// Smooth hump that stays strictly above 1 inside the segment
+			// so the aggregate over-demand time equals the segment sums.
+			shape := math.Pow(math.Sin(math.Pi*x), 0.6)
+			v := 1.02 + (seg.peak-1.02)*shape
+			v += 0.05 * (rng.Float64() - 0.5) * shape
+			if v < 1.01 {
+				v = 1.01
+			}
+			samples[i] = v
+		}
+	}
+	s, err := trace.New(Step, samples)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable: Step > 0
+	}
+	return s
+}
+
+// SyntheticYahoo returns the 30-minute Yahoo-style experiment trace
+// (Fig 7b): a smooth aggregate normalized so the non-burst peak is ~1.0,
+// with one burst of the given degree injected from minute 5 for the given
+// duration. Degree <= 1 or a non-positive duration yields the plain
+// aggregate.
+func SyntheticYahoo(seed int64, degree float64, duration time.Duration) *trace.Series {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(experimentLen / Step)
+	samples := make([]float64, n)
+	for i := range samples {
+		// The aggregated 70-server trace varies gently: two slow waves
+		// plus small noise, peaking near 1.0.
+		t := float64(i)
+		v := 0.78 + 0.13*math.Sin(2*math.Pi*t/1100+0.3) + 0.07*math.Sin(2*math.Pi*t/301)
+		v += 0.02 * (rng.Float64() - 0.5)
+		samples[i] = clamp(v, 0.5, 1.0)
+	}
+	if degree > 1 && duration > 0 {
+		start := int(5 * time.Minute / Step)
+		end := start + int(duration/Step)
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			// The burst multiplies one hosted service's load: ramp in and
+			// out over 30 s, plateau at the full degree in between.
+			ramp := 1.0
+			const rampLen = 30
+			if d := i - start; d < rampLen {
+				ramp = float64(d+1) / rampLen
+			}
+			if d := end - 1 - i; d < rampLen {
+				r := float64(d+1) / rampLen
+				if r < ramp {
+					ramp = r
+				}
+			}
+			factor := 1 + (degree-1)*ramp
+			samples[i] = clamp(samples[i], 0.85, 1.0) * factor
+		}
+	}
+	s, err := trace.New(Step, samples)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable: Step > 0
+	}
+	return s
+}
+
+// SyntheticYahooServer returns a 30-minute single-server CPU-utilization
+// trace in [0.2, 1]: one Yahoo front-end's load, much more volatile than
+// the 70-server aggregate, with swings on the tens-of-seconds scale. The
+// hardware-testbed experiments (§VI-B) drive server power with this trace.
+func SyntheticYahooServer(seed int64) *trace.Series {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(experimentLen / Step)
+	samples := make([]float64, n)
+	for i := range samples {
+		t := float64(i)
+		v := 0.55 + 0.25*math.Sin(2*math.Pi*t/180+0.9) + 0.15*math.Sin(2*math.Pi*t/47)
+		v += 0.05 * (rng.Float64() - 0.5)
+		samples[i] = clamp(v, 0.2, 1)
+	}
+	s, err := trace.New(Step, samples)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable
+	}
+	return s
+}
+
+// SyntheticMSDay returns a 24-hour Fig-1-style traffic trace in GB/s at
+// one-minute resolution: a diurnal baseline of a 1,500-server aggregate with
+// several sharp bursts peaking above 9 GB/s against a ~3 GB/s serviceable
+// baseline.
+func SyntheticMSDay(seed int64) *trace.Series {
+	rng := rand.New(rand.NewSource(seed))
+	const n = 24 * 60 // minutes
+	samples := make([]float64, n)
+	for i := range samples {
+		hour := float64(i) / 60
+		diurnal := 2.0 + 0.8*math.Sin(2*math.Pi*(hour-9)/24)
+		samples[i] = diurnal + 0.4*rng.Float64()
+	}
+	// Seven bursts across the day (about 200 per month), 5-30 min long.
+	for b := 0; b < 7; b++ {
+		center := (float64(b) + 0.2 + 0.6*rng.Float64()) * n / 7
+		length := 5 + rng.Intn(26) // minutes
+		peak := 5 + 4.5*rng.Float64()
+		for j := -length / 2; j <= length/2; j++ {
+			i := int(center) + j
+			if i < 0 || i >= n {
+				continue
+			}
+			x := float64(j) / (float64(length)/2 + 1)
+			samples[i] += (peak - samples[i]) * math.Exp(-3*x*x)
+		}
+	}
+	s, err := trace.New(time.Minute, samples)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable
+	}
+	return s
+}
+
+// SupplyDip returns a utility-supply trace of the given length: 1.0 (full
+// supply, as a fraction of the facility rating) everywhere except a dip to
+// the given fraction over [start, start+duration) — a grid curtailment or a
+// renewable shortfall, the §I power-emergency motivation.
+func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) *trace.Series {
+	n := int(length / step)
+	samples := make([]float64, n)
+	lo := int(start / step)
+	hi := int((start + duration) / step)
+	for i := range samples {
+		if i >= lo && i < hi {
+			samples[i] = fraction
+		} else {
+			samples[i] = 1
+		}
+	}
+	s, err := trace.New(step, samples)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable
+	}
+	return s
+}
+
+// BurstStats summarizes the over-demand episodes of a normalized trace.
+type BurstStats struct {
+	// AggregateDuration is the total time demand exceeds capacity — the
+	// paper's "real burst duration" (16.2 min for the MS cut).
+	AggregateDuration time.Duration
+	// PeakDemand is the maximum normalized demand.
+	PeakDemand float64
+	// MeanBurstDemand is the mean demand over the over-demand samples
+	// only (0 when there is no burst).
+	MeanBurstDemand float64
+	// ExcessIntegral is the integral of (demand - 1) over the over-demand
+	// samples, in demand-seconds: the total work that needs sprinting.
+	ExcessIntegral float64
+}
+
+// Analyze computes BurstStats against a capacity of 1.0.
+func Analyze(s *trace.Series) BurstStats {
+	st := BurstStats{PeakDemand: s.Max()}
+	var sum float64
+	var count int
+	for _, v := range s.Samples {
+		if v > 1 {
+			count++
+			sum += v
+			st.ExcessIntegral += (v - 1) * s.Step.Seconds()
+		}
+	}
+	st.AggregateDuration = time.Duration(count) * s.Step
+	if count > 0 {
+		st.MeanBurstDemand = sum / float64(count)
+	}
+	return st
+}
+
+// Estimate is a prediction of a coming burst, consumed by the Prediction
+// and Heuristic sprinting strategies.
+type Estimate struct {
+	// BurstDuration is the predicted aggregate burst duration (BDu_p).
+	BurstDuration time.Duration
+	// AvgDegree is the predicted best average sprinting degree (SDe_p).
+	AvgDegree float64
+}
+
+// WithError returns the estimate perturbed by a relative error in [-1, +inf):
+// each field is scaled by (1 + err), the paper's §VII-B methodology for
+// studying prediction sensitivity. An error of -1 zeroes the estimate.
+func (e Estimate) WithError(err float64) Estimate {
+	if err < -1 {
+		err = -1
+	}
+	return Estimate{
+		BurstDuration: time.Duration(float64(e.BurstDuration) * (1 + err)),
+		AvgDegree:     e.AvgDegree * (1 + err),
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
