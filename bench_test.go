@@ -18,7 +18,7 @@ const benchSeed = 1
 func BenchmarkFig1TraceSynthesis(b *testing.B) {
 	var peak float64
 	for i := 0; i < b.N; i++ {
-		day := DayTrace(benchSeed)
+		day := mustTrace(DayTrace(benchSeed))
 		peak = day.Max()
 	}
 	b.ReportMetric(peak, "peak_gbps")
@@ -63,8 +63,8 @@ func BenchmarkFig5Economics(b *testing.B) {
 func BenchmarkFig7Traces(b *testing.B) {
 	var burst float64
 	for i := 0; i < b.N; i++ {
-		ms := MSTrace(benchSeed)
-		ya := YahooTrace(benchSeed, 3.2, 15*time.Minute)
+		ms := mustTrace(MSTrace(benchSeed))
+		ya := mustTrace(YahooTrace(benchSeed, 3.2, 15*time.Minute))
 		burst = AnalyzeTrace(ms).AggregateDuration.Minutes() + AnalyzeTrace(ya).PeakDemand
 	}
 	b.ReportMetric(burst, "ms_burst_min_plus_ya_peak")
@@ -179,7 +179,7 @@ func BenchmarkReserveSweep(b *testing.B) {
 // sweep.
 
 func BenchmarkSimulationRunMS(b *testing.B) {
-	tr := MSTrace(benchSeed)
+	tr := mustTrace(MSTrace(benchSeed))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(Scenario{Trace: tr}); err != nil {
@@ -192,7 +192,7 @@ func BenchmarkSimulationRunMS(b *testing.B) {
 
 func BenchmarkSimulationRunPaperScale(b *testing.B) {
 	// Paper-scale facility: 180,000 servers in 900 PDU groups.
-	tr := YahooTrace(benchSeed, 3.2, 15*time.Minute)
+	tr := mustTrace(YahooTrace(benchSeed, 3.2, 15*time.Minute))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(Scenario{Trace: tr, Servers: 180000}); err != nil {
@@ -202,7 +202,7 @@ func BenchmarkSimulationRunPaperScale(b *testing.B) {
 }
 
 func BenchmarkOracleSearch(b *testing.B) {
-	tr := YahooTrace(benchSeed, 3.0, 5*time.Minute)
+	tr := mustTrace(YahooTrace(benchSeed, 3.0, 5*time.Minute))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := OracleSearch(Scenario{Trace: tr}); err != nil {

@@ -7,10 +7,15 @@
 //	dcsprint -trace yahoo -degree 3.2 -duration 15m -strategy heuristic -estimate 2.4
 //	dcsprint -trace ms -strategy uncontrolled
 //	dcsprint -trace yahoo -degree 3.0 -duration 10m -csv telemetry.csv
+//	dcsprint -trace yahoo -degree 2.5 -duration 12m -faults campaign.spec
+//
+// A run that ends with the facility down (breaker trip or room overheat)
+// prints a one-line FAULT: summary to stderr and exits non-zero.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,17 +51,19 @@ func run(args []string) error {
 		events    = fs.Bool("events", false, "print the controller's transition log")
 		pcm       = fs.Float64("chip-pcm", 0, "chip PCM budget in minutes of full sprint (0 = unlimited)")
 		tablePath = fs.String("table", "", "prediction/adaptive: cache the Oracle bound table in this JSON file")
+		faultSpec = fs.String("faults", "", "replay a fault-injection campaign from this spec file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var tr *dcsprint.Series
+	var trErr error
 	switch *traceName {
 	case "ms":
-		tr = dcsprint.MSTrace(*seed)
+		tr, trErr = dcsprint.MSTrace(*seed)
 	case "yahoo":
-		tr = dcsprint.YahooTrace(*seed, *degree, *duration)
+		tr, trErr = dcsprint.YahooTrace(*seed, *degree, *duration)
 	case "csv":
 		if *traceCSV == "" {
 			return fmt.Errorf("-trace csv needs -trace-csv <file>")
@@ -73,6 +80,9 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown trace %q", *traceName)
 	}
+	if trErr != nil {
+		return trErr
+	}
 
 	sc := dcsprint.Scenario{
 		Name:                 *traceName,
@@ -83,6 +93,13 @@ func run(args []string) error {
 		NoTES:                *noTES,
 		Servers:              *servers,
 		ChipPCMMinutes:       *pcm,
+	}
+	if *faultSpec != "" {
+		sched, err := dcsprint.ParseFaultFile(*faultSpec)
+		if err != nil {
+			return err
+		}
+		sc.Faults = sched
 	}
 	stats := dcsprint.AnalyzeTrace(tr)
 	switch *strategy {
@@ -127,7 +144,22 @@ func run(args []string) error {
 		}
 		fmt.Printf("telemetry written to %s\n", *csvPath)
 	}
+	if res.Dead {
+		fmt.Fprintln(os.Stderr, "FAULT: "+deadSummary(res))
+		return errors.New("facility down")
+	}
 	return nil
+}
+
+// deadSummary is the one-line cause printed to stderr when a run ends with
+// the facility down.
+func deadSummary(res *dcsprint.Result) string {
+	cause := "room overheated"
+	if res.TrippedAt >= 0 {
+		cause = fmt.Sprintf("breaker tripped at %v", res.TrippedAt)
+	}
+	return fmt.Sprintf("%s, facility down (peak room %.1f C, %d fault events applied)",
+		cause, res.Telemetry.RoomTemp.Max(), res.FaultsApplied)
 }
 
 // loadOrBuildTable returns the Oracle bound table, reading the JSON cache

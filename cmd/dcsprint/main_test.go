@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ func TestRunMSDefault(t *testing.T) {
 }
 
 func TestRunYahooStrategies(t *testing.T) {
-	for _, strategy := range []string{"greedy", "fixed", "heuristic", "uncontrolled"} {
+	for _, strategy := range []string{"greedy", "fixed", "heuristic"} {
 		t.Run(strategy, func(t *testing.T) {
 			err := run([]string{"-trace", "yahoo", "-degree", "2.8", "-duration", "5m", "-strategy", strategy})
 			if err != nil {
@@ -23,6 +24,14 @@ func TestRunYahooStrategies(t *testing.T) {
 			}
 		})
 	}
+	// Uncontrolled sprinting trips the breaker, so the run now fails with
+	// the facility-down exit instead of reporting success.
+	t.Run("uncontrolled", func(t *testing.T) {
+		err := run([]string{"-trace", "yahoo", "-degree", "2.8", "-duration", "5m", "-strategy", "uncontrolled"})
+		if err == nil || !strings.Contains(err.Error(), "facility down") {
+			t.Fatalf("tripped uncontrolled run returned %v, want facility-down error", err)
+		}
+	})
 }
 
 func TestRunWritesCSV(t *testing.T) {
@@ -112,5 +121,71 @@ func TestRunTableCache(t *testing.T) {
 	}
 	if err := run(args); err == nil {
 		t.Error("corrupted cache accepted")
+	}
+}
+
+func TestRunFaultsFlag(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "campaign.spec")
+	err := os.WriteFile(spec, []byte("# every battery gone before the burst\n0s battery-fail group=all\n6m chiller-fail frac=0.7 dur=5m\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A controlled run degrades through the campaign but survives.
+	if err := run([]string{"-trace", "yahoo", "-degree", "2.5", "-duration", "5m", "-faults", spec}); err != nil {
+		t.Fatal(err)
+	}
+	// A malformed spec is rejected before the run starts.
+	bad := filepath.Join(dir, "bad.spec")
+	if err := os.WriteFile(bad, []byte("once upon a time\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", "ms", "-faults", bad}); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+	if err := run([]string{"-trace", "ms", "-faults", filepath.Join(dir, "nope.spec")}); err == nil {
+		t.Error("missing fault spec accepted")
+	}
+}
+
+func TestRunDeadRunPrintsFaultSummary(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "campaign.spec")
+	if err := os.WriteFile(spec, []byte("0s battery-fail group=all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	// Uncontrolled sprinting under the campaign trips; the run must exit
+	// non-zero with a one-line FAULT: summary on stderr.
+	runErr := run([]string{"-trace", "yahoo", "-degree", "2.8", "-duration", "5m",
+		"-strategy", "uncontrolled", "-faults", spec})
+	w.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr == nil {
+		t.Fatal("dead run reported success")
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var fault string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "FAULT:") {
+			if fault != "" {
+				t.Fatalf("more than one FAULT: line:\n%s", out)
+			}
+			fault = l
+		}
+	}
+	if fault == "" {
+		t.Fatalf("no FAULT: line on stderr:\n%s", out)
+	}
+	if !strings.Contains(fault, "tripped") {
+		t.Fatalf("FAULT: line does not name the trip: %q", fault)
 	}
 }

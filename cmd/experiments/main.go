@@ -31,7 +31,7 @@ var sweepReserves = []time.Duration{
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan")
+		which = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos")
 		seed  = fs.Int64("seed", 1, "trace generator seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,9 +60,10 @@ func run(args []string) error {
 		"montecarlo": montecarlo,
 		"plan":       plan,
 		"capping":    capping,
+		"chaos":      chaos,
 	}
 	order := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11",
-		"headroom", "pue", "notes", "reserve", "skew", "capping", "adaptive", "outage", "endurance", "chippcm", "day", "burstiness", "montecarlo", "plan"}
+		"headroom", "pue", "notes", "reserve", "skew", "capping", "adaptive", "outage", "endurance", "chippcm", "day", "burstiness", "montecarlo", "plan", "chaos"}
 
 	selected := order
 	if *which != "all" {
@@ -427,6 +428,23 @@ func plan(seed int64) error {
 		}
 		fmt.Printf("%7.1fx %10v %12.2f %10.0f %11.3fx\n",
 			tg.degree, tg.duration, p.BatteryAh, p.TESMinutes, p.Improvement)
+	}
+	return nil
+}
+
+func chaos(seed int64) error {
+	header("E15 — chaos: 50 random fault campaigns per strategy (Yahoo 2.5x / 12 min)")
+	rows, err := dcsprint.Chaos(seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %10s %6s %10s %7s %7s %14s %15s %15s %11s\n",
+		"strategy", "campaigns", "trips", "overheats", "aborts", "deaths",
+		"healthy excess", "mean degr. exc.", "worst degr. exc.", "trip margin")
+	for _, r := range rows {
+		fmt.Printf("%12s %10d %6d %10d %7d %7d %14.1f %15.1f %16.1f %11.1e\n",
+			r.Strategy, r.Campaigns, r.Trips, r.Overheats, r.Aborts, r.Deaths,
+			r.HealthyExcess, r.MeanDegradedExcess, r.WorstDegradedExcess, r.MinTripMargin)
 	}
 	return nil
 }

@@ -34,7 +34,10 @@ func run(args []string) error {
 		return err
 	}
 
-	util := dcsprint.YahooServerTrace(*seed)
+	util, err := dcsprint.YahooServerTrace(*seed)
+	if err != nil {
+		return err
+	}
 	cfg := dcsprint.DefaultTestbed()
 	cfg.ReservedTripTime = *reserve
 

@@ -39,15 +39,31 @@ func run(args []string) error {
 		return err
 	}
 
+	day, err := dcsprint.DayTrace(*seed)
+	if err != nil {
+		return err
+	}
+	ms, err := dcsprint.MSTrace(*seed)
+	if err != nil {
+		return err
+	}
+	yahoo, err := dcsprint.YahooTrace(*seed, *degree, *duration)
+	if err != nil {
+		return err
+	}
+	yahooServer, err := dcsprint.YahooServerTrace(*seed)
+	if err != nil {
+		return err
+	}
 	type job struct {
 		key, file, unit string
 		series          *dcsprint.Series
 	}
 	jobs := []job{
-		{"fig1", "fig1_day_trace.csv", "gbps", dcsprint.DayTrace(*seed)},
-		{"ms", "fig7a_ms_trace.csv", "normalized_demand", dcsprint.MSTrace(*seed)},
-		{"yahoo", "fig7b_yahoo_trace.csv", "normalized_demand", dcsprint.YahooTrace(*seed, *degree, *duration)},
-		{"yahoo-server", "testbed_yahoo_server.csv", "cpu_utilization", dcsprint.YahooServerTrace(*seed)},
+		{"fig1", "fig1_day_trace.csv", "gbps", day},
+		{"ms", "fig7a_ms_trace.csv", "normalized_demand", ms},
+		{"yahoo", "fig7b_yahoo_trace.csv", "normalized_demand", yahoo},
+		{"yahoo-server", "testbed_yahoo_server.csv", "cpu_utilization", yahooServer},
 	}
 	wrote := 0
 	for _, j := range jobs {

@@ -7,6 +7,7 @@ import (
 	"dcsprint/internal/admission"
 	"dcsprint/internal/core"
 	"dcsprint/internal/economics"
+	"dcsprint/internal/faults"
 	"dcsprint/internal/server"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/testbed"
@@ -34,6 +35,9 @@ type (
 	BoundTable = core.BoundTable
 	// Series is a uniform-step time series.
 	Series = trace.Series
+	// FaultSchedule is a parsed fault-injection campaign; see
+	// faults.Schedule and the spec grammar in DESIGN.md.
+	FaultSchedule = faults.Schedule
 	// BurstStats summarizes a trace's over-capacity episodes.
 	BurstStats = workload.BurstStats
 	// Estimate is a burst prediction consumed by strategies.
@@ -63,13 +67,17 @@ const (
 // Run executes one scenario; see sim.Run.
 func Run(sc Scenario) (*Result, error) { return sim.Run(sc) }
 
+// ParseFaultFile loads a fault-injection spec file for Scenario.Faults;
+// see faults.ParseFile for the grammar.
+func ParseFaultFile(path string) (*FaultSchedule, error) { return faults.ParseFile(path) }
+
 // OracleSearch exhaustively finds the optimal constant degree bound with
 // perfect burst knowledge (the paper's Oracle strategy).
 func OracleSearch(sc Scenario) (*OracleResult, error) { return sim.OracleSearch(sc) }
 
 // BuildBoundTable populates the Prediction strategy's lookup table by
 // Oracle-searching a grid of parametric bursts.
-func BuildBoundTable(base Scenario, mk func(degree float64, d time.Duration) *Series,
+func BuildBoundTable(base Scenario, mk func(degree float64, d time.Duration) (*Series, error),
 	durations []time.Duration, degrees []float64) (*BoundTable, error) {
 	return sim.BuildBoundTable(base, mk, durations, degrees)
 }
@@ -100,20 +108,20 @@ func Adaptive(table *BoundTable) Strategy {
 }
 
 // MSTrace returns the 30-minute MS-style experiment trace (Fig 7a).
-func MSTrace(seed int64) *Series { return workload.SyntheticMS(seed) }
+func MSTrace(seed int64) (*Series, error) { return workload.SyntheticMS(seed) }
 
 // YahooTrace returns the 30-minute Yahoo-style trace with one injected
 // burst of the given degree and duration starting at minute 5 (Fig 7b).
-func YahooTrace(seed int64, degree float64, duration time.Duration) *Series {
+func YahooTrace(seed int64, degree float64, duration time.Duration) (*Series, error) {
 	return workload.SyntheticYahoo(seed, degree, duration)
 }
 
 // YahooServerTrace returns a volatile single-server CPU-utilization trace,
 // used by the hardware-testbed experiments.
-func YahooServerTrace(seed int64) *Series { return workload.SyntheticYahooServer(seed) }
+func YahooServerTrace(seed int64) (*Series, error) { return workload.SyntheticYahooServer(seed) }
 
 // DayTrace returns a 24-hour Fig-1-style data-center traffic trace (GB/s).
-func DayTrace(seed int64) *Series { return workload.SyntheticMSDay(seed) }
+func DayTrace(seed int64) (*Series, error) { return workload.SyntheticMSDay(seed) }
 
 // AnalyzeTrace summarizes a normalized trace's bursts.
 func AnalyzeTrace(s *Series) BurstStats { return workload.Analyze(s) }
@@ -176,7 +184,7 @@ func ReadTraceCSV(r io.Reader) (*Series, error) { return trace.ReadCSV(r) }
 // SupplyDip returns a utility-supply trace: full supply everywhere except a
 // dip to the given fraction over [start, start+duration) — for injecting
 // grid curtailments or renewable shortfalls via Scenario.Supply.
-func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) *Series {
+func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) (*Series, error) {
 	return workload.SupplyDip(length, step, start, duration, fraction)
 }
 

@@ -5,10 +5,19 @@ import (
 	"time"
 )
 
+// mustTrace unwraps a trace-generator result, panicking (and so failing
+// the test) on error, in the style of template.Must.
+func mustTrace(s *Series, err error) *Series {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestFacadeQuickstart(t *testing.T) {
 	res, err := Run(Scenario{
 		Name:  "quickstart",
-		Trace: YahooTrace(7, 3.2, 15*time.Minute),
+		Trace: mustTrace(YahooTrace(7, 3.2, 15*time.Minute)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -35,33 +44,33 @@ func TestFacadeStrategies(t *testing.T) {
 }
 
 func TestFacadeTraces(t *testing.T) {
-	if MSTrace(1).Duration() != 30*time.Minute {
+	if mustTrace(MSTrace(1)).Duration() != 30*time.Minute {
 		t.Error("MSTrace duration")
 	}
-	if YahooTrace(1, 3, 10*time.Minute).Duration() != 30*time.Minute {
+	if mustTrace(YahooTrace(1, 3, 10*time.Minute)).Duration() != 30*time.Minute {
 		t.Error("YahooTrace duration")
 	}
-	if YahooServerTrace(1).Duration() != 30*time.Minute {
+	if mustTrace(YahooServerTrace(1)).Duration() != 30*time.Minute {
 		t.Error("YahooServerTrace duration")
 	}
-	if DayTrace(1).Duration() != 24*time.Hour {
+	if mustTrace(DayTrace(1)).Duration() != 24*time.Hour {
 		t.Error("DayTrace duration")
 	}
-	st := AnalyzeTrace(MSTrace(1))
+	st := AnalyzeTrace(mustTrace(MSTrace(1)))
 	if st.AggregateDuration != 972*time.Second {
 		t.Errorf("MS burst duration = %v", st.AggregateDuration)
 	}
 }
 
 func TestFacadeTestbed(t *testing.T) {
-	res, err := RunTestbed(DefaultTestbed(), YahooServerTrace(7), TestbedCBOnly)
+	res, err := RunTestbed(DefaultTestbed(), mustTrace(YahooServerTrace(7)), TestbedCBOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Tripped {
 		t.Fatal("CB-only must trip")
 	}
-	pts, err := SweepTestbed(DefaultTestbed(), YahooServerTrace(7),
+	pts, err := SweepTestbed(DefaultTestbed(), mustTrace(YahooServerTrace(7)),
 		[]time.Duration{10 * time.Second, time.Minute})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +91,7 @@ func TestFacadeEconomics(t *testing.T) {
 }
 
 func TestFacadeOracleAndTable(t *testing.T) {
-	tr := YahooTrace(7, 3.0, 5*time.Minute)
+	tr := mustTrace(YahooTrace(7, 3.0, 5*time.Minute))
 	or, err := OracleSearch(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +100,7 @@ func TestFacadeOracleAndTable(t *testing.T) {
 		t.Fatalf("oracle bound = %v", or.Bound)
 	}
 	tbl, err := BuildBoundTable(Scenario{},
-		func(degree float64, d time.Duration) *Series { return YahooTrace(7, degree, d) },
+		func(degree float64, d time.Duration) (*Series, error) { return YahooTrace(7, degree, d) },
 		[]time.Duration{5 * time.Minute, 15 * time.Minute},
 		[]float64{3.0},
 	)
@@ -104,7 +113,7 @@ func TestFacadeOracleAndTable(t *testing.T) {
 }
 
 func TestReplayAdmissionSprintingReducesDrops(t *testing.T) {
-	burst := YahooTrace(7, 3.0, 12*time.Minute)
+	burst := mustTrace(YahooTrace(7, 3.0, 12*time.Minute))
 	queue := AdmissionConfig{QueueDepth: 30, MaxDelay: 20 * time.Second}
 
 	sprint, err := Run(Scenario{Trace: burst})
@@ -148,7 +157,7 @@ func TestFacadeAdaptiveAndSupply(t *testing.T) {
 	if got := Adaptive(tbl).Name(); got != "adaptive" {
 		t.Fatalf("Adaptive name = %q", got)
 	}
-	dip := SupplyDip(30*time.Minute, time.Second, 10*time.Minute, 5*time.Minute, 0.6)
+	dip := mustTrace(SupplyDip(30*time.Minute, time.Second, 10*time.Minute, 5*time.Minute, 0.6))
 	if got := dip.At(12 * time.Minute); got != 0.6 {
 		t.Fatalf("dip value = %v", got)
 	}

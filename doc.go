@@ -25,10 +25,9 @@
 //
 // # Quickstart
 //
-//	res, err := dcsprint.Run(dcsprint.Scenario{
-//		Name:  "burst",
-//		Trace: dcsprint.YahooTrace(7, 3.2, 15*time.Minute),
-//	})
+//	burst, err := dcsprint.YahooTrace(7, 3.2, 15*time.Minute)
+//	if err != nil { ... }
+//	res, err := dcsprint.Run(dcsprint.Scenario{Name: "burst", Trace: burst})
 //	if err != nil { ... }
 //	fmt.Printf("sprinting improved burst performance %.2fx\n", res.Improvement())
 //

@@ -7,9 +7,18 @@ import (
 	"dcsprint"
 )
 
+// mustTrace unwraps a trace-generator result; examples have no testing.T,
+// so a generator failure panics (failing the example).
+func mustTrace(s *dcsprint.Series, err error) *dcsprint.Series {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // The minimal end-to-end run: a burst, the controller, the headline metric.
 func Example() {
-	burst := dcsprint.YahooTrace(7, 3.2, 15*time.Minute)
+	burst := mustTrace(dcsprint.YahooTrace(7, 3.2, 15*time.Minute))
 	res, err := dcsprint.Run(dcsprint.Scenario{Name: "example", Trace: burst})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -24,7 +33,7 @@ func Example() {
 
 // Comparing strategies on the same burst.
 func ExampleOracleSearch() {
-	burst := dcsprint.YahooTrace(7, 3.4, 15*time.Minute)
+	burst := mustTrace(dcsprint.YahooTrace(7, 3.4, 15*time.Minute))
 	oracle, err := dcsprint.OracleSearch(dcsprint.Scenario{Trace: burst})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -65,8 +74,8 @@ func ExampleBatteryChemistry() {
 
 // Injecting a grid curtailment and riding it with stored energy.
 func ExampleSupplyDip() {
-	busy := dcsprint.YahooTrace(7, 1, 0)
-	dip := dcsprint.SupplyDip(busy.Duration(), busy.Step, 10*time.Minute, 5*time.Minute, 0.55)
+	busy := mustTrace(dcsprint.YahooTrace(7, 1, 0))
+	dip := mustTrace(dcsprint.SupplyDip(busy.Duration(), busy.Step, 10*time.Minute, 5*time.Minute, 0.55))
 	res, err := dcsprint.Run(dcsprint.Scenario{Trace: busy, Supply: dip})
 	if err != nil {
 		fmt.Println("error:", err)

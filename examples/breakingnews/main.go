@@ -22,7 +22,10 @@ func main() {
 	)
 	burstDuration := 12 * time.Minute
 
-	story := dcsprint.YahooTrace(seed, burstDegree, burstDuration)
+	story, err := dcsprint.YahooTrace(seed, burstDegree, burstDuration)
+	if err != nil {
+		log.Fatal(err)
+	}
 	stats := dcsprint.AnalyzeTrace(story)
 	fmt.Printf("breaking-news burst: %.1fx demand, %v over capacity\n\n",
 		stats.PeakDemand, stats.AggregateDuration)

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dcsprint"
 )
@@ -39,7 +40,10 @@ func main() {
 
 	// The Fig 1 what-if: a real bursty day repeated for a month, capacity
 	// 4 GB/s, full provisioning (N = 4).
-	day := dcsprint.DayTrace(3)
+	day, err := dcsprint.DayTrace(3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	const capacityGBs = 4.0
 	revenue := dcsprint.TraceRevenue(m, day, capacityGBs)
 	cost := m.MonthlyCoreCost(4)

@@ -15,7 +15,10 @@ import (
 func main() {
 	// A Yahoo-style workload with one burst: demand climbs to 3.2x the
 	// facility's no-sprinting capacity for 15 minutes, starting at minute 5.
-	burst := dcsprint.YahooTrace(7, 3.2, 15*time.Minute)
+	burst, err := dcsprint.YahooTrace(7, 3.2, 15*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Run the three-phase sprinting controller with the Greedy strategy
 	// (activate whatever the demand asks for) at the paper's defaults:

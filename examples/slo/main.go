@@ -15,7 +15,10 @@ import (
 )
 
 func main() {
-	burst := dcsprint.YahooTrace(7, 3.0, 12*time.Minute)
+	burst, err := dcsprint.YahooTrace(7, 3.0, 12*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
 	queue := dcsprint.AdmissionConfig{
 		QueueDepth: 30,               // ~30 s of peak-normal work may queue
 		MaxDelay:   20 * time.Second, // interactive requests go stale beyond this

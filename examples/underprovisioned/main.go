@@ -19,7 +19,10 @@ import (
 
 func main() {
 	const seed = 7
-	burst := dcsprint.YahooTrace(seed, 3.2, 15*time.Minute)
+	burst, err := dcsprint.YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("facility headroom sweep (Yahoo 3.2x burst, 15 min):")
 	fmt.Printf("%9s %22s %22s\n", "headroom", "greedy performance", "sprint sustained")

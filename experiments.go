@@ -9,6 +9,7 @@ import (
 	"dcsprint/internal/breaker"
 	"dcsprint/internal/core"
 	"dcsprint/internal/economics"
+	"dcsprint/internal/faults"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/testbed"
 	"dcsprint/internal/units"
@@ -92,7 +93,11 @@ func Phases(r *Result) PhaseWindows {
 // run (whose telemetry carries the Fig 4 power timelines: PDULoad and
 // DCLoad against PDURated and DCRated) plus the phase windows.
 func Fig4(seed int64) (*Result, PhaseWindows, error) {
-	res, err := Run(Scenario{Name: "fig4", Trace: MSTrace(seed)})
+	tr, err := MSTrace(seed)
+	if err != nil {
+		return nil, PhaseWindows{}, err
+	}
+	res, err := Run(Scenario{Name: "fig4", Trace: tr})
 	if err != nil {
 		return nil, PhaseWindows{}, err
 	}
@@ -126,7 +131,10 @@ type Fig8Data struct {
 
 // Fig8 runs both Fig 8 scenarios on the MS trace.
 func Fig8(seed int64) (*Fig8Data, error) {
-	tr := MSTrace(seed)
+	tr, err := MSTrace(seed)
+	if err != nil {
+		return nil, err
+	}
 	unc, err := Run(Scenario{Name: "fig8-uncontrolled", Trace: tr, Uncontrolled: true})
 	if err != nil {
 		return nil, err
@@ -162,7 +170,7 @@ func StandardBoundTable(seed int64) (*BoundTable, error) {
 	}
 	tbl, err := BuildBoundTable(
 		Scenario{},
-		func(degree float64, d time.Duration) *Series {
+		func(degree float64, d time.Duration) (*Series, error) {
 			return YahooTrace(seed, degree, d)
 		},
 		[]time.Duration{2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
@@ -193,7 +201,10 @@ type Fig9Row struct {
 // estimation error varies. Greedy and Oracle need no estimate and are
 // constant across rows.
 func Fig9(seed int64, errorPercents []float64) ([]Fig9Row, error) {
-	tr := MSTrace(seed)
+	tr, err := MSTrace(seed)
+	if err != nil {
+		return nil, err
+	}
 	stats := workload.Analyze(tr)
 	tbl, err := StandardBoundTable(seed)
 	if err != nil {
@@ -261,7 +272,10 @@ func Fig10(seed int64, duration time.Duration, degrees []float64) ([]Fig10Row, e
 		return nil, err
 	}
 	rows, err := sim.Parallel(degrees, func(degree float64) (Fig10Row, error) {
-		tr := YahooTrace(seed, degree, duration)
+		tr, err := YahooTrace(seed, degree, duration)
+		if err != nil {
+			return Fig10Row{}, err
+		}
 		stats := workload.Analyze(tr)
 		greedy, err := Run(Scenario{Trace: tr})
 		if err != nil {
@@ -313,7 +327,10 @@ type Fig11Data struct {
 
 // Fig11 reproduces the hardware-testbed evaluation on the emulator.
 func Fig11(seed int64, reserves []time.Duration) (*Fig11Data, error) {
-	util := YahooServerTrace(seed)
+	util, err := YahooServerTrace(seed)
+	if err != nil {
+		return nil, err
+	}
 	cfg := DefaultTestbed()
 
 	cfg10 := cfg
@@ -348,7 +365,10 @@ func HeadroomSweep(seed int64, headrooms []float64) ([]SweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := YahooTrace(seed, 3.2, 15*time.Minute)
+	tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
 	stats := workload.Analyze(tr)
 	return sim.Parallel(headrooms, func(h float64) (SweepRow, error) {
 		base := Scenario{Trace: tr, DCHeadroom: h, ExplicitZeroHeadroom: h == 0}
@@ -373,7 +393,10 @@ func PUESweep(seed int64, pues []float64) ([]SweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := YahooTrace(seed, 3.2, 15*time.Minute)
+	tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
 	stats := workload.Analyze(tr)
 	return sim.Parallel(pues, func(pue float64) (SweepRow, error) {
 		base := Scenario{Trace: tr, PUE: pue}
@@ -402,12 +425,20 @@ type AblationRow struct {
 // NoTESAblation measures the §V claim that facilities without TES can still
 // sprint, with shorter durations, on both experiment traces.
 func NoTESAblation(seed int64) ([]AblationRow, error) {
+	ms, err := MSTrace(seed)
+	if err != nil {
+		return nil, err
+	}
+	yahoo, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
 	traces := []struct {
 		name string
 		tr   *Series
 	}{
-		{"ms", MSTrace(seed)},
-		{"yahoo-3.2x15min", YahooTrace(seed, 3.2, 15*time.Minute)},
+		{"ms", ms},
+		{"yahoo-3.2x15min", yahoo},
 	}
 	rows := make([]AblationRow, 0, len(traces))
 	for _, tc := range traces {
@@ -437,7 +468,10 @@ type ReserveRow struct {
 // ReserveSweep measures how the user-defined reserve time (§V-B's "1
 // minute" parameter) trades performance against safety margin.
 func ReserveSweep(seed int64, reserves []time.Duration) ([]ReserveRow, error) {
-	tr := MSTrace(seed)
+	tr, err := MSTrace(seed)
+	if err != nil {
+		return nil, err
+	}
 	return sim.Parallel(reserves, func(res time.Duration) (ReserveRow, error) {
 		r, err := Run(Scenario{Trace: tr, Reserve: res})
 		if err != nil {
@@ -478,7 +512,10 @@ func SkewWeights(groups int, skew float64) []float64 {
 // earlier, so performance degrades with imbalance, but the coordination
 // must never trip a breaker.
 func SkewExperiment(seed int64, skews []float64) ([]SkewRow, error) {
-	tr := YahooTrace(seed, 3.2, 15*time.Minute)
+	tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
 	const groups = 10
 	return sim.Parallel(skews, func(s float64) (SkewRow, error) {
 		r, err := Run(Scenario{
@@ -512,9 +549,18 @@ type EmergencyRow struct {
 // supply emergency (sprinting's stored energy rides through what capping
 // must throttle for).
 func EmergencyComparison(seed int64) ([]EmergencyRow, error) {
-	burst := YahooTrace(seed, 3.2, 15*time.Minute)
-	busy := YahooTrace(seed, 1, 0) // busy-hour demand, no burst
-	dip := workload.SupplyDip(busy.Duration(), busy.Step, 10*time.Minute, 5*time.Minute, 0.55)
+	burst, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	busy, err := YahooTrace(seed, 1, 0) // busy-hour demand, no burst
+	if err != nil {
+		return nil, err
+	}
+	dip, err := workload.SupplyDip(busy.Duration(), busy.Step, 10*time.Minute, 5*time.Minute, 0.55)
+	if err != nil {
+		return nil, err
+	}
 
 	rows := make([]EmergencyRow, 0, 3)
 
@@ -610,7 +656,10 @@ func AdaptiveComparison(seed int64, durations []time.Duration) ([]AdaptiveRow, e
 		return nil, err
 	}
 	return sim.Parallel(durations, func(d time.Duration) (AdaptiveRow, error) {
-		tr := YahooTrace(seed, 3.2, d)
+		tr, err := YahooTrace(seed, 3.2, d)
+		if err != nil {
+			return AdaptiveRow{}, err
+		}
 		stats := workload.Analyze(tr)
 		greedy, err := Run(Scenario{Trace: tr})
 		if err != nil {
@@ -656,8 +705,14 @@ type OutageRow struct {
 // 45-second crank and the facility rides through; without one the batteries
 // run dry before the grid returns and the facility browns out.
 func OutageExperiment(seed int64) ([]OutageRow, error) {
-	busy := YahooTrace(seed, 1, 0)
-	outage := workload.SupplyDip(busy.Duration(), busy.Step, 10*time.Minute, 10*time.Minute, 0.15)
+	busy, err := YahooTrace(seed, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	outage, err := workload.SupplyDip(busy.Duration(), busy.Step, 10*time.Minute, 10*time.Minute, 0.15)
+	if err != nil {
+		return nil, err
+	}
 
 	rows := make([]OutageRow, 0, 2)
 	for _, withGen := range []bool{true, false} {
@@ -703,7 +758,11 @@ type EnduranceRow struct {
 // several monthly frequencies, for lead-acid and LFP chemistries — the
 // §IV-B argument that occasional sprinting costs no battery money.
 func EnduranceReport(seed int64) ([]EnduranceRow, error) {
-	r, err := Run(Scenario{Trace: YahooTrace(seed, 3.2, 15*time.Minute)})
+	tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(Scenario{Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -740,7 +799,10 @@ type ChipPCMRow struct {
 // ends when chip-level sprinting can no longer be sustained. Small PCM
 // packages bound the sprint before the facility-level stores do.
 func ChipPCMSweep(seed int64, pcmMinutes []float64) ([]ChipPCMRow, error) {
-	tr := YahooTrace(seed, 3.2, 15*time.Minute)
+	tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		return nil, err
+	}
 	return sim.Parallel(pcmMinutes, func(m float64) (ChipPCMRow, error) {
 		r, err := Run(Scenario{Trace: tr, ChipPCMMinutes: m})
 		if err != nil {
@@ -777,7 +839,11 @@ type DayReport struct {
 // the controller through the full 24 hours, and projects a month of such
 // days onto the LFP battery wear law.
 func DayExperiment(seed int64) (*DayReport, error) {
-	day := DayTrace(seed).Scale(1.0 / 4.0) // §V-D: capacity 4 GB/s
+	day, err := DayTrace(seed)
+	if err != nil {
+		return nil, err
+	}
+	day = day.Scale(1.0 / 4.0) // §V-D: capacity 4 GB/s
 	demand, err := day.Resample(time.Second)
 	if err != nil {
 		return nil, err
@@ -879,7 +945,11 @@ func MonteCarlo(seeds int) (*MonteCarloStats, error) {
 		ids[i] = int64(i + 1)
 	}
 	vals, err := sim.Parallel(ids, func(seed int64) (float64, error) {
-		r, err := Run(Scenario{Trace: YahooTrace(seed, 3.2, 15*time.Minute)})
+		tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Run(Scenario{Trace: tr})
 		if err != nil {
 			return 0, err
 		}
@@ -941,7 +1011,10 @@ type StorePlan struct {
 // does. "Fully serve" means the average burst performance reaches 99.5% of
 // the burst's mean demand.
 func PlanStores(seed int64, degree float64, duration time.Duration) (*StorePlan, error) {
-	tr := YahooTrace(seed, degree, duration)
+	tr, err := YahooTrace(seed, degree, duration)
+	if err != nil {
+		return nil, err
+	}
 	target := workload.Analyze(tr).MeanBurstDemand
 	if target <= 1 {
 		return nil, fmt.Errorf("dcsprint: degree %v produces no burst", degree)
@@ -1012,6 +1085,130 @@ func PlanStores(seed int64, degree float64, duration time.Duration) (*StorePlan,
 		plan.Improvement = imp
 	}
 	return plan, nil
+}
+
+// ChaosRow aggregates one strategy's behaviour across seeded random fault
+// campaigns (E15). Every campaign carries at least one capacity-reducing
+// battery fault, so degraded excess is expected below the healthy baseline;
+// the hard invariant is the zero in the Trips and Overheats columns.
+type ChaosRow struct {
+	// Strategy labels the sprinting strategy under test.
+	Strategy string
+	// Campaigns is the number of random fault campaigns replayed.
+	Campaigns int
+	// Trips counts campaigns that ended in a breaker trip (must be 0).
+	Trips int
+	// Overheats counts campaigns whose room reached the 40 C threshold
+	// (must be 0).
+	Overheats int
+	// Aborts is the total number of supervision-forced sprint aborts.
+	Aborts int
+	// Deaths counts campaigns whose run ended with the facility down.
+	Deaths int
+	// HealthyExcess is the excess work served (degree-seconds above
+	// capacity) by the supervised run with an empty fault schedule.
+	HealthyExcess float64
+	// MeanDegradedExcess and WorstDegradedExcess summarize excess work
+	// served across the fault campaigns.
+	MeanDegradedExcess  float64
+	WorstDegradedExcess float64
+	// MinTripMargin is the smallest 1 - MaxBreakerStress any campaign
+	// left on any breaker's thermal accumulator.
+	MinTripMargin float64
+}
+
+// chaosCampaigns is the default campaign count per strategy for E15.
+const chaosCampaigns = 50
+
+// Chaos (E15) replays seeded random fault campaigns — battery failures,
+// TES valve/leak faults, chiller degradation, grid curtailments, breaker
+// derates and sensor faults — against all five strategies on a 2.5x / 12 min
+// Yahoo burst, and reports how gracefully each degrades. The healthy
+// baseline runs with a non-nil empty schedule so it exercises the same
+// supervised telemetry path as the faulted runs. campaigns <= 0 means the
+// default of 50.
+func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
+	if campaigns <= 0 {
+		campaigns = chaosCampaigns
+	}
+	tr, err := YahooTrace(seed, 2.5, 12*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	stats := workload.Analyze(tr)
+	tbl, err := StandardBoundTable(seed)
+	if err != nil {
+		return nil, err
+	}
+	// The default facility: sim.DefaultServers at 200 servers per PDU.
+	groups := sim.DefaultServers / 200
+	strategies := []struct {
+		name string
+		st   Strategy
+	}{
+		{"greedy", Greedy()},
+		{"fixed-bound", FixedBound(2.0)},
+		{"prediction", Prediction(stats.AggregateDuration, tbl)},
+		{"heuristic", Heuristic(2.5, 0.10)},
+		{"adaptive", Adaptive(tbl)},
+	}
+	rows := make([]ChaosRow, 0, len(strategies))
+	for _, s := range strategies {
+		healthy, err := Run(Scenario{
+			Name:     "chaos-healthy-" + s.name,
+			Trace:    tr,
+			Strategy: s.st,
+			Faults:   &faults.Schedule{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, campaigns)
+		for i := range idx {
+			idx[i] = i
+		}
+		results, err := sim.Parallel(idx, func(i int) (*Result, error) {
+			return Run(Scenario{
+				Name:     fmt.Sprintf("chaos-%s-%d", s.name, i),
+				Trace:    tr,
+				Strategy: s.st,
+				Faults:   faults.Random(seed*1000+int64(i), tr.Duration(), groups),
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := ChaosRow{
+			Strategy:            s.name,
+			Campaigns:           campaigns,
+			HealthyExcess:       healthy.ExcessServed,
+			WorstDegradedExcess: math.Inf(1),
+			MinTripMargin:       1 - healthy.MaxBreakerStress,
+		}
+		var sum float64
+		for _, r := range results {
+			if r.TrippedAt >= 0 {
+				row.Trips++
+			}
+			if r.Telemetry.RoomTemp.Max() >= 40 {
+				row.Overheats++
+			}
+			if r.Dead {
+				row.Deaths++
+			}
+			row.Aborts += r.Aborts
+			sum += r.ExcessServed
+			if r.ExcessServed < row.WorstDegradedExcess {
+				row.WorstDegradedExcess = r.ExcessServed
+			}
+			if m := 1 - r.MaxBreakerStress; m < row.MinTripMargin {
+				row.MinTripMargin = m
+			}
+		}
+		row.MeanDegradedExcess = sum / float64(campaigns)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // TestbedPolicies returns the three testbed policies for iteration.

@@ -62,6 +62,17 @@ func (b *Breaker) Tripped() bool { return b.tripped }
 // Load returns the load observed by the most recent Step.
 func (b *Breaker) Load() units.Watts { return b.load }
 
+// Derate permanently reduces the rating to frac of its current value — an
+// aged or heat-soaked breaker that can no longer carry its nameplate. The
+// thermal accumulator and trip state are preserved; frac outside (0, 1] is
+// ignored.
+func (b *Breaker) Derate(frac float64) {
+	if frac <= 0 || frac > 1 {
+		return
+	}
+	b.Rated = units.Watts(float64(b.Rated) * frac)
+}
+
 // Reset closes a tripped breaker and clears its thermal state. In a real
 // facility this is a manual intervention after a shutdown; the simulator
 // exposes it for experiment reuse.

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dcsprint/internal/breaker"
 	"dcsprint/internal/chip"
 	"dcsprint/internal/cooling"
+	"dcsprint/internal/faults"
 	"dcsprint/internal/genset"
 	"dcsprint/internal/power"
 	"dcsprint/internal/server"
@@ -104,7 +106,8 @@ type TickResult struct {
 	RoomTemp units.Celsius
 	// Tripped reports a breaker trip during this tick.
 	Tripped bool
-	// Dead reports that the facility is down (post-trip shutdown).
+	// Dead reports that the facility is down (post-trip or post-overheat
+	// shutdown).
 	Dead bool
 }
 
@@ -144,6 +147,17 @@ type Controller struct {
 	tesDelay    time.Duration
 	dead        bool
 
+	// Supervision layer (nil sensors = trust the physical models directly;
+	// the planner then reads component state and behaves exactly as before).
+	sensors       faults.Sensors
+	sup           *supervisor
+	view          sensorView
+	tempEst       units.Celsius // heat-balance dead reckoning of the room
+	chillerHealth float64       // chiller capacity fraction in [0, 1]
+	degradeCap    float64       // degraded-mode sprinting-degree cap
+	prevSprinting bool
+	prevShed      bool
+
 	// Event-log state.
 	now           time.Duration
 	events        []Event
@@ -158,18 +172,20 @@ type Controller struct {
 
 // plan is one tick's (possibly unsafe, when forced) power assignment.
 type plan struct {
-	flow         power.Flow
-	delivered    float64 // facility-normalized throughput
-	maxCores     int     // largest group core count
-	meanDegree   float64
-	heatGen      units.Watts
-	heatAbsorbed units.Watts
-	chillerElec  units.Watts
-	tesAbsorb    units.Watts
-	upsRecharge  []units.Watts
-	tesRecharge  units.Watts
-	tesOn        bool
-	sprinting    bool
+	flow          power.Flow
+	delivered     float64 // facility-normalized throughput
+	maxCores      int     // largest group core count
+	meanDegree    float64
+	heatGen       units.Watts
+	heatAbsorbed  units.Watts
+	chillerAbsorb units.Watts // chiller share of heatAbsorbed
+	chillerElec   units.Watts
+	tesAbsorb     units.Watts
+	upsRecharge   []units.Watts
+	tesRecharge   units.Watts
+	tesOn         bool
+	sprinting     bool
+	thermalShed   bool
 }
 
 // New returns a controller. The tank may be nil (no TES installed).
@@ -200,11 +216,14 @@ func New(cfg Config, tree *power.Tree, room *cooling.Room, tank *tes.Tank) (*Con
 		return nil, err
 	}
 	return &Controller{
-		cfg:     cfg,
-		tree:    tree,
-		room:    room,
-		tank:    tank,
-		weights: weights,
+		cfg:           cfg,
+		tree:          tree,
+		room:          room,
+		tank:          tank,
+		weights:       weights,
+		tempEst:       cfg.Cooling.Ambient,
+		chillerHealth: 1,
+		degradeCap:    cfg.Server.MaxDegree(),
 		tesDelay: cooling.TESActivationDelay(
 			cfg.Server.PeakNormalPower(), cfg.Server.MaxAdditionalPower()),
 	}, nil
@@ -307,6 +326,15 @@ func (c *Controller) Tick(demand float64, dt time.Duration) TickResult {
 
 // TickInput advances the controller by dt under the given environment.
 func (c *Controller) TickInput(in Input, dt time.Duration) TickResult {
+	// Sanitize the environment: a corrupt demand signal reads as full
+	// normal load (conservative but serviceable), a corrupt or negative
+	// supply limit as no limit information at all.
+	if math.IsNaN(in.Demand) || math.IsInf(in.Demand, 0) {
+		in.Demand = 1
+	}
+	if math.IsNaN(float64(in.SupplyLimit)) || math.IsInf(float64(in.SupplyLimit), 0) || in.SupplyLimit < 0 {
+		in.SupplyLimit = 0
+	}
 	demand := in.Demand
 	if dt <= 0 {
 		return TickResult{Demand: demand, Dead: c.dead}
@@ -371,7 +399,16 @@ func (c *Controller) TickInput(in Input, dt time.Duration) TickResult {
 		}
 	}
 
+	// Supervision: cross-check the sensor plane, build this tick's
+	// planning view, and ramp the degraded-mode degree cap.
+	if c.sensors != nil {
+		c.supervise(dt)
+	}
+
 	bound := units.Clamp(c.cfg.Strategy.UpperBound(c.state(demand)), 1, c.cfg.Server.MaxDegree())
+	if c.sensors != nil && bound > c.degradeCap {
+		bound = c.degradeCap
+	}
 	capCores := c.cfg.Server.CoresForDegree(bound)
 	if chipCap := c.chipCoreCap(); capCores > chipCap {
 		capCores = chipCap
@@ -472,38 +509,92 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 	// Phase 3 decision: the TES engages once the sprint has run long
 	// enough that the room would otherwise approach the CFD budget — or
 	// immediately in a supply emergency — and stays engaged until the
-	// tank is spent or the need passes.
+	// tank is spent or the need passes. With sensors attached the planner
+	// believes the (supervised) sensed level, not the model's internals.
+	tesEmpty := c.tank == nil || c.tank.Empty()
+	if c.sensors != nil && c.tank != nil {
+		tesEmpty = c.view.tesLevel <= 0
+	}
 	tesOn := sprinting && c.tesActive
-	if sprinting && !tesOn && c.tank != nil && !c.tank.Empty() && c.sprintTime >= c.tesDelay {
+	if sprinting && !tesOn && c.tank != nil && !tesEmpty && c.sprintTime >= c.tesDelay {
 		tesOn = true
 	}
-	if !tesOn && supplyShort && c.tank != nil && !c.tank.Empty() {
+	if !tesOn && supplyShort && c.tank != nil && !tesEmpty {
 		tesOn = true
 	}
-	if c.tank == nil || c.tank.Empty() {
+	if c.tank == nil || tesEmpty {
 		tesOn = false
 	}
 	var chillerElec, chillerAbsorb, tesAbsorb units.Watts
 	if tesOn {
 		tesAbsorb = gen
-		if max := c.tank.MaxAbsorb(dt); tesAbsorb > max {
+		max := c.tank.MaxAbsorb(dt)
+		if c.sensors != nil {
+			max = c.tank.MaxAbsorbAtSoC(c.view.tesLevel, dt)
+		}
+		if tesAbsorb > max {
 			tesAbsorb = max
 		}
 		chillerElec = c.tank.ChillerPowerWhileDischarging(coolNormal)
 	} else {
 		chillerElec = coolNormal
 		chillerAbsorb = gen
-		if cap := c.cfg.Cooling.ChillerHeatCapacity(); chillerAbsorb > cap {
+		if cap := c.chillerCap(); chillerAbsorb > cap {
 			chillerAbsorb = cap
 		}
 	}
 	heatAbsorbed := chillerAbsorb + tesAbsorb
 
 	// Thermal guard: never commit to a heat gap that would overheat the
-	// room within the guard window.
+	// room within the guard window. The guard is evaluated against the
+	// supervised planning temperature when sensors are attached, so a
+	// lying room sensor cannot relax it.
+	planTemp := c.room.Temperature()
+	if c.sensors != nil {
+		planTemp = c.view.roomTemp
+	}
+	thermalShed := false
 	if gap := gen - heatAbsorbed; gap > 0 && !force {
-		if t, finite := c.room.TimeToThreshold(gap); finite && t < c.cfg.ThermalGuard {
-			return plan{}, false
+		if t, finite := c.cfg.Cooling.TimeToThresholdFrom(planTemp, gap); finite && t < c.cfg.ThermalGuard {
+			if sprinting {
+				// Let the core-cap descent shrink the gap first.
+				return plan{}, false
+			}
+			// Even the normal operating point out-heats the (degraded)
+			// plant. Shed load so the residual gap keeps the room below
+			// the threshold for at least the guard window: allow only the
+			// gap that consumes the remaining margin no faster than
+			// margin/guard.
+			margin := float64(c.cfg.Cooling.Threshold - planTemp)
+			if margin < 0 {
+				margin = 0
+			}
+			allowed := units.Watts(margin * c.cfg.Cooling.ThermalCapacity / c.cfg.ThermalGuard.Seconds())
+			if budget := heatAbsorbed + allowed; budget < gen {
+				scale := float64(budget) / float64(gen)
+				for g := range groups {
+					gp := &groups[g]
+					target := gp.perServer * units.Watts(scale)
+					shed := srv.DemandForPower(gp.cores, target)
+					if shed < gp.delivered {
+						gp.delivered = shed
+						gp.perServer, _ = srv.PowerAtDemand(gp.cores, shed)
+					}
+				}
+				gen = heatGen()
+				thermalShed = true
+				if tesOn {
+					if tesAbsorb > gen {
+						tesAbsorb = gen
+					}
+				} else {
+					chillerAbsorb = gen
+					if cap := c.chillerCap(); chillerAbsorb > cap {
+						chillerAbsorb = cap
+					}
+				}
+				heatAbsorbed = chillerAbsorb + tesAbsorb
+			}
 		}
 	}
 
@@ -547,6 +638,9 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 	for g, pdu := range c.tree.PDUs {
 		gp := &groups[g]
 		upsMax := pdu.UPS.MaxOutput(dt)
+		if c.sensors != nil {
+			upsMax = pdu.UPS.MaxOutputAtSoC(c.view.soc[g], dt)
+		}
 		afford := cbAlloc[g] + upsMax
 		need := gp.perServer * groupSize
 		for need > afford+1e-9 && gp.cores > srv.NormalCores {
@@ -584,11 +678,13 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 
 	// Assemble the result from the (possibly reduced) groups.
 	p := plan{
-		flow:         flow,
-		chillerElec:  chillerElec,
-		tesAbsorb:    tesAbsorb,
-		tesOn:        tesOn,
-		heatAbsorbed: heatAbsorbed,
+		flow:          flow,
+		chillerElec:   chillerElec,
+		chillerAbsorb: chillerAbsorb,
+		tesAbsorb:     tesAbsorb,
+		tesOn:         tesOn,
+		heatAbsorbed:  heatAbsorbed,
+		thermalShed:   thermalShed,
 	}
 	var deliveredSum, degreeSum float64
 	for g := range groups {
@@ -609,12 +705,14 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 		if p.tesAbsorb > p.heatGen {
 			p.tesAbsorb = p.heatGen
 		}
+		p.chillerAbsorb = 0
 		p.heatAbsorbed = p.tesAbsorb
 	} else {
 		chillerAbsorb = p.heatGen
-		if cap := c.cfg.Cooling.ChillerHeatCapacity(); chillerAbsorb > cap {
+		if cap := c.chillerCap(); chillerAbsorb > cap {
 			chillerAbsorb = cap
 		}
+		p.chillerAbsorb = chillerAbsorb
 		p.heatAbsorbed = chillerAbsorb
 	}
 
@@ -699,7 +797,33 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 	}
 
 	err := c.tree.Step(flow, dt)
-	c.room.Step(p.heatGen, p.heatAbsorbed, dt)
+	// Discharge the tank before stepping the room: the room must see the
+	// absorption that actually happened (a stuck valve or leaked tank
+	// delivers less than the plan assumed), so a faulted store shows up
+	// as heat, not as phantom cooling.
+	var tesRate units.Watts
+	if p.tesAbsorb > 0 && c.tank != nil {
+		tesRate = c.tank.Discharge(p.tesAbsorb, dt)
+	}
+	// The cooling the controller commanded versus the cooling that arrived
+	// is the one actuation it can verify directly (supply/return delta in a
+	// real loop). A shortfall means a stuck valve or a lying level sensor;
+	// either way the tank cannot be planned on, so distrust it immediately —
+	// the frozen-level detector alone would take DefaultFreezeLimit, and in
+	// phase 3 the chiller is already shed, so that latency costs real heat.
+	if c.sup != nil && !c.sup.tes.distrusted && p.tesAbsorb > 1 && tesRate < p.tesAbsorb-1 {
+		c.judge(&c.sup.tes, faults.Reading{Value: c.sup.tes.last, OK: c.sup.tes.haveLast},
+			fmt.Sprintf("actuation shortfall: commanded %v, delivered %v", p.tesAbsorb, tesRate))
+	}
+	actualAbsorbed := p.chillerAbsorb + tesRate
+	c.room.Step(p.heatGen, actualAbsorbed, dt)
+	// Advance the heat-balance dead reckoning with the same numbers the
+	// room integrated; the thermal guard plans on max(estimate, trusted
+	// sensed value), so a lying sensor can only tighten it.
+	c.tempEst += units.Celsius(float64(p.heatGen-actualAbsorbed) * dt.Seconds() / c.cfg.Cooling.ThermalCapacity)
+	if c.tempEst < c.cfg.Cooling.Ambient {
+		c.tempEst = c.cfg.Cooling.Ambient
+	}
 	if c.chip != nil {
 		// Track the hottest chip: the largest per-server chip power of
 		// the tick (server power minus the constant non-CPU share).
@@ -712,10 +836,6 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 			}
 		}
 		c.chip.Step(hottest, dt)
-	}
-	var tesRate units.Watts
-	if p.tesAbsorb > 0 && c.tank != nil {
-		tesRate = c.tank.Discharge(p.tesAbsorb, dt)
 	}
 	c.tesActive = p.tesOn && c.tank != nil && !c.tank.Empty()
 
@@ -789,6 +909,13 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 		res.Delivered = 0
 		c.dead = true
 		res.Dead = true
+	} else if c.room.Overheated() {
+		// The room reaching the shutdown threshold forces an automatic IT
+		// shutdown. The thermal guard plans away from this; reaching it
+		// means the plant degraded faster than any plan could shed.
+		res.Delivered = 0
+		c.dead = true
+		res.Dead = true
 	}
 
 	// Transition events.
@@ -808,10 +935,23 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 		c.chipExhausted = true
 		c.emit(EventChipPCMExhausted, "chip-level sprinting no longer sustainable")
 	}
+	if p.thermalShed != c.prevShed {
+		if p.thermalShed {
+			c.emit(EventThermalShed, "plant cannot absorb normal heat; shedding load")
+		}
+		c.prevShed = p.thermalShed
+	}
+	c.prevSprinting = p.sprinting
+	if c.sup != nil {
+		c.sup.noteExpectations(p, actualAbsorbed, c.tempEst, c.cfg.Cooling.Ambient)
+	}
 	if res.Dead {
-		if res.Tripped && in.SupplyLimit > 0 && flow.DCLoad() > in.SupplyLimit+genUsed {
+		switch {
+		case err == nil:
+			c.emit(EventOverheated, fmt.Sprintf("room at %v", c.room.Temperature()))
+		case in.SupplyLimit > 0 && flow.DCLoad() > in.SupplyLimit+genUsed:
 			c.emit(EventBrownout, err.Error())
-		} else {
+		default:
 			c.emit(EventBreakerTripped, err.Error())
 		}
 	}
@@ -856,7 +996,7 @@ func (c *Controller) tickUncontrolled(demand float64, dt time.Duration) TickResu
 		}
 	}
 	chillerAbsorb := heatGen
-	if cap := c.cfg.Cooling.ChillerHeatCapacity(); chillerAbsorb > cap {
+	if cap := c.chillerCap(); chillerAbsorb > cap {
 		chillerAbsorb = cap
 	}
 
@@ -886,7 +1026,7 @@ func (c *Controller) tickUncontrolled(demand float64, dt time.Duration) TickResu
 		if err != nil {
 			c.emit(EventBreakerTripped, err.Error())
 		} else {
-			c.emit(EventBrownout, "room overheated")
+			c.emit(EventOverheated, "room overheated")
 		}
 	}
 	return res

@@ -30,6 +30,20 @@ const (
 	// EventBreakerTripped and EventBrownout are terminal failures.
 	EventBreakerTripped
 	EventBrownout
+	// EventOverheated marks the room reaching the shutdown threshold — an
+	// automatic IT shutdown, also terminal.
+	EventOverheated
+	// EventSensorDistrusted and EventSensorRestored bracket a supervision
+	// episode on one telemetry channel.
+	EventSensorDistrusted
+	EventSensorRestored
+	// EventSprintAborted marks the degraded-mode ramp reaching degree 1
+	// mid-burst: the controller gave up sprinting and re-entered normal
+	// mode because it no longer trusts its telemetry.
+	EventSprintAborted
+	// EventThermalShed marks the planner shedding normal-mode load because
+	// the (possibly degraded) plant cannot absorb even the normal heat.
+	EventThermalShed
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +71,16 @@ func (k EventKind) String() string {
 		return "breaker-tripped"
 	case EventBrownout:
 		return "brownout"
+	case EventOverheated:
+		return "overheated"
+	case EventSensorDistrusted:
+		return "sensor-distrusted"
+	case EventSensorRestored:
+		return "sensor-restored"
+	case EventSprintAborted:
+		return "sprint-aborted"
+	case EventThermalShed:
+		return "thermal-shed"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

@@ -88,7 +88,9 @@ func TestEventKindStrings(t *testing.T) {
 		EventBurstStarted, EventBurstEnded, EventPhaseChanged,
 		EventTESActivated, EventTESExhausted, EventGeneratorStarted,
 		EventGeneratorOnline, EventGeneratorStopped, EventChipPCMExhausted,
-		EventBreakerTripped, EventBrownout,
+		EventBreakerTripped, EventBrownout, EventOverheated,
+		EventSensorDistrusted, EventSensorRestored, EventSprintAborted,
+		EventThermalShed,
 	} {
 		if s := k.String(); strings.HasPrefix(s, "event(") {
 			t.Fatalf("missing name for kind %d", int(k))

@@ -149,7 +149,10 @@ func TestTraceRevenueFig1Example(t *testing.T) {
 	// N=4, Ut=4U0 yields roughly $19M of monthly sprinting revenue. Our
 	// synthetic day differs from the original, so assert the order of
 	// magnitude.
-	day := workload.SyntheticMSDay(3)
+	day, err := workload.SyntheticMSDay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := TraceRevenue(Default(), day, 4, 3.48*1.15, 4)
 	if got < 3e6 || got > 6e7 {
 		t.Fatalf("TraceRevenue = %v, want O($10M)", got)
@@ -162,7 +165,10 @@ func TestTraceRevenueFig1Example(t *testing.T) {
 }
 
 func TestTraceRevenueEdgeCases(t *testing.T) {
-	day := workload.SyntheticMSDay(3)
+	day, err := workload.SyntheticMSDay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := TraceRevenue(Default(), day, 0, 4, 4); got != 0 {
 		t.Errorf("zero capacity revenue = %v", got)
 	}

@@ -1,0 +1,551 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// dcsprint simulator. It models the component failures and telemetry
+// corruptions a real facility sees mid-sprint — battery strings dying or
+// fading, TES valves sticking, tanks leaking, chillers losing stages, grid
+// feeds curtailing, breakers derating, and sensors going stale, dropping
+// out, picking up noise or freezing — as typed, time-stamped events in a
+// Schedule.
+//
+// A Schedule is parsed from a small line-based text spec so the same
+// campaign can be replayed bit-identically by `cmd/dcsprint --faults` and
+// `cmd/experiments`, and Random builds seeded campaigns for chaos sweeps.
+// An Injector applies due events to the physical components each tick, and
+// a SensorBus sits between the components and the controller, corrupting
+// the readings the controller plans on.
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcsprint/internal/units"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+// Fault kinds. Component faults mutate the physical models; sensor faults
+// corrupt only what the controller sees.
+const (
+	// KindBatteryFail kills a PDU group's battery string outright.
+	KindBatteryFail Kind = iota + 1
+	// KindBatteryFade multiplies a group's battery capacity and power
+	// limits by Frac (capacity fade from age or temperature).
+	KindBatteryFade
+	// KindTESValveStuck blocks TES discharge (the cold is there but the
+	// valve will not open). Dur > 0 frees the valve after the window.
+	KindTESValveStuck
+	// KindTESLeak drains the tank's cold at Rate, bypassing the valve.
+	// Dur > 0 stops the leak after the window; zero leaks forever.
+	KindTESLeak
+	// KindChillerFail reduces the chiller plant's heat-absorption capacity
+	// to Frac of nominal. Dur > 0 restores full capacity afterwards.
+	KindChillerFail
+	// KindGridCurtail caps the utility feed at Frac of the DC breaker
+	// rating for Dur (Frac 0 is a full collapse).
+	KindGridCurtail
+	// KindBreakerDerate permanently reduces a breaker rating to Frac of
+	// its current value (Level selects the DC or a PDU breaker).
+	KindBreakerDerate
+	// KindSensorStale freezes a sensor's value and timestamp for Dur.
+	KindSensorStale
+	// KindSensorDropout makes a sensor return no reading for Dur.
+	KindSensorDropout
+	// KindSensorNoise adds zero-mean gaussian noise of stddev Sigma for
+	// Dur.
+	KindSensorNoise
+	// KindSensorStuck freezes a sensor's value for Dur while its timestamp
+	// keeps advancing — the insidious case staleness checks cannot see.
+	KindSensorStuck
+	kindEnd // one past the last valid kind
+)
+
+// kindNames maps kinds to their spec keywords (and back).
+var kindNames = map[Kind]string{
+	KindBatteryFail:   "battery-fail",
+	KindBatteryFade:   "battery-fade",
+	KindTESValveStuck: "tes-valve-stuck",
+	KindTESLeak:       "tes-leak",
+	KindChillerFail:   "chiller-fail",
+	KindGridCurtail:   "grid-curtail",
+	KindBreakerDerate: "breaker-derate",
+	KindSensorStale:   "sensor-stale",
+	KindSensorDropout: "sensor-dropout",
+	KindSensorNoise:   "sensor-noise",
+	KindSensorStuck:   "sensor-stuck",
+}
+
+// String implements fmt.Stringer with the spec keyword.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// SensorFault reports whether the kind corrupts telemetry rather than a
+// physical component.
+func (k Kind) SensorFault() bool {
+	switch k {
+	case KindSensorStale, KindSensorDropout, KindSensorNoise, KindSensorStuck:
+		return true
+	}
+	return false
+}
+
+// Sensor identifies one telemetry channel the SensorBus can corrupt.
+type Sensor int
+
+// The corruptible telemetry channels.
+const (
+	// SensorRoomTemp is the room temperature the thermal guard plans on.
+	SensorRoomTemp Sensor = iota + 1
+	// SensorUPSSoC is the per-group battery state of charge.
+	SensorUPSSoC
+	// SensorTESLevel is the TES tank cold level.
+	SensorTESLevel
+	sensorEnd
+)
+
+var sensorNames = map[Sensor]string{
+	SensorRoomTemp: "room-temp",
+	SensorUPSSoC:   "ups-soc",
+	SensorTESLevel: "tes-level",
+}
+
+// String implements fmt.Stringer with the spec keyword.
+func (s Sensor) String() string {
+	if n, ok := sensorNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("sensor(%d)", int(s))
+}
+
+// GroupAll targets every PDU group in a battery fault.
+const GroupAll = -1
+
+// LevelDC and LevelPDU select the breaker a derate event targets.
+const (
+	LevelDC  = "dc"
+	LevelPDU = "pdu"
+)
+
+// Event is one typed, time-stamped fault.
+type Event struct {
+	// At is the simulation time the fault fires.
+	At time.Duration
+	// Kind classifies the fault.
+	Kind Kind
+	// Group is the target PDU group for battery faults and PDU-level
+	// breaker derates; GroupAll targets every group.
+	Group int
+	// Frac is the kind-specific fraction parameter (remaining capacity,
+	// supply fraction, derate factor).
+	Frac float64
+	// Rate is the TES leak rate.
+	Rate units.Watts
+	// Dur is the fault window for windowed kinds; zero means permanent
+	// where permanence is meaningful.
+	Dur time.Duration
+	// Sensor is the target channel for sensor faults.
+	Sensor Sensor
+	// Sigma is the noise stddev for KindSensorNoise, in the sensor's
+	// native unit (degrees Celsius or SoC fraction).
+	Sigma float64
+	// Value is the explicit stuck-at value for KindSensorStuck; NaN means
+	// "freeze at whatever the sensor reads when the fault fires".
+	Value float64
+}
+
+// String renders the event as one canonical spec line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", e.At, e.Kind)
+	switch e.Kind {
+	case KindBatteryFail:
+		b.WriteString(groupField(e.Group))
+	case KindBatteryFade:
+		b.WriteString(groupField(e.Group))
+		fmt.Fprintf(&b, " frac=%g", e.Frac)
+	case KindTESValveStuck:
+		if e.Dur > 0 {
+			fmt.Fprintf(&b, " dur=%s", e.Dur)
+		}
+	case KindTESLeak:
+		fmt.Fprintf(&b, " rate=%g", float64(e.Rate))
+		if e.Dur > 0 {
+			fmt.Fprintf(&b, " dur=%s", e.Dur)
+		}
+	case KindChillerFail:
+		fmt.Fprintf(&b, " frac=%g", e.Frac)
+		if e.Dur > 0 {
+			fmt.Fprintf(&b, " dur=%s", e.Dur)
+		}
+	case KindGridCurtail:
+		fmt.Fprintf(&b, " frac=%g dur=%s", e.Frac, e.Dur)
+	case KindBreakerDerate:
+		if e.Group == GroupAll {
+			fmt.Fprintf(&b, " level=%s frac=%g", LevelDC, e.Frac)
+		} else {
+			fmt.Fprintf(&b, " level=%s group=%d frac=%g", LevelPDU, e.Group, e.Frac)
+		}
+	case KindSensorStale, KindSensorDropout:
+		fmt.Fprintf(&b, " sensor=%s dur=%s", e.Sensor, e.Dur)
+	case KindSensorNoise:
+		fmt.Fprintf(&b, " sensor=%s sigma=%g dur=%s", e.Sensor, e.Sigma, e.Dur)
+	case KindSensorStuck:
+		fmt.Fprintf(&b, " sensor=%s dur=%s", e.Sensor, e.Dur)
+		if !math.IsNaN(e.Value) {
+			fmt.Fprintf(&b, " value=%g", e.Value)
+		}
+	}
+	return b.String()
+}
+
+func groupField(g int) string {
+	if g == GroupAll {
+		return " group=all"
+	}
+	return fmt.Sprintf(" group=%d", g)
+}
+
+// Validate reports whether the event is well-formed.
+func (e Event) Validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("faults: negative event time %v", e.At)
+	}
+	if e.Dur < 0 {
+		return fmt.Errorf("faults: negative duration %v", e.Dur)
+	}
+	frac01 := func() error {
+		if e.Frac < 0 || e.Frac > 1 || math.IsNaN(e.Frac) {
+			return fmt.Errorf("faults: %s frac %v out of [0,1]", e.Kind, e.Frac)
+		}
+		return nil
+	}
+	switch e.Kind {
+	case KindBatteryFail:
+		if e.Group < GroupAll {
+			return fmt.Errorf("faults: bad group %d", e.Group)
+		}
+	case KindBatteryFade:
+		if e.Group < GroupAll {
+			return fmt.Errorf("faults: bad group %d", e.Group)
+		}
+		return frac01()
+	case KindTESValveStuck:
+	case KindTESLeak:
+		if e.Rate <= 0 || math.IsNaN(float64(e.Rate)) || math.IsInf(float64(e.Rate), 0) {
+			return fmt.Errorf("faults: tes-leak rate %v not positive", e.Rate)
+		}
+	case KindChillerFail:
+		return frac01()
+	case KindGridCurtail:
+		if e.Dur == 0 {
+			return fmt.Errorf("faults: grid-curtail needs dur")
+		}
+		return frac01()
+	case KindBreakerDerate:
+		if e.Frac <= 0 || e.Frac > 1 || math.IsNaN(e.Frac) {
+			return fmt.Errorf("faults: breaker-derate frac %v out of (0,1]", e.Frac)
+		}
+		if e.Group < GroupAll {
+			return fmt.Errorf("faults: bad group %d", e.Group)
+		}
+	case KindSensorStale, KindSensorDropout, KindSensorNoise, KindSensorStuck:
+		if e.Sensor <= 0 || e.Sensor >= sensorEnd {
+			return fmt.Errorf("faults: %s needs a sensor", e.Kind)
+		}
+		if e.Dur == 0 {
+			return fmt.Errorf("faults: %s needs dur", e.Kind)
+		}
+		if e.Kind == KindSensorNoise && (e.Sigma <= 0 || math.IsNaN(e.Sigma) || math.IsInf(e.Sigma, 0)) {
+			return fmt.Errorf("faults: sensor-noise sigma %v not positive", e.Sigma)
+		}
+		if e.Kind == KindSensorStuck && math.IsInf(e.Value, 0) {
+			return fmt.Errorf("faults: sensor-stuck value infinite")
+		}
+	default:
+		return fmt.Errorf("faults: unknown kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Schedule is an immutable, time-ordered fault campaign.
+type Schedule struct {
+	// Events is sorted by At (stable for equal times).
+	Events []Event
+}
+
+// NewSchedule validates and time-orders the events into a Schedule.
+func NewSchedule(events []Event) (*Schedule, error) {
+	out := make([]Event, len(events))
+	copy(out, events)
+	for i := range out {
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return &Schedule{Events: out}, nil
+}
+
+// String renders the schedule as a parseable spec.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// maxSpecLines bounds parsing so a pathological input cannot exhaust memory.
+const maxSpecLines = 100000
+
+// Parse reads a fault spec: one event per line as
+//
+//	<time> <kind> [key=value ...]
+//
+// with times in Go duration syntax ("90s", "3m20s"), '#' comments and blank
+// lines ignored. It never panics; malformed input returns an error.
+func Parse(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if lineNo > maxSpecLines {
+			return nil, fmt.Errorf("faults: spec exceeds %d lines", maxSpecLines)
+		}
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		ev, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faults: line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	return NewSchedule(events)
+}
+
+// ParseFile reads a fault spec from a file.
+func ParseFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// parseLine decodes one "<time> <kind> k=v..." field list.
+func parseLine(fields []string) (Event, error) {
+	if len(fields) < 2 {
+		return Event{}, fmt.Errorf("want \"<time> <kind> [key=value ...]\", got %q", strings.Join(fields, " "))
+	}
+	at, err := time.ParseDuration(fields[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time %q: %v", fields[0], err)
+	}
+	var kind Kind
+	for k, name := range kindNames {
+		if name == fields[1] {
+			kind = k
+			break
+		}
+	}
+	if kind == 0 {
+		return Event{}, fmt.Errorf("unknown fault kind %q", fields[1])
+	}
+	ev := Event{At: at, Kind: kind, Group: GroupAll, Value: math.NaN()}
+	level := ""
+	for _, f := range fields[2:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("bad field %q (want key=value)", f)
+		}
+		switch key {
+		case "group":
+			if val == "all" {
+				ev.Group = GroupAll
+				break
+			}
+			g, err := strconv.Atoi(val)
+			if err != nil || g < 0 {
+				return Event{}, fmt.Errorf("bad group %q", val)
+			}
+			ev.Group = g
+		case "frac":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("bad frac %q", val)
+			}
+			ev.Frac = x
+		case "rate":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("bad rate %q", val)
+			}
+			ev.Rate = units.Watts(x)
+		case "dur":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Event{}, fmt.Errorf("bad dur %q: %v", val, err)
+			}
+			ev.Dur = d
+		case "sigma":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("bad sigma %q", val)
+			}
+			ev.Sigma = x
+		case "value":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("bad value %q", val)
+			}
+			ev.Value = x
+		case "sensor":
+			var sensor Sensor
+			for s, name := range sensorNames {
+				if name == val {
+					sensor = s
+					break
+				}
+			}
+			if sensor == 0 {
+				return Event{}, fmt.Errorf("unknown sensor %q", val)
+			}
+			ev.Sensor = sensor
+		case "level":
+			if val != LevelDC && val != LevelPDU {
+				return Event{}, fmt.Errorf("bad level %q (want dc or pdu)", val)
+			}
+			level = val
+		default:
+			return Event{}, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if ev.Kind == KindBreakerDerate {
+		switch level {
+		case LevelDC, "":
+			ev.Group = GroupAll
+		case LevelPDU:
+			if ev.Group == GroupAll {
+				return Event{}, fmt.Errorf("breaker-derate level=pdu needs group=N")
+			}
+		}
+	}
+	if err := ev.Validate(); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// Random builds a seeded chaos campaign over the given horizon for a
+// facility with the given PDU-group count. Every campaign carries at least
+// one capacity-reducing battery fault (so a degraded run demonstrably
+// serves less excess work than the healthy baseline) plus one to three
+// other faults drawn from the full taxonomy.
+//
+// The parameter ranges are bounded to survivable severities — the chaos
+// invariant is that the controller must degrade, not die, so Random stays
+// clear of physically unsurvivable campaigns (deep grid collapse with no
+// generator, chillers below the idle heat load); those remain expressible
+// in hand-written specs.
+func Random(seed int64, horizon time.Duration, groups int) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if groups < 1 {
+		groups = 1
+	}
+	at := func(lo, hi float64) time.Duration {
+		f := lo + (hi-lo)*rng.Float64()
+		return time.Duration(f * float64(horizon))
+	}
+	dur := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+	}
+	var events []Event
+
+	// The guaranteed battery fault: fail or fade a random subset of groups
+	// somewhere in the first two thirds of the horizon.
+	k := 1 + rng.Intn((groups+1)/2)
+	perm := rng.Perm(groups)[:k]
+	batAt := at(0, 0.66)
+	if rng.Intn(2) == 0 {
+		for _, g := range perm {
+			events = append(events, Event{At: batAt, Kind: KindBatteryFail, Group: g})
+		}
+	} else {
+		frac := 0.3 + 0.5*rng.Float64()
+		for _, g := range perm {
+			events = append(events, Event{At: batAt, Kind: KindBatteryFade, Group: g, Frac: frac})
+		}
+	}
+
+	extra := 1 + rng.Intn(3)
+	for i := 0; i < extra; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			events = append(events, Event{At: at(0, 0.8), Kind: KindTESValveStuck, Dur: dur(time.Minute, 10*time.Minute)})
+		case 1:
+			// Drain the whole tank over 8-25 minutes: the level sensor sees
+			// it, the planner must not count on the missing cold.
+			rate := units.Watts(1e5 * (0.5 + rng.Float64()))
+			events = append(events, Event{At: at(0, 0.6), Kind: KindTESLeak, Rate: rate})
+		case 2:
+			events = append(events, Event{At: at(0, 0.7), Kind: KindChillerFail, Frac: 0.6 + 0.3*rng.Float64()})
+		case 3:
+			events = append(events, Event{At: at(0, 0.8), Kind: KindGridCurtail,
+				Frac: 0.7 + 0.25*rng.Float64(), Dur: dur(30*time.Second, 3*time.Minute)})
+		case 4:
+			if rng.Intn(2) == 0 {
+				events = append(events, Event{At: at(0, 0.8), Kind: KindBreakerDerate,
+					Group: GroupAll, Frac: 0.8 + 0.15*rng.Float64()})
+			} else {
+				events = append(events, Event{At: at(0, 0.8), Kind: KindBreakerDerate,
+					Group: rng.Intn(groups), Frac: 0.8 + 0.15*rng.Float64()})
+			}
+		case 5:
+			sensor := Sensor(1 + rng.Intn(3))
+			kind := []Kind{KindSensorStale, KindSensorDropout, KindSensorNoise, KindSensorStuck}[rng.Intn(4)]
+			ev := Event{At: at(0, 0.8), Kind: kind, Sensor: sensor,
+				Dur: dur(30*time.Second, 5*time.Minute), Value: math.NaN()}
+			if kind == KindSensorNoise {
+				if sensor == SensorRoomTemp {
+					ev.Sigma = 0.3 + 0.7*rng.Float64()
+				} else {
+					ev.Sigma = 0.01 + 0.04*rng.Float64()
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+	// Every event above is within Validate's ranges by construction, so
+	// only the ordering of NewSchedule is needed.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &Schedule{Events: events}
+}

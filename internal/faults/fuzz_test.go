@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScheduleParse checks that arbitrary input never panics the fault-spec
+// parser and that anything it accepts round-trips through Schedule.String
+// and parses again to the same number of events — the replay property the
+// CLI and the experiment harness rely on.
+func FuzzScheduleParse(f *testing.F) {
+	f.Add("10s battery-fail group=3\n")
+	f.Add("20s battery-fade group=all frac=0.5\n30s tes-valve-stuck dur=2m\n")
+	f.Add("40s tes-leak rate=50000 dur=5m\n50s chiller-fail frac=0.7\n")
+	f.Add("1m grid-curtail frac=0.8 dur=90s\n")
+	f.Add("70s breaker-derate level=dc frac=0.9\n80s breaker-derate level=pdu group=2 frac=0.85\n")
+	f.Add("90s sensor-stale sensor=room-temp dur=30s\n")
+	f.Add("100s sensor-dropout sensor=ups-soc dur=45s\n")
+	f.Add("110s sensor-noise sensor=tes-level sigma=0.02 dur=1m\n")
+	f.Add("2m sensor-stuck sensor=room-temp dur=1m value=26\n")
+	f.Add("# comment only\n\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("10s battery-fail group=1e9")
+	f.Add("9999999h battery-fail group=0")
+	f.Add("10s grid-curtail frac=NaN dur=1m")
+	f.Add("10s tes-leak rate=1e309")
+	f.Add("10s sensor-stuck sensor=room-temp dur=1m value=-0")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, e := range s.Events {
+			if err := e.Validate(); err != nil {
+				t.Fatalf("accepted invalid event %d %+v: %v", i, e, err)
+			}
+			if i > 0 && e.At < s.Events[i-1].At {
+				t.Fatalf("accepted out-of-order schedule: %v after %v", e, s.Events[i-1])
+			}
+		}
+		back, err := Parse(strings.NewReader(s.String()))
+		if err != nil {
+			t.Fatalf("canonical form %q did not parse: %v", s.String(), err)
+		}
+		if len(back.Events) != len(s.Events) {
+			t.Fatalf("round trip %d events, want %d", len(back.Events), len(s.Events))
+		}
+	})
+}

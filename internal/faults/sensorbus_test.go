@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSensorBusPassThrough(t *testing.T) {
+	r := newRig(t)
+	got := r.bus.RoomTemp(5 * time.Second)
+	if !got.OK || got.At != 5*time.Second || got.Value != float64(r.room.Temperature()) {
+		t.Fatalf("pass-through room reading = %+v", got)
+	}
+	soc := r.bus.UPSSoC(0, 5*time.Second)
+	if !soc.OK || soc.Value != 1 {
+		t.Fatalf("pass-through SoC reading = %+v", soc)
+	}
+	lvl := r.bus.TESLevel(5 * time.Second)
+	if !lvl.OK || lvl.Value != 1 {
+		t.Fatalf("pass-through TES reading = %+v", lvl)
+	}
+	if bad := r.bus.UPSSoC(99, 0); bad.OK {
+		t.Fatal("out-of-range group returned a reading")
+	}
+}
+
+func TestSensorBusStaleFreezesValueAndTimestamp(t *testing.T) {
+	r := newRig(t)
+	in := r.inject(t, "10s sensor-stale sensor=room-temp dur=20s\n")
+	in.Advance(10 * time.Second)
+	first := r.bus.RoomTemp(10 * time.Second)
+	r.room.Step(200000, 0, 30*time.Second) // heat the room
+	later := r.bus.RoomTemp(25 * time.Second)
+	if later.Value != first.Value || later.At != first.At {
+		t.Fatalf("stale reading moved: %+v then %+v", first, later)
+	}
+	// After the window the reading snaps back to truth.
+	after := r.bus.RoomTemp(31 * time.Second)
+	if after.Value == first.Value || after.At != 31*time.Second {
+		t.Fatalf("reading still stale after window: %+v", after)
+	}
+}
+
+func TestSensorBusDropout(t *testing.T) {
+	r := newRig(t)
+	in := r.inject(t, "5s sensor-dropout sensor=ups-soc dur=10s\n")
+	in.Advance(5 * time.Second)
+	if got := r.bus.UPSSoC(2, 5*time.Second); got.OK {
+		t.Fatalf("dropout still returned %+v", got)
+	}
+	// Other channels are unaffected.
+	if got := r.bus.RoomTemp(5 * time.Second); !got.OK {
+		t.Fatal("dropout leaked to room-temp")
+	}
+	if got := r.bus.UPSSoC(2, 16*time.Second); !got.OK {
+		t.Fatal("dropout persisted past its window")
+	}
+}
+
+func TestSensorBusStuckAtValue(t *testing.T) {
+	r := newRig(t)
+	in := r.inject(t, "5s sensor-stuck sensor=room-temp dur=1m value=26\n")
+	in.Advance(5 * time.Second)
+	r.room.Step(500000, 0, time.Minute) // truth moves well above 26
+	got := r.bus.RoomTemp(30 * time.Second)
+	if got.Value != 26 {
+		t.Fatalf("stuck value = %v, want 26", got.Value)
+	}
+	if got.At != 30*time.Second {
+		t.Fatalf("stuck-at timestamp froze (%v); staleness must not reveal it", got.At)
+	}
+}
+
+func TestSensorBusStuckCapturesCurrent(t *testing.T) {
+	r := newRig(t)
+	in := r.inject(t, "5s sensor-stuck sensor=tes-level dur=1m\n")
+	in.Advance(5 * time.Second)
+	first := r.bus.TESLevel(5 * time.Second)
+	r.tank.Drain(r.tank.Capacity() / 2)
+	later := r.bus.TESLevel(30 * time.Second)
+	if later.Value != first.Value {
+		t.Fatalf("captured stuck value moved: %v then %v", first.Value, later.Value)
+	}
+}
+
+func TestSensorBusNoiseIsDeterministic(t *testing.T) {
+	spec := "0s sensor-noise sensor=room-temp sigma=0.5 dur=1m\n"
+	sample := func() []float64 {
+		r := newRig(t)
+		in := r.inject(t, spec)
+		var out []float64
+		for i := 1; i <= 20; i++ {
+			in.Advance(time.Second)
+			out = append(out, r.bus.RoomTemp(time.Duration(i)*time.Second).Value)
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	truth := float64(newRig(t).room.Temperature())
+	var moved bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("noise not deterministic at sample %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != truth {
+			moved = true
+		}
+		if math.Abs(a[i]-truth) > 5*0.5 {
+			t.Fatalf("noise sample %v implausibly far from truth %v", a[i], truth)
+		}
+	}
+	if !moved {
+		t.Fatal("noise window left every sample untouched")
+	}
+}
+
+func TestSensorBusNilTank(t *testing.T) {
+	r := newRig(t)
+	bus := NewSensorBus(r.tree, r.room, nil)
+	got := bus.TESLevel(time.Second)
+	if !got.OK || got.Value != 0 {
+		t.Fatalf("nil-tank TES reading = %+v, want empty", got)
+	}
+}

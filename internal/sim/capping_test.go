@@ -8,7 +8,7 @@ import (
 )
 
 func TestRunCappingNeverServesBursts(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 3.2, 15*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.2, 15*time.Minute))
 	r, err := RunCapping(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -20,7 +20,7 @@ func TestRunCappingNeverServesBursts(t *testing.T) {
 		t.Fatalf("achieved length %d", r.Achieved.Len())
 	}
 	// With full supply and no burst, demand is fully served.
-	calm, err := RunCapping(Scenario{Trace: workload.SyntheticYahoo(7, 1, 0)})
+	calm, err := RunCapping(Scenario{Trace: mustTrace(workload.SyntheticYahoo(7, 1, 0))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,8 +30,8 @@ func TestRunCappingNeverServesBursts(t *testing.T) {
 }
 
 func TestRunCappingThrottlesUnderSupplyDip(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 1, 0)
-	dip := workload.SupplyDip(tr.Duration(), tr.Step, 10*time.Minute, 5*time.Minute, 0.55)
+	tr := mustTrace(workload.SyntheticYahoo(7, 1, 0))
+	dip := mustTrace(workload.SupplyDip(tr.Duration(), tr.Step, 10*time.Minute, 5*time.Minute, 0.55))
 	r, err := RunCapping(Scenario{Trace: tr, Supply: dip})
 	if err != nil {
 		t.Fatal(err)
@@ -60,8 +60,8 @@ func TestRunCappingRequiresTrace(t *testing.T) {
 func TestRunWithSupplyDipRidesThrough(t *testing.T) {
 	// The sprinting controller bridges a deep supply dip with its stored
 	// energy: demand keeps being served and nothing trips.
-	tr := workload.SyntheticYahoo(7, 1, 0)
-	dip := workload.SupplyDip(tr.Duration(), tr.Step, 10*time.Minute, 5*time.Minute, 0.55)
+	tr := mustTrace(workload.SyntheticYahoo(7, 1, 0))
+	dip := mustTrace(workload.SupplyDip(tr.Duration(), tr.Step, 10*time.Minute, 5*time.Minute, 0.55))
 	r, err := Run(Scenario{Trace: tr, Supply: dip})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +90,7 @@ func TestRunWithSupplyDipRidesThrough(t *testing.T) {
 }
 
 func TestRunWithHeterogeneousWeights(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 3.2, 15*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.2, 15*time.Minute))
 	weights := make([]float64, 10)
 	for i := range weights {
 		weights[i] = 0.5 + float64(i)/9 // 0.5 .. 1.5
@@ -116,7 +116,7 @@ func TestRunWithHeterogeneousWeights(t *testing.T) {
 }
 
 func TestRunWeightsValidation(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 2, 5*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 2, 5*time.Minute))
 	if _, err := Run(Scenario{Trace: tr, Weights: []float64{1, 2}}); err == nil {
 		t.Fatal("wrong-width weights accepted")
 	}

@@ -52,7 +52,7 @@ func OracleSearch(sc Scenario) (*OracleResult, error) {
 
 // TraceMaker builds a demand trace for a parametric burst, used to populate
 // the bound table (e.g. the Yahoo generator with a fixed seed).
-type TraceMaker func(degree float64, duration time.Duration) *trace.Series
+type TraceMaker func(degree float64, duration time.Duration) (*trace.Series, error)
 
 // BuildBoundTable populates the Prediction strategy's lookup table by
 // running an Oracle search for every (duration, degree) grid cell.
@@ -66,7 +66,11 @@ func BuildBoundTable(base Scenario, mk TraceMaker, durations []time.Duration, de
 	}
 	vals, err := Parallel(cells, func(c cell) (float64, error) {
 		sc := base
-		sc.Trace = mk(degrees[c.j], durations[c.i])
+		tr, err := mk(degrees[c.j], durations[c.i])
+		if err != nil {
+			return 0, err
+		}
+		sc.Trace = tr
 		or, err := OracleSearch(sc)
 		if err != nil {
 			return 0, err

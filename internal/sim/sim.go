@@ -19,6 +19,7 @@ import (
 	"dcsprint/internal/chip"
 	"dcsprint/internal/cooling"
 	"dcsprint/internal/core"
+	"dcsprint/internal/faults"
 	"dcsprint/internal/genset"
 	"dcsprint/internal/power"
 	"dcsprint/internal/server"
@@ -78,6 +79,10 @@ type Scenario struct {
 	// at peak normal power (paper default 12). Zero means the default;
 	// use NoTES to remove the tank entirely.
 	TESMinutes float64
+	// Faults replays a fault-injection campaign against the run. Non-nil
+	// (even empty) also routes the controller's telemetry through the
+	// supervised sensor bus; nil keeps the direct-model fast path.
+	Faults *faults.Schedule
 }
 
 // DefaultServers keeps single runs fast; the facility model is
@@ -151,6 +156,19 @@ type Result struct {
 	SprintSustained time.Duration
 	// TrippedAt is when a breaker tripped; negative when none did.
 	TrippedAt time.Duration
+	// Dead reports the facility ended the run down (trip or overheat).
+	Dead bool
+	// Aborts counts sprint aborts forced by degraded-mode supervision.
+	Aborts int
+	// MaxBreakerStress is the largest thermal-accumulator value any
+	// breaker reached during the run, in [0, 1]; 1 - MaxBreakerStress is
+	// the near-trip margin.
+	MaxBreakerStress float64
+	// ExcessServed integrates the over-capacity work actually served,
+	// in seconds of normalized excess throughput.
+	ExcessServed float64
+	// FaultsApplied counts the fault events fired during the run.
+	FaultsApplied int
 	// Split is the additional-energy provenance.
 	Split core.EnergySplit
 	// Events is the controller's transition log.
@@ -248,6 +266,13 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		ctl.AttachGenerator(gen)
 	}
+	var inj *faults.Injector
+	if sc.Faults != nil {
+		bus := faults.NewSensorBus(tree, room, tank)
+		ctl.AttachSensors(bus)
+		inj = faults.NewInjector(sc.Faults, tree, tank, bus)
+		inj.BindChiller(ctl)
+	}
 	if sc.ChipPCMMinutes > 0 {
 		sustainable := srv.PeakNormalPower() - srv.NonCPUPower
 		excess := srv.PeakSprintPower() - srv.PeakNormalPower()
@@ -287,9 +312,20 @@ func Run(sc Scenario) (*Result, error) {
 	for i := 0; i < n; i++ {
 		demand := sc.Trace.Samples[i]
 		in := core.Input{Demand: demand}
+		supFrac := 1.0
+		if inj != nil {
+			// Fire fault events (and running leaks / expiries) before the
+			// controller plans the tick, so the tick sees their effects.
+			inj.Advance(step)
+			supFrac = inj.SupplyFraction()
+		}
 		if sc.Supply != nil {
-			frac := sc.Supply.At(time.Duration(i) * step)
-			in.SupplyLimit = units.Watts(frac) * tree.DCBreaker.Rated
+			if f := sc.Supply.At(time.Duration(i) * step); f < supFrac {
+				supFrac = f
+			}
+		}
+		if sc.Supply != nil || supFrac < 1 {
+			in.SupplyLimit = units.Watts(supFrac) * tree.DCBreaker.Rated
 		}
 		tick := ctl.TickInput(in, step)
 		required[i] = demand
@@ -309,6 +345,15 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		if tick.Delivered > 1 {
 			res.SprintSustained += step
+			res.ExcessServed += (tick.Delivered - 1) * step.Seconds()
+		}
+		if acc := tree.DCBreaker.Accumulator(); acc > res.MaxBreakerStress {
+			res.MaxBreakerStress = acc
+		}
+		for _, pdu := range tree.PDUs {
+			if acc := pdu.Breaker.Accumulator(); acc > res.MaxBreakerStress {
+				res.MaxBreakerStress = acc
+			}
 		}
 		if demand > 1 {
 			burstTicks++
@@ -323,11 +368,24 @@ func Run(sc Scenario) (*Result, error) {
 	res.Split = ctl.Split()
 	res.Events = ctl.Events()
 	res.Scenario = sc
+	res.Dead = ctl.Dead()
+	if inj != nil {
+		res.FaultsApplied = inj.Applied()
+	}
+	for _, e := range res.Events {
+		if e.Kind == core.EventSprintAborted {
+			res.Aborts++
+		}
+	}
 
+	var mkErr error
 	mk := func(samples []float64) *trace.Series {
 		s, err := trace.New(step, samples)
 		if err != nil {
-			panic(fmt.Sprintf("sim: internal series error: %v", err)) // unreachable: step > 0
+			if mkErr == nil {
+				mkErr = fmt.Errorf("sim: internal series error: %w", err)
+			}
+			return nil
 		}
 		return s
 	}
@@ -342,6 +400,9 @@ func Run(sc Scenario) (*Result, error) {
 	tele.CoolingPower = mk(coolPower)
 	tele.TESRate = mk(tesRate)
 	tele.RoomTemp = mk(roomTemp)
+	if mkErr != nil {
+		return nil, mkErr
+	}
 	res.Telemetry = tele
 	return res, nil
 }

@@ -12,6 +12,15 @@ import (
 	"dcsprint/internal/workload"
 )
 
+// mustTrace unwraps a workload-generator result, panicking (and so
+// failing the test) on error, in the style of template.Must.
+func mustTrace(s *trace.Series, err error) *trace.Series {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestRunRequiresTrace(t *testing.T) {
 	if _, err := Run(Scenario{Name: "empty"}); err == nil {
 		t.Fatal("scenario without a trace accepted")
@@ -23,7 +32,7 @@ func TestRunRequiresTrace(t *testing.T) {
 }
 
 func TestRunGreedyOnMSTrace(t *testing.T) {
-	r, err := Run(Scenario{Name: "ms", Trace: workload.SyntheticMS(1)})
+	r, err := Run(Scenario{Name: "ms", Trace: mustTrace(workload.SyntheticMS(1))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +49,7 @@ func TestRunGreedyOnMSTrace(t *testing.T) {
 	}
 	// Telemetry is aligned and sane.
 	tele := r.Telemetry
-	n := workload.SyntheticMS(1).Len()
+	n := mustTrace(workload.SyntheticMS(1)).Len()
 	for name, s := range map[string]*trace.Series{
 		"required": tele.Required, "achieved": tele.Achieved,
 		"degree": tele.Degree, "dc": tele.DCLoad, "pdu": tele.PDULoad,
@@ -83,7 +92,7 @@ func TestRunGreedyOnMSTrace(t *testing.T) {
 }
 
 func TestRunUncontrolledTripsNearPaperTime(t *testing.T) {
-	r, err := Run(Scenario{Name: "unc", Trace: workload.SyntheticMS(1), Uncontrolled: true})
+	r, err := Run(Scenario{Name: "unc", Trace: mustTrace(workload.SyntheticMS(1)), Uncontrolled: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +106,7 @@ func TestRunUncontrolledTripsNearPaperTime(t *testing.T) {
 	if r.Improvement() >= 1 {
 		t.Fatalf("uncontrolled improvement = %v, want < 1 (shutdown)", r.Improvement())
 	}
-	ctl, err := Run(Scenario{Name: "ctl", Trace: workload.SyntheticMS(1)})
+	ctl, err := Run(Scenario{Name: "ctl", Trace: mustTrace(workload.SyntheticMS(1))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +118,7 @@ func TestRunUncontrolledTripsNearPaperTime(t *testing.T) {
 func TestOracleMatchesGreedyOnShortBurst(t *testing.T) {
 	// Fig 10(a): for a 5-minute burst the stored energy is not exhausted,
 	// so Greedy achieves the Oracle's performance.
-	tr := workload.SyntheticYahoo(7, 3.0, 5*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.0, 5*time.Minute))
 	greedy, err := Run(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +135,7 @@ func TestOracleMatchesGreedyOnShortBurst(t *testing.T) {
 func TestOracleBeatsGreedyOnLongBurst(t *testing.T) {
 	// Fig 10(b): for a 15-minute burst the stored energy runs out, and the
 	// Oracle's constrained bound outperforms Greedy.
-	tr := workload.SyntheticYahoo(7, 3.4, 15*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.4, 15*time.Minute))
 	greedy, err := Run(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +156,7 @@ func buildTestTable(t *testing.T) *core.BoundTable {
 	t.Helper()
 	tbl, err := BuildBoundTable(
 		Scenario{},
-		func(degree float64, d time.Duration) *trace.Series {
+		func(degree float64, d time.Duration) (*trace.Series, error) {
 			return workload.SyntheticYahoo(7, degree, d)
 		},
 		[]time.Duration{5 * time.Minute, 10 * time.Minute, 15 * time.Minute, 20 * time.Minute},
@@ -161,7 +170,7 @@ func buildTestTable(t *testing.T) *core.BoundTable {
 
 func TestPredictionTracksOracle(t *testing.T) {
 	tbl := buildTestTable(t)
-	tr := workload.SyntheticYahoo(7, 3.4, 15*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.4, 15*time.Minute))
 	st := workload.Analyze(tr)
 
 	pred, err := Run(Scenario{
@@ -193,7 +202,7 @@ func TestPredictionTracksOracle(t *testing.T) {
 }
 
 func TestHeuristicEndToEnd(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 3.4, 15*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.4, 15*time.Minute))
 	greedy, err := Run(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +232,7 @@ func TestScaleInvariance(t *testing.T) {
 	// The facility is homogeneous per PDU group, so the improvement factor
 	// must not depend on the server count. This justifies running
 	// experiments on a small facility.
-	tr := workload.SyntheticMS(1)
+	tr := mustTrace(workload.SyntheticMS(1))
 	small, err := Run(Scenario{Trace: tr, Servers: 1000})
 	if err != nil {
 		t.Fatal(err)
@@ -238,7 +247,7 @@ func TestScaleInvariance(t *testing.T) {
 }
 
 func TestHeadroomHelps(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 3.2, 15*time.Minute)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.2, 15*time.Minute))
 	zero, err := Run(Scenario{Trace: tr, ExplicitZeroHeadroom: true})
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +270,7 @@ func TestHeadroomHelps(t *testing.T) {
 }
 
 func TestNoTESAblation(t *testing.T) {
-	tr := workload.SyntheticMS(1)
+	tr := mustTrace(workload.SyntheticMS(1))
 	with, err := Run(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +317,7 @@ func TestParallelPreservesOrderAndErrors(t *testing.T) {
 }
 
 func TestImprovementWithoutBurst(t *testing.T) {
-	tr := workload.SyntheticYahoo(7, 1, 0)
+	tr := mustTrace(workload.SyntheticYahoo(7, 1, 0))
 	r, err := Run(Scenario{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
@@ -329,7 +338,9 @@ func TestOracleSearchPropagatesErrors(t *testing.T) {
 
 func TestBuildBoundTablePropagatesErrors(t *testing.T) {
 	_, err := BuildBoundTable(Scenario{},
-		func(degree float64, d time.Duration) *trace.Series { return nil }, // bad maker
+		func(degree float64, d time.Duration) (*trace.Series, error) {
+			return nil, errors.New("synthesis failed") // bad maker
+		},
 		[]time.Duration{5 * time.Minute},
 		[]float64{3.0},
 	)
@@ -349,7 +360,7 @@ func TestScenarioServerOverride(t *testing.T) {
 		NonCPUPower:   20,
 		PerfExponent:  0.75,
 	}
-	r, err := Run(Scenario{Trace: workload.SyntheticYahoo(7, 2.0, 5*time.Minute), Server: custom})
+	r, err := Run(Scenario{Trace: mustTrace(workload.SyntheticYahoo(7, 2.0, 5*time.Minute)), Server: custom})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +376,7 @@ func TestScenarioServerOverride(t *testing.T) {
 }
 
 func TestResultAvgBurstDegree(t *testing.T) {
-	r, err := Run(Scenario{Trace: workload.SyntheticYahoo(7, 3.0, 10*time.Minute)})
+	r, err := Run(Scenario{Trace: mustTrace(workload.SyntheticYahoo(7, 3.0, 10*time.Minute))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +384,7 @@ func TestResultAvgBurstDegree(t *testing.T) {
 	if avg <= 1 || avg > 4 {
 		t.Fatalf("avg burst degree = %v", avg)
 	}
-	calm, err := Run(Scenario{Trace: workload.SyntheticYahoo(7, 1, 0)})
+	calm, err := Run(Scenario{Trace: mustTrace(workload.SyntheticYahoo(7, 1, 0))})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,8 +62,9 @@ func (c Config) Validate() error {
 
 // Tank is a thermal store. Construct with New; the zero value is unusable.
 type Tank struct {
-	cfg  Config
-	cold units.Joules // remaining absorbable heat
+	cfg        Config
+	cold       units.Joules // remaining absorbable heat
+	valveStuck bool         // a stuck valve blocks discharge, not recharge
 }
 
 // New returns a fully charged (fully cold) tank.
@@ -90,7 +91,7 @@ func (t *Tank) Empty() bool { return t.cold <= 0 }
 
 // MaxAbsorb returns the greatest heat rate the tank can take for the next dt.
 func (t *Tank) MaxAbsorb(dt time.Duration) units.Watts {
-	if dt <= 0 {
+	if dt <= 0 || t.valveStuck {
 		return 0
 	}
 	rate := t.cold.Over(dt)
@@ -98,6 +99,43 @@ func (t *Tank) MaxAbsorb(dt time.Duration) units.Watts {
 		rate = t.cfg.MaxRate
 	}
 	return rate
+}
+
+// MaxAbsorbAtSoC returns the greatest heat rate the tank could take for the
+// next dt if its cold fraction were soc — the planning view used by a
+// controller that only trusts a sensed level. It deliberately ignores a
+// stuck valve: the controller must discover that from its telemetry, not
+// from the model's internals.
+func (t *Tank) MaxAbsorbAtSoC(soc float64, dt time.Duration) units.Watts {
+	if dt <= 0 {
+		return 0
+	}
+	soc = units.Clamp(soc, 0, 1)
+	rate := (units.Joules(soc) * t.cfg.HeatCapacity).Over(dt)
+	if t.cfg.MaxRate > 0 && rate > t.cfg.MaxRate {
+		rate = t.cfg.MaxRate
+	}
+	return rate
+}
+
+// SetValveStuck blocks (or frees) the discharge valve. While stuck the tank
+// absorbs no heat regardless of its cold level; recharge still works (the
+// chiller loop is separate plumbing).
+func (t *Tank) SetValveStuck(stuck bool) { t.valveStuck = stuck }
+
+// ValveStuck reports whether the discharge valve is blocked.
+func (t *Tank) ValveStuck() bool { return t.valveStuck }
+
+// Drain removes cold directly (a tank leak), bypassing the valve and rate
+// limits. Negative amounts are ignored.
+func (t *Tank) Drain(heat units.Joules) {
+	if heat <= 0 {
+		return
+	}
+	t.cold -= heat
+	if t.cold < 0 {
+		t.cold = 0
+	}
 }
 
 // Discharge absorbs heat at up to the requested rate for dt and returns the

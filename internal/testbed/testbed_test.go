@@ -11,7 +11,11 @@ import (
 
 func util(t *testing.T) *trace.Series {
 	t.Helper()
-	return workload.SyntheticYahooServer(7)
+	s, err := workload.SyntheticYahooServer(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestValidate(t *testing.T) {

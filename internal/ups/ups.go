@@ -87,6 +87,7 @@ type Battery struct {
 	cfg        BatteryConfig
 	stored     units.Joules // current stored energy
 	discharged units.Joules // lifetime total drained, for cycle accounting
+	failed     bool         // a failed string delivers and accepts nothing
 }
 
 // New returns a fully charged battery.
@@ -147,7 +148,7 @@ func (b *Battery) MaxOutput(dt time.Duration) units.Watts {
 // returns the power actually delivered, which may be lower when the battery
 // is empty or power-limited. Requests that are not positive deliver zero.
 func (b *Battery) Discharge(request units.Watts, dt time.Duration) units.Watts {
-	if request <= 0 || dt <= 0 {
+	if request <= 0 || dt <= 0 || b.failed {
 		return 0
 	}
 	delivered := request
@@ -169,7 +170,7 @@ func (b *Battery) Discharge(request units.Watts, dt time.Duration) units.Watts {
 // Recharge stores energy at the requested power for dt and returns the
 // charging power actually accepted.
 func (b *Battery) Recharge(request units.Watts, dt time.Duration) units.Watts {
-	if request <= 0 || dt <= 0 {
+	if request <= 0 || dt <= 0 || b.failed {
 		return 0
 	}
 	accepted := request
@@ -188,6 +189,51 @@ func (b *Battery) Recharge(request units.Watts, dt time.Duration) units.Watts {
 		b.stored = b.TotalEnergy()
 	}
 	return accepted
+}
+
+// Fail kills the battery string: it holds no charge and will deliver and
+// accept nothing until replaced (there is deliberately no un-fail; a
+// replacement is a new Battery).
+func (b *Battery) Fail() {
+	b.failed = true
+	b.stored = 0
+}
+
+// Failed reports whether the string has been killed by Fail.
+func (b *Battery) Failed() bool { return b.failed }
+
+// Fade multiplies the battery's capacity and power limits by frac in
+// [0, 1] — capacity fade from age, temperature or cell dropout. Stored
+// energy above the new capacity is lost. Fade composes: two 0.5 fades
+// leave a quarter of the original capacity.
+func (b *Battery) Fade(frac float64) {
+	frac = units.Clamp(frac, 0, 1)
+	b.cfg.Capacity = units.AmpHours(float64(b.cfg.Capacity) * frac)
+	b.cfg.MaxDischarge = units.Watts(float64(b.cfg.MaxDischarge) * frac)
+	b.cfg.MaxRecharge = units.Watts(float64(b.cfg.MaxRecharge) * frac)
+	if b.stored > b.TotalEnergy() {
+		b.stored = b.TotalEnergy()
+	}
+}
+
+// MaxOutputAtSoC returns the greatest power the battery could deliver for
+// the next dt if its state of charge were soc — the planning view used by
+// a controller that only trusts a sensed SoC, not the internal state.
+func (b *Battery) MaxOutputAtSoC(soc float64, dt time.Duration) units.Watts {
+	if dt <= 0 {
+		return 0
+	}
+	soc = units.Clamp(soc, 0, 1)
+	total := b.TotalEnergy()
+	avail := units.Joules(soc)*total - units.Joules(b.cfg.MinSoC)*total
+	if avail < 0 {
+		avail = 0
+	}
+	p := units.Joules(float64(avail) * b.efficiency()).Over(dt)
+	if b.cfg.MaxDischarge > 0 && p > b.cfg.MaxDischarge {
+		p = b.cfg.MaxDischarge
+	}
+	return p
 }
 
 // EquivalentFullCycles returns the lifetime drained energy expressed in

@@ -148,7 +148,7 @@ func TestEpisodesOpenAtEnd(t *testing.T) {
 }
 
 func TestEpisodesMatchAnalyze(t *testing.T) {
-	ms := SyntheticMS(1)
+	ms := mustTrace(SyntheticMS(1))
 	eps := Episodes(ms)
 	if got := TotalOverCapacity(eps); got != Analyze(ms).AggregateDuration {
 		t.Fatalf("episode total %v != analyze %v", got, Analyze(ms).AggregateDuration)

@@ -57,7 +57,7 @@ const MSBurstDuration = 972 * time.Second
 // SyntheticMS returns the 30-minute MS-style experiment trace (Fig 7a):
 // a noisy sub-capacity baseline interrupted by consecutive bursts that
 // demand up to 3x the no-sprinting capacity.
-func SyntheticMS(seed int64) *trace.Series {
+func SyntheticMS(seed int64) (*trace.Series, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := int(experimentLen / Step)
 	samples := make([]float64, n)
@@ -87,9 +87,9 @@ func SyntheticMS(seed int64) *trace.Series {
 	}
 	s, err := trace.New(Step, samples)
 	if err != nil {
-		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable: Step > 0
+		return nil, fmt.Errorf("workload: generating trace: %w", err)
 	}
-	return s
+	return s, nil
 }
 
 // SyntheticYahoo returns the 30-minute Yahoo-style experiment trace
@@ -97,7 +97,7 @@ func SyntheticMS(seed int64) *trace.Series {
 // with one burst of the given degree injected from minute 5 for the given
 // duration. Degree <= 1 or a non-positive duration yields the plain
 // aggregate.
-func SyntheticYahoo(seed int64, degree float64, duration time.Duration) *trace.Series {
+func SyntheticYahoo(seed int64, degree float64, duration time.Duration) (*trace.Series, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := int(experimentLen / Step)
 	samples := make([]float64, n)
@@ -135,16 +135,16 @@ func SyntheticYahoo(seed int64, degree float64, duration time.Duration) *trace.S
 	}
 	s, err := trace.New(Step, samples)
 	if err != nil {
-		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable: Step > 0
+		return nil, fmt.Errorf("workload: generating trace: %w", err)
 	}
-	return s
+	return s, nil
 }
 
 // SyntheticYahooServer returns a 30-minute single-server CPU-utilization
 // trace in [0.2, 1]: one Yahoo front-end's load, much more volatile than
 // the 70-server aggregate, with swings on the tens-of-seconds scale. The
 // hardware-testbed experiments (§VI-B) drive server power with this trace.
-func SyntheticYahooServer(seed int64) *trace.Series {
+func SyntheticYahooServer(seed int64) (*trace.Series, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := int(experimentLen / Step)
 	samples := make([]float64, n)
@@ -156,16 +156,16 @@ func SyntheticYahooServer(seed int64) *trace.Series {
 	}
 	s, err := trace.New(Step, samples)
 	if err != nil {
-		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable
+		return nil, fmt.Errorf("workload: generating trace: %w", err)
 	}
-	return s
+	return s, nil
 }
 
 // SyntheticMSDay returns a 24-hour Fig-1-style traffic trace in GB/s at
 // one-minute resolution: a diurnal baseline of a 1,500-server aggregate with
 // several sharp bursts peaking above 9 GB/s against a ~3 GB/s serviceable
 // baseline.
-func SyntheticMSDay(seed int64) *trace.Series {
+func SyntheticMSDay(seed int64) (*trace.Series, error) {
 	rng := rand.New(rand.NewSource(seed))
 	const n = 24 * 60 // minutes
 	samples := make([]float64, n)
@@ -190,16 +190,16 @@ func SyntheticMSDay(seed int64) *trace.Series {
 	}
 	s, err := trace.New(time.Minute, samples)
 	if err != nil {
-		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable
+		return nil, fmt.Errorf("workload: generating trace: %w", err)
 	}
-	return s
+	return s, nil
 }
 
 // SupplyDip returns a utility-supply trace of the given length: 1.0 (full
 // supply, as a fraction of the facility rating) everywhere except a dip to
 // the given fraction over [start, start+duration) — a grid curtailment or a
 // renewable shortfall, the §I power-emergency motivation.
-func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) *trace.Series {
+func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) (*trace.Series, error) {
 	n := int(length / step)
 	samples := make([]float64, n)
 	lo := int(start / step)
@@ -213,9 +213,9 @@ func SupplyDip(length, step time.Duration, start, duration time.Duration, fracti
 	}
 	s, err := trace.New(step, samples)
 	if err != nil {
-		panic(fmt.Sprintf("workload: internal generator error: %v", err)) // unreachable
+		return nil, fmt.Errorf("workload: generating supply trace: %w", err)
 	}
-	return s
+	return s, nil
 }
 
 // BurstStats summarizes the over-demand episodes of a normalized trace.

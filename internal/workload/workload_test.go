@@ -4,10 +4,21 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"dcsprint/internal/trace"
 )
 
+// mustTrace unwraps a generator result, panicking (and so failing the
+// test) on error, in the style of template.Must.
+func mustTrace(s *trace.Series, err error) *trace.Series {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestSyntheticMSMatchesPaperStatistics(t *testing.T) {
-	s := SyntheticMS(1)
+	s := mustTrace(SyntheticMS(1))
 	if got := s.Duration(); got != 30*time.Minute {
 		t.Fatalf("duration = %v, want 30 min", got)
 	}
@@ -27,13 +38,13 @@ func TestSyntheticMSMatchesPaperStatistics(t *testing.T) {
 }
 
 func TestSyntheticMSDeterministic(t *testing.T) {
-	a, b := SyntheticMS(42), SyntheticMS(42)
+	a, b := mustTrace(SyntheticMS(42)), mustTrace(SyntheticMS(42))
 	for i := range a.Samples {
 		if a.Samples[i] != b.Samples[i] {
 			t.Fatalf("same seed diverged at %d", i)
 		}
 	}
-	c := SyntheticMS(43)
+	c := mustTrace(SyntheticMS(43))
 	same := true
 	for i := range a.Samples {
 		if a.Samples[i] != c.Samples[i] {
@@ -55,7 +66,7 @@ func TestSyntheticYahooBurstInjection(t *testing.T) {
 		{3.2, 15 * time.Minute},
 		{3.6, 10 * time.Minute},
 	} {
-		s := SyntheticYahoo(7, tt.degree, tt.duration)
+		s := mustTrace(SyntheticYahoo(7, tt.degree, tt.duration))
 		if got := s.Duration(); got != 30*time.Minute {
 			t.Fatalf("duration = %v", got)
 		}
@@ -87,7 +98,7 @@ func TestSyntheticYahooNoBurst(t *testing.T) {
 		{"zero duration", 3, 0},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
-			s := SyntheticYahoo(7, tt.degree, tt.duration)
+			s := mustTrace(SyntheticYahoo(7, tt.degree, tt.duration))
 			if got := s.Max(); got > 1 {
 				t.Fatalf("max = %v, want <= 1 without a burst", got)
 			}
@@ -96,7 +107,7 @@ func TestSyntheticYahooNoBurst(t *testing.T) {
 }
 
 func TestSyntheticYahooBurstClampedToTrace(t *testing.T) {
-	s := SyntheticYahoo(7, 3, 2*time.Hour) // longer than the window
+	s := mustTrace(SyntheticYahoo(7, 3, 2*time.Hour)) // longer than the window
 	if got := s.Duration(); got != 30*time.Minute {
 		t.Fatalf("duration = %v", got)
 	}
@@ -107,7 +118,7 @@ func TestSyntheticYahooBurstClampedToTrace(t *testing.T) {
 }
 
 func TestSyntheticMSDayShape(t *testing.T) {
-	s := SyntheticMSDay(3)
+	s := mustTrace(SyntheticMSDay(3))
 	if got := s.Duration(); got != 24*time.Hour {
 		t.Fatalf("duration = %v, want 24 h", got)
 	}
@@ -125,7 +136,7 @@ func TestSyntheticMSDayShape(t *testing.T) {
 }
 
 func TestAnalyzeNoBurst(t *testing.T) {
-	s := SyntheticYahoo(9, 1, 0)
+	s := mustTrace(SyntheticYahoo(9, 1, 0))
 	st := Analyze(s)
 	if st.AggregateDuration != 0 || st.MeanBurstDemand != 0 || st.ExcessIntegral != 0 {
 		t.Fatalf("no-burst stats = %+v", st)
@@ -136,7 +147,7 @@ func TestAnalyzeNoBurst(t *testing.T) {
 }
 
 func TestAnalyzeExcessIntegral(t *testing.T) {
-	s := SyntheticYahoo(11, 3.0, 10*time.Minute)
+	s := mustTrace(SyntheticYahoo(11, 3.0, 10*time.Minute))
 	st := Analyze(s)
 	// Excess is bounded by (peak-1) x burst time.
 	upper := (st.PeakDemand - 1) * st.AggregateDuration.Seconds()
