@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dcsprint
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig2TripCurve-8   	     100	    123400 ns/op	     120 B/op	       3 allocs/op	        60.00 trip_s_at_60pct
+BenchmarkFig2TripCurve-8   	     100	    123600 ns/op	     120 B/op	       3 allocs/op	        60.00 trip_s_at_60pct
+BenchmarkFig2TripCurve-8   	      90	    123200 ns/op	     122 B/op	       3 allocs/op	        60.00 trip_s_at_60pct
+BenchmarkSimulationRunMS-8 	      10	 100000000 ns/op	        18000 ticks/s
+PASS
+ok  	dcsprint	1.234s
+`
+
+func TestParseAggregatesRepeatedRuns(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Packages) != 1 || rep.Packages[0] != "dcsprint" {
+		t.Fatalf("packages = %v", rep.Packages)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+
+	fig2 := rep.Benchmarks[0]
+	if fig2.Name != "Fig2TripCurve" || fig2.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", fig2.Name, fig2.Procs)
+	}
+	if len(fig2.Iterations) != 3 {
+		t.Fatalf("iterations = %v", fig2.Iterations)
+	}
+	byUnit := map[string]Metric{}
+	for _, m := range fig2.Metrics {
+		byUnit[m.Unit] = m
+	}
+	ns := byUnit["ns/op"]
+	if ns.Count != 3 || ns.Min != 123200 || ns.Max != 123600 || ns.Mean != 123400 {
+		t.Fatalf("ns/op = %+v", ns)
+	}
+	if custom := byUnit["trip_s_at_60pct"]; custom.Mean != 60 {
+		t.Fatalf("custom metric = %+v", custom)
+	}
+	if _, ok := byUnit["B/op"]; !ok {
+		t.Fatal("B/op dropped")
+	}
+
+	ms := rep.Benchmarks[1]
+	if ms.Name != "SimulationRunMS" || ms.Metrics[1].Unit != "ticks/s" {
+		t.Fatalf("second bench = %+v", ms)
+	}
+}
+
+func TestParseRejectsMalformedLine(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkOdd-8 100 123 ns/op extra",
+		"BenchmarkNoIters-8 lots ns/op",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", path}, strings.NewReader(sample), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("round-trip lost benchmarks: %+v", rep)
+	}
+}
+
+func TestRunCompactToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-compact"}, strings.NewReader(sample), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(sb.String()), "\n"); lines != 0 {
+		t.Fatalf("compact output spans %d extra lines:\n%s", lines, sb.String())
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, strings.NewReader(""), os.Stdout); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,5 +1,7 @@
 // Command dcsprint runs one Data Center Sprinting simulation and prints a
-// per-phase summary plus, optionally, the full telemetry as CSV.
+// per-phase summary plus, optionally, the full telemetry as CSV, a
+// Prometheus metrics snapshot, a JSONL lifecycle trace, or a live HTTP
+// endpoint.
 //
 // Examples:
 //
@@ -8,6 +10,8 @@
 //	dcsprint -trace ms -strategy uncontrolled
 //	dcsprint -trace yahoo -degree 3.0 -duration 10m -csv telemetry.csv
 //	dcsprint -trace yahoo -degree 2.5 -duration 12m -faults campaign.spec
+//	dcsprint -trace yahoo -listen :0 -metrics out.prom -trace-out run.jsonl
+//	dcsprint -trace ms -events -events-format json
 //
 // A run that ends with the facility down (breaker trip or room overheat)
 // prints a one-line FAULT: summary to stderr and exits non-zero.
@@ -18,8 +22,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 	"time"
 
 	"dcsprint"
@@ -52,9 +56,16 @@ func run(args []string) error {
 		pcm       = fs.Float64("chip-pcm", 0, "chip PCM budget in minutes of full sprint (0 = unlimited)")
 		tablePath = fs.String("table", "", "prediction/adaptive: cache the Oracle bound table in this JSON file")
 		faultSpec = fs.String("faults", "", "replay a fault-injection campaign from this spec file")
+		evFormat  = fs.String("events-format", "text", "with -events: text | json (JSONL span/point records)")
+		metrics   = fs.String("metrics", "", "write the Prometheus metrics snapshot to this file after the run")
+		traceOut  = fs.String("trace-out", "", "write the lifecycle trace (one JSONL span/point per line) to this file")
+		listen    = fs.String("listen", "", "serve /metrics, /healthz and pprof on this address during the run (:0 picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *evFormat != "text" && *evFormat != "json" {
+		return fmt.Errorf("unknown -events-format %q (want text or json)", *evFormat)
 	}
 
 	var tr *dcsprint.Series
@@ -127,28 +138,94 @@ func run(args []string) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	res, err := dcsprint.Run(sc)
+	// Any telemetry sink routes the run through the instrumented path; the
+	// Result is bit-for-bit identical either way.
+	var inst *dcsprint.Instrument
+	if *metrics != "" || *traceOut != "" || *listen != "" {
+		inst = dcsprint.NewInstrument(dcsprint.DefaultMetricRegistry(), dcsprint.NewTracer())
+	}
+	if *listen != "" {
+		srv, err := dcsprint.StartTelemetryServer(*listen, inst.Registry(), inst.Tracer())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s/metrics\n", srv.Addr())
+	}
+
+	var res *dcsprint.Result
+	var err error
+	if inst != nil {
+		res, err = dcsprint.RunObserved(sc, inst)
+	} else {
+		res, err = dcsprint.Run(sc)
+	}
 	if err != nil {
 		return err
 	}
 	printSummary(res, stats)
 	if *events {
-		fmt.Println("events:")
-		for _, e := range res.Events {
-			fmt.Println(" ", e)
+		if err := printEvents(os.Stdout, res, *evFormat); err != nil {
+			return err
 		}
 	}
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, res); err != nil {
+		if err := writeFile(*csvPath, func(w io.Writer) error {
+			return dcsprint.WriteRunCSV(w, res)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("telemetry written to %s\n", *csvPath)
+	}
+	if *metrics != "" {
+		if err := writeFile(*metrics, inst.Registry().WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, inst.Tracer().WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	if res.Dead {
 		fmt.Fprintln(os.Stderr, "FAULT: "+deadSummary(res))
 		return errors.New("facility down")
 	}
 	return nil
+}
+
+// printEvents renders the controller's transition log: the classic text
+// form, or JSONL span/point records through the telemetry trace sink.
+func printEvents(w io.Writer, res *dcsprint.Result, format string) error {
+	if format == "text" {
+		fmt.Fprintln(w, "events:")
+		for _, e := range res.Events {
+			fmt.Fprintln(w, " ", e)
+		}
+		return nil
+	}
+	tr := dcsprint.NewTracer()
+	for _, e := range res.Events {
+		dcsprint.TraceEventRecord(tr, e)
+	}
+	tele := res.Telemetry.Required
+	tr.CloseOpen(time.Duration(tele.Len()) * tele.Step)
+	return tr.WriteJSONL(w)
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // deadSummary is the one-line cause printed to stderr when a run ends with
@@ -219,20 +296,4 @@ func printSummary(res *dcsprint.Result, stats dcsprint.BurstStats) {
 			100*float64(res.Split.CBOverload)/total)
 	}
 	fmt.Printf("peak room temperature: %.1f C\n", res.Telemetry.RoomTemp.Max())
-}
-
-func writeCSV(path string, res *dcsprint.Result) error {
-	var b strings.Builder
-	b.WriteString("t_sec,required,achieved,degree,phase,dc_load_w,pdu_load_w,ups_w,cooling_w,tes_w,room_c\n")
-	tele := res.Telemetry
-	for i := range tele.Required.Samples {
-		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.2f\n",
-			i,
-			tele.Required.Samples[i], tele.Achieved.Samples[i],
-			tele.Degree.Samples[i], tele.Phase[i],
-			tele.DCLoad.Samples[i], tele.PDULoad.Samples[i],
-			tele.UPSPower.Samples[i], tele.CoolingPower.Samples[i],
-			tele.TESRate.Samples[i], tele.RoomTemp.Samples[i])
-	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

@@ -31,8 +31,9 @@ var sweepReserves = []time.Duration{
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos")
-		seed  = fs.Int64("seed", 1, "trace generator seed")
+		which   = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos")
+		seed    = fs.Int64("seed", 1, "trace generator seed")
+		metrics = fs.String("metrics", "", "write the campaign's Prometheus metrics snapshot (run/tick/trip totals) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +79,22 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println()
+	}
+	if *metrics != "" {
+		// Every sim.Run feeds the process-wide registry; the snapshot is
+		// the campaign's aggregate (runs, ticks, trips, deaths).
+		f, err := os.Create(*metrics)
+		if err != nil {
+			return err
+		}
+		if err := dcsprint.DefaultMetricRegistry().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
 	}
 	return nil
 }

@@ -1,11 +1,42 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsprint/internal/telemetry"
+)
 
 func TestRunFastSubset(t *testing.T) {
 	// The cheap experiments exercise the full printing path.
 	if err := run([]string{"-run", "fig2,fig5,fig8,fig11,notes,skew,capping,outage,endurance,chippcm"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.prom")
+	if err := run([]string{"-run", "fig5", "-metrics", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := telemetry.ParsePrometheus(f)
+	if err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "dcsprint_sim_runs_total" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dcsprint_sim_runs_total >= 1 in snapshot: %v", samples)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dcsprint"
+	"dcsprint/internal/telemetry"
 )
 
 func main() {
@@ -70,9 +71,10 @@ func run(args []string) error {
 			return err
 		}
 		var b strings.Builder
-		b.WriteString("t_sec,total_w,cb_w\n")
-		for i := range res.TotalPower.Samples {
-			fmt.Fprintf(&b, "%d,%.1f,%.1f\n", i, res.TotalPower.Samples[i], res.CBPower.Samples[i])
+		if err := telemetry.WriteCSV(&b, res.TotalPower.Step,
+			telemetry.Column{Name: "total_w", Values: res.TotalPower.Samples, Format: "%.1f"},
+			telemetry.Column{Name: "cb_w", Values: res.CBPower.Samples, Format: "%.1f"}); err != nil {
+			return err
 		}
 		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
 			return err

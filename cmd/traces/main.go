@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dcsprint"
+	"dcsprint/internal/telemetry"
 )
 
 func main() {
@@ -87,9 +88,9 @@ func run(args []string) error {
 
 func writeSeries(path, unit string, s *dcsprint.Series) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "t_sec,%s\n", unit)
-	for i, v := range s.Samples {
-		fmt.Fprintf(&b, "%d,%.5f\n", i*int(s.Step.Seconds()), v)
+	if err := telemetry.WriteCSV(&b, s.Step,
+		telemetry.Column{Name: unit, Values: s.Samples, Format: "%.5f"}); err != nil {
+		return err
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

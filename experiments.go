@@ -11,6 +11,7 @@ import (
 	"dcsprint/internal/economics"
 	"dcsprint/internal/faults"
 	"dcsprint/internal/sim"
+	"dcsprint/internal/telemetry"
 	"dcsprint/internal/testbed"
 	"dcsprint/internal/units"
 	"dcsprint/internal/ups"
@@ -944,6 +945,13 @@ func MonteCarlo(seeds int) (*MonteCarloStats, error) {
 	for i := range ids {
 		ids[i] = int64(i + 1)
 	}
+	// Campaign statistics accumulate through a telemetry registry — the
+	// same concurrency-safe primitives the live /metrics endpoint exposes —
+	// exercised here under the Parallel fan-out.
+	reg := telemetry.NewRegistry()
+	trips := reg.Counter("dcsprint_mc_trips_total", "Monte Carlo runs with a breaker trip.")
+	imps := reg.Histogram("dcsprint_mc_improvement_ratio",
+		"Improvement distribution across seeds.", telemetry.LinearBuckets(1, 0.25, 12))
 	vals, err := sim.Parallel(ids, func(seed int64) (float64, error) {
 		tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
 		if err != nil {
@@ -954,21 +962,25 @@ func MonteCarlo(seeds int) (*MonteCarloStats, error) {
 			return 0, err
 		}
 		if r.TrippedAt >= 0 {
-			return -1, nil // marked as a trip below
+			trips.Inc()
+			return math.NaN(), nil
 		}
+		imps.Observe(r.Improvement())
 		return r.Improvement(), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	st := &MonteCarloStats{Seeds: seeds, Min: math.Inf(1), Max: math.Inf(-1)}
-	var sum, sumSq float64
+	st := &MonteCarloStats{Seeds: seeds, Trips: int(trips.Value()), Min: math.Inf(1), Max: math.Inf(-1)}
+	n := float64(imps.Count())
+	if n > 0 {
+		st.Mean = imps.Sum() / n
+	}
+	var sumSq float64
 	for _, v := range vals {
-		if v < 0 {
-			st.Trips++
+		if math.IsNaN(v) {
 			continue
 		}
-		sum += v
 		sumSq += v * v
 		if v < st.Min {
 			st.Min = v
@@ -977,9 +989,7 @@ func MonteCarlo(seeds int) (*MonteCarloStats, error) {
 			st.Max = v
 		}
 	}
-	n := float64(seeds - st.Trips)
 	if n > 0 {
-		st.Mean = sum / n
 		variance := sumSq/n - st.Mean*st.Mean
 		if variance > 0 {
 			st.StdDev = math.Sqrt(variance)
@@ -1152,6 +1162,13 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 		{"heuristic", Heuristic(2.5, 0.10)},
 		{"adaptive", Adaptive(tbl)},
 	}
+	// Per-strategy campaign tallies live in a telemetry registry and are
+	// incremented from inside the Parallel workers — the counters must hold
+	// up under the fan-out (the race job covers this path).
+	reg := telemetry.NewRegistry()
+	count := func(name, help, strategy string) *telemetry.Counter {
+		return reg.CounterWith(name, help, telemetry.Labels{"strategy": strategy})
+	}
 	rows := make([]ChaosRow, 0, len(strategies))
 	for _, s := range strategies {
 		healthy, err := Run(Scenario{
@@ -1163,17 +1180,37 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		trips := count("dcsprint_chaos_trips_total", "Chaos campaigns ending in a breaker trip.", s.name)
+		overheats := count("dcsprint_chaos_overheats_total", "Chaos campaigns reaching 40 C.", s.name)
+		deaths := count("dcsprint_chaos_deaths_total", "Chaos campaigns ending facility-down.", s.name)
+		aborts := count("dcsprint_chaos_aborts_total", "Supervision-forced sprint aborts.", s.name)
+		excess := count("dcsprint_chaos_excess_served_seconds_total", "Excess degree-seconds served.", s.name)
 		idx := make([]int, campaigns)
 		for i := range idx {
 			idx[i] = i
 		}
 		results, err := sim.Parallel(idx, func(i int) (*Result, error) {
-			return Run(Scenario{
+			r, err := Run(Scenario{
 				Name:     fmt.Sprintf("chaos-%s-%d", s.name, i),
 				Trace:    tr,
 				Strategy: s.st,
 				Faults:   faults.Random(seed*1000+int64(i), tr.Duration(), groups),
 			})
+			if err != nil {
+				return nil, err
+			}
+			if r.TrippedAt >= 0 {
+				trips.Inc()
+			}
+			if r.Telemetry.RoomTemp.Max() >= 40 {
+				overheats.Inc()
+			}
+			if r.Dead {
+				deaths.Inc()
+			}
+			aborts.Add(float64(r.Aborts))
+			excess.Add(r.ExcessServed)
+			return r, nil
 		})
 		if err != nil {
 			return nil, err
@@ -1181,23 +1218,17 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 		row := ChaosRow{
 			Strategy:            s.name,
 			Campaigns:           campaigns,
+			Trips:               int(trips.Value()),
+			Overheats:           int(overheats.Value()),
+			Deaths:              int(deaths.Value()),
+			Aborts:              int(aborts.Value()),
 			HealthyExcess:       healthy.ExcessServed,
+			MeanDegradedExcess:  excess.Value() / float64(campaigns),
 			WorstDegradedExcess: math.Inf(1),
 			MinTripMargin:       1 - healthy.MaxBreakerStress,
 		}
-		var sum float64
+		// Extremes are not accumulators; they still come from the results.
 		for _, r := range results {
-			if r.TrippedAt >= 0 {
-				row.Trips++
-			}
-			if r.Telemetry.RoomTemp.Max() >= 40 {
-				row.Overheats++
-			}
-			if r.Dead {
-				row.Deaths++
-			}
-			row.Aborts += r.Aborts
-			sum += r.ExcessServed
 			if r.ExcessServed < row.WorstDegradedExcess {
 				row.WorstDegradedExcess = r.ExcessServed
 			}
@@ -1205,7 +1236,6 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 				row.MinTripMargin = m
 			}
 		}
-		row.MeanDegradedExcess = sum / float64(campaigns)
 		rows = append(rows, row)
 	}
 	return rows, nil

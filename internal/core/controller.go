@@ -161,6 +161,7 @@ type Controller struct {
 	// Event-log state.
 	now           time.Duration
 	events        []Event
+	sink          func(Event)
 	prevPhase     int
 	prevTES       bool
 	prevGenStart  bool
@@ -920,7 +921,13 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 
 	// Transition events.
 	if phase != c.prevPhase {
-		c.emit(EventPhaseChanged, fmt.Sprintf("phase %d -> %d", c.prevPhase, phase))
+		c.emitEvent(Event{
+			Time:   c.now,
+			Kind:   EventPhaseChanged,
+			Detail: fmt.Sprintf("phase %d -> %d", c.prevPhase, phase),
+			From:   c.prevPhase,
+			To:     phase,
+		})
 		c.prevPhase = phase
 	}
 	if c.tesActive != c.prevTES {

@@ -44,6 +44,11 @@ const (
 	// EventThermalShed marks the planner shedding normal-mode load because
 	// the (possibly degraded) plant cannot absorb even the normal heat.
 	EventThermalShed
+
+	// eventKindEnd is one past the last kind; tests iterate up to it so a
+	// newly added kind cannot ship without a String() name and a trace
+	// mapping.
+	eventKindEnd
 )
 
 // String implements fmt.Stringer.
@@ -94,6 +99,9 @@ type Event struct {
 	Kind EventKind
 	// Detail is a short human-readable annotation.
 	Detail string
+	// From and To carry the phase indices for EventPhaseChanged; both are
+	// zero for every other kind.
+	From, To int
 }
 
 // String implements fmt.Stringer.
@@ -109,11 +117,24 @@ const maxEvents = 4096
 
 // emit appends an event, dropping silently once the log is full.
 func (c *Controller) emit(kind EventKind, detail string) {
+	c.emitEvent(Event{Time: c.now, Kind: kind, Detail: detail})
+}
+
+// emitEvent records a fully formed event and forwards it to the sink, if
+// any. The sink sees every event, including those past the log cap.
+func (c *Controller) emitEvent(e Event) {
+	if c.sink != nil {
+		c.sink(e)
+	}
 	if len(c.events) >= maxEvents {
 		return
 	}
-	c.events = append(c.events, Event{Time: c.now, Kind: kind, Detail: detail})
+	c.events = append(c.events, e)
 }
+
+// SetEventSink installs a function called synchronously for every emitted
+// event — the hook the telemetry tracer attaches to. Pass nil to detach.
+func (c *Controller) SetEventSink(sink func(Event)) { c.sink = sink }
 
 // Events returns the transitions recorded so far (shared slice; do not
 // mutate).

@@ -41,6 +41,9 @@ type Injector struct {
 	chillerUntil time.Duration // 0 means no pending restore
 
 	applied int
+
+	// onApply is the optional probe installed by Instrument.
+	onApply func(Event)
 }
 
 // NewInjector returns an injector over the schedule. The bus may be nil
@@ -73,6 +76,9 @@ func (in *Injector) Advance(dt time.Duration) {
 	in.now += dt
 	for in.next < len(in.sched.Events) && in.sched.Events[in.next].At <= in.now {
 		in.apply(in.sched.Events[in.next])
+		if in.onApply != nil {
+			in.onApply(in.sched.Events[in.next])
+		}
 		in.next++
 		in.applied++
 	}

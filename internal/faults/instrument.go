@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"dcsprint/internal/telemetry"
+)
+
+// Instrument attaches telemetry probes to the injector: every fired event
+// increments dcsprint_faults_injected_total, labeled by fault kind. Call it
+// before the first Advance; pass nil to detach.
+func (in *Injector) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		in.onApply = nil
+		return
+	}
+	in.onApply = func(ev Event) {
+		reg.CounterWith("dcsprint_faults_injected_total",
+			"Fault events fired by the injector.",
+			telemetry.Labels{"kind": ev.Kind.String()}).Inc()
+	}
+}
+
+// Instrument attaches telemetry probes to the sensor bus: reads are counted
+// per channel (the denominator for supervision distrust rates) and applied
+// sensor-fault windows are counted by kind. Pass nil to detach.
+func (b *SensorBus) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		b.readProbe = nil
+		b.windowProbe = nil
+		return
+	}
+	const readsName = "dcsprint_sensors_reads_total"
+	const readsHelp = "Sensor-bus reads by channel."
+	room := reg.CounterWith(readsName, readsHelp, telemetry.Labels{"channel": "room"})
+	soc := reg.CounterWith(readsName, readsHelp, telemetry.Labels{"channel": "soc"})
+	tes := reg.CounterWith(readsName, readsHelp, telemetry.Labels{"channel": "tes"})
+	b.readProbe = func(channel string) {
+		switch channel {
+		case "room":
+			room.Inc()
+		case "soc":
+			soc.Inc()
+		case "tes":
+			tes.Inc()
+		}
+	}
+	b.windowProbe = func(ev Event) {
+		reg.CounterWith("dcsprint_sensors_fault_windows_total",
+			"Sensor-fault windows applied to the bus.",
+			telemetry.Labels{"kind": ev.Kind.String()}).Inc()
+	}
+}

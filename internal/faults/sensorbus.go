@@ -59,6 +59,10 @@ type SensorBus struct {
 	socW     *window
 	tesW     *window
 	faultLog int // count of windows applied, for telemetry
+
+	// Optional probes installed by Instrument.
+	readProbe   func(channel string)
+	windowProbe func(ev Event)
 }
 
 // NewSensorBus returns a pass-through bus over the given components. The
@@ -91,6 +95,9 @@ func (b *SensorBus) Apply(ev Event) {
 		b.tesW = w
 	}
 	b.faultLog++
+	if b.windowProbe != nil {
+		b.windowProbe(ev)
+	}
 }
 
 // FaultsApplied returns how many sensor-fault windows have been activated.
@@ -133,11 +140,17 @@ func (b *SensorBus) read(wp **window, key int, truth float64, now time.Duration)
 
 // RoomTemp implements Sensors.
 func (b *SensorBus) RoomTemp(now time.Duration) Reading {
+	if b.readProbe != nil {
+		b.readProbe("room")
+	}
 	return b.read(&b.roomW, 0, float64(b.room.Temperature()), now)
 }
 
 // UPSSoC implements Sensors.
 func (b *SensorBus) UPSSoC(group int, now time.Duration) Reading {
+	if b.readProbe != nil {
+		b.readProbe("soc")
+	}
 	if group < 0 || group >= len(b.tree.PDUs) {
 		return Reading{}
 	}
@@ -146,6 +159,9 @@ func (b *SensorBus) UPSSoC(group int, now time.Duration) Reading {
 
 // TESLevel implements Sensors.
 func (b *SensorBus) TESLevel(now time.Duration) Reading {
+	if b.readProbe != nil {
+		b.readProbe("tes")
+	}
 	if b.tank == nil {
 		return Reading{Value: 0, At: now, OK: true}
 	}

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"io"
+
+	"dcsprint/internal/telemetry"
+)
+
+// WriteRunCSV writes the canonical per-second telemetry table of one run —
+// the single schema shared by dcsprint -csv and the experiment harness:
+//
+//	t_sec,required,achieved,degree,phase,dc_load_w,pdu_load_w,ups_w,cooling_w,tes_w,room_c
+func WriteRunCSV(w io.Writer, res *Result) error {
+	tele := res.Telemetry
+	phase := make([]float64, len(tele.Phase))
+	for i, p := range tele.Phase {
+		phase[i] = float64(p)
+	}
+	return telemetry.WriteCSV(w, tele.Required.Step,
+		telemetry.Column{Name: "required", Values: tele.Required.Samples, Format: "%.4f"},
+		telemetry.Column{Name: "achieved", Values: tele.Achieved.Samples, Format: "%.4f"},
+		telemetry.Column{Name: "degree", Values: tele.Degree.Samples, Format: "%.4f"},
+		telemetry.Column{Name: "phase", Values: phase, Format: "%.0f"},
+		telemetry.Column{Name: "dc_load_w", Values: tele.DCLoad.Samples, Format: "%.0f"},
+		telemetry.Column{Name: "pdu_load_w", Values: tele.PDULoad.Samples, Format: "%.0f"},
+		telemetry.Column{Name: "ups_w", Values: tele.UPSPower.Samples, Format: "%.0f"},
+		telemetry.Column{Name: "cooling_w", Values: tele.CoolingPower.Samples, Format: "%.0f"},
+		telemetry.Column{Name: "tes_w", Values: tele.TESRate.Samples, Format: "%.0f"},
+		telemetry.Column{Name: "room_c", Values: tele.RoomTemp.Samples, Format: "%.2f"},
+	)
+}

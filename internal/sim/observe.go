@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"time"
+
+	"dcsprint/internal/core"
+	"dcsprint/internal/telemetry"
+)
+
+// Observer receives run activity as it happens. Run results are bit-for-bit
+// identical with and without an observer attached: observation is strictly
+// read-only and lives outside the Scenario.
+type Observer interface {
+	// ObserveTick is called once per simulated tick with the tick start
+	// time (i*step, matching the Telemetry series alignment).
+	ObserveTick(t time.Duration, tick core.TickResult)
+	// ObserveEvent is called synchronously for every controller event.
+	ObserveEvent(e core.Event)
+	// ObserveDone is called once when the run completes, with the trace end
+	// time and the finished result.
+	ObserveDone(t time.Duration, res *Result)
+}
+
+// Instrument is the standard Observer: it feeds a telemetry registry
+// (gauges for the live plant state, counters and histograms for run
+// statistics) and brackets the sprint lifecycle on a tracer via
+// core.TraceEvent.
+type Instrument struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+
+	// Hot-path handles resolved once at construction.
+	ticks      *telemetry.Counter
+	events     *telemetry.Counter
+	demand     *telemetry.Gauge
+	delivered  *telemetry.Gauge
+	degree     *telemetry.Gauge
+	phase      *telemetry.Gauge
+	dcLoad     *telemetry.Gauge
+	pduLoad    *telemetry.Gauge
+	upsPower   *telemetry.Gauge
+	genPower   *telemetry.Gauge
+	coolPower  *telemetry.Gauge
+	tesRate    *telemetry.Gauge
+	roomTemp   *telemetry.Gauge
+	degreeHist *telemetry.Histogram
+	tempHist   *telemetry.Histogram
+}
+
+// NewInstrument returns an Instrument observing into reg and tracer. Either
+// may be shared across runs (the registry is concurrency-safe; share a
+// tracer only across sequential runs). A nil tracer disables tracing.
+func NewInstrument(reg *telemetry.Registry, tracer *telemetry.Tracer) *Instrument {
+	in := &Instrument{reg: reg, tr: tracer}
+	in.ticks = reg.Counter("dcsprint_sim_ticks_total", "Simulated ticks observed.")
+	in.events = reg.Counter("dcsprint_controller_events_total", "Controller events emitted.")
+	in.demand = reg.Gauge("dcsprint_sim_demand_ratio", "Normalized demand this tick.")
+	in.delivered = reg.Gauge("dcsprint_sim_delivered_ratio", "Normalized delivered throughput this tick.")
+	in.degree = reg.Gauge("dcsprint_controller_degree_ratio", "Realized sprinting degree this tick.")
+	in.phase = reg.Gauge("dcsprint_controller_phase_index", "Controller phase (0 normal, 1 CB, 2 UPS, 3 TES).")
+	in.dcLoad = reg.Gauge("dcsprint_power_dc_load_watts", "DC breaker load.")
+	in.pduLoad = reg.Gauge("dcsprint_power_pdu_load_watts", "Hottest PDU breaker load.")
+	in.upsPower = reg.Gauge("dcsprint_power_ups_watts", "Fleet battery discharge.")
+	in.genPower = reg.Gauge("dcsprint_power_gen_watts", "On-site generator output.")
+	in.coolPower = reg.Gauge("dcsprint_cooling_plant_watts", "Cooling plant electrical power.")
+	in.tesRate = reg.Gauge("dcsprint_cooling_tes_watts", "TES heat-absorption rate.")
+	in.roomTemp = reg.Gauge("dcsprint_cooling_room_celsius", "Room temperature.")
+	in.degreeHist = reg.Histogram("dcsprint_controller_degree_hist_ratio",
+		"Distribution of realized sprinting degree.", telemetry.LinearBuckets(1, 0.1, 8))
+	in.tempHist = reg.Histogram("dcsprint_cooling_room_hist_celsius",
+		"Distribution of room temperature.", telemetry.LinearBuckets(20, 2.5, 10))
+	return in
+}
+
+// Registry returns the registry the instrument observes into.
+func (in *Instrument) Registry() *telemetry.Registry { return in.reg }
+
+// Tracer returns the tracer, or nil when tracing is disabled.
+func (in *Instrument) Tracer() *telemetry.Tracer { return in.tr }
+
+// ObserveTick implements Observer.
+func (in *Instrument) ObserveTick(_ time.Duration, tick core.TickResult) {
+	in.ticks.Inc()
+	in.demand.Set(tick.Demand)
+	in.delivered.Set(tick.Delivered)
+	in.degree.Set(tick.Degree)
+	in.phase.Set(float64(tick.Phase))
+	in.dcLoad.Set(float64(tick.DCLoad))
+	in.pduLoad.Set(float64(tick.PDULoad))
+	in.upsPower.Set(float64(tick.UPSPower))
+	in.genPower.Set(float64(tick.GenPower))
+	in.coolPower.Set(float64(tick.CoolingPower))
+	in.tesRate.Set(float64(tick.TESHeatRate))
+	in.roomTemp.Set(float64(tick.RoomTemp))
+	in.degreeHist.Observe(tick.Degree)
+	in.tempHist.Observe(float64(tick.RoomTemp))
+}
+
+// ObserveEvent implements Observer: events are counted by kind and mapped
+// onto tracer spans/points.
+func (in *Instrument) ObserveEvent(e core.Event) {
+	in.events.Inc()
+	in.reg.CounterWith("dcsprint_controller_events_by_kind_total",
+		"Controller events by kind.", telemetry.Labels{"kind": e.Kind.String()}).Inc()
+	if in.tr != nil {
+		core.TraceEvent(in.tr, e)
+	}
+}
+
+// ObserveDone implements Observer: still-open lifecycle spans are closed at
+// the trace end and the run summary lands in the registry.
+func (in *Instrument) ObserveDone(t time.Duration, res *Result) {
+	if in.tr != nil {
+		in.tr.CloseOpen(t)
+	}
+	in.reg.Gauge("dcsprint_sim_improvement_ratio",
+		"Average burst performance relative to no sprinting.").Set(res.Improvement())
+	in.reg.Gauge("dcsprint_sim_sprint_sustained_seconds",
+		"Total time delivered performance exceeded 1.").Set(res.SprintSustained.Seconds())
+	in.reg.Gauge("dcsprint_sim_max_breaker_stress_ratio",
+		"Largest breaker thermal-accumulator value reached.").Set(res.MaxBreakerStress)
+	if res.Dead {
+		in.reg.Counter("dcsprint_sim_deaths_total", "Runs ending with the facility down.").Inc()
+	}
+	if res.TrippedAt >= 0 {
+		in.reg.Counter("dcsprint_sim_trips_total", "Runs with a breaker trip.").Inc()
+	}
+	if res.FaultsApplied > 0 {
+		in.reg.Counter("dcsprint_faults_applied_total", "Fault events fired.").Add(float64(res.FaultsApplied))
+	}
+}
+
+// defaultRunCounters are the always-on probes every Run feeds into the
+// process-wide registry, so any CLI can expose campaign totals without
+// plumbing a registry through.
+func defaultRunCounters(res *Result) {
+	reg := telemetry.Default()
+	reg.Counter("dcsprint_sim_runs_total", "Completed simulation runs.").Inc()
+	reg.Counter("dcsprint_sim_run_ticks_total", "Ticks simulated across all runs.").
+		Add(float64(res.Telemetry.Required.Len()))
+	if res.Dead {
+		reg.Counter("dcsprint_sim_run_deaths_total", "Runs ending with the facility down.").Inc()
+	}
+	if res.TrippedAt >= 0 {
+		reg.Counter("dcsprint_sim_run_trips_total", "Runs with a breaker trip.").Inc()
+	}
+}

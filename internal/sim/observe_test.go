@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dcsprint/internal/core"
+	"dcsprint/internal/faults"
+	"dcsprint/internal/telemetry"
+	"dcsprint/internal/workload"
+)
+
+// TestRunObservedResultIsBitIdentical is the acceptance-criteria check:
+// attaching telemetry must not perturb the simulation in any way.
+func TestRunObservedResultIsBitIdentical(t *testing.T) {
+	sc := Scenario{Name: "parity", Trace: mustTrace(workload.SyntheticYahoo(1, 3.2, 15*time.Minute))}
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstrument(telemetry.NewRegistry(), telemetry.NewTracer())
+	observed, err := RunObserved(sc, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("observed run result differs from unobserved run")
+	}
+}
+
+func TestInstrumentPopulatesRegistryAndTracer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	in := NewInstrument(reg, tr)
+	if in.Registry() != reg || in.Tracer() != tr {
+		t.Fatal("instrument accessors do not round-trip")
+	}
+	sc := Scenario{Name: "obs", Trace: mustTrace(workload.SyntheticYahoo(1, 3.2, 15*time.Minute))}
+	res, err := RunObserved(sc, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(sc.Trace.Len())
+	if got := reg.Counter("dcsprint_sim_ticks_total", "").Value(); got != n {
+		t.Fatalf("ticks counter = %v, want %v", got, n)
+	}
+	if got := reg.Counter("dcsprint_controller_events_total", "").Value(); got != float64(len(res.Events)) {
+		t.Fatalf("events counter = %v, want %d", got, len(res.Events))
+	}
+	if got := reg.Histogram("dcsprint_controller_degree_hist_ratio", "", telemetry.LinearBuckets(1, 0.1, 8)).Count(); got != uint64(n) {
+		t.Fatalf("degree histogram count = %v, want %v", got, n)
+	}
+	if got := reg.Gauge("dcsprint_sim_improvement_ratio", "").Value(); got != res.Improvement() {
+		t.Fatalf("improvement gauge = %v, want %v", got, res.Improvement())
+	}
+	// The burst produced controller phases; the tracer must hold one span
+	// per phase episode plus the burst span, all closed.
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	if !names[core.SpanBurst] {
+		t.Fatalf("missing burst span; have %v", spans)
+	}
+	if !names["phase-cb-overload"] {
+		t.Fatalf("missing phase span; have %v", spans)
+	}
+	if got := len(tr.OpenSpans()); got != 0 {
+		t.Fatalf("%d spans left open after ObserveDone", got)
+	}
+}
+
+// TestPhaseSpansMatchPhaseTimeline cross-checks tracer spans against the
+// per-tick phase series: controller events fire at tick end ((i+1)*step), so
+// a span's window is the series window shifted by one step.
+func TestPhaseSpansMatchPhaseTimeline(t *testing.T) {
+	tr := telemetry.NewTracer()
+	in := NewInstrument(telemetry.NewRegistry(), tr)
+	res, err := RunObserved(Scenario{
+		Name:  "spans",
+		Trace: mustTrace(workload.SyntheticYahoo(1, 3.2, 15*time.Minute)),
+	}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := res.Telemetry.Required.Step
+	for _, s := range tr.Spans() {
+		phase := 0
+		switch s.Name {
+		case "phase-cb-overload":
+			phase = 1
+		case "phase-ups-discharge":
+			phase = 2
+		case "phase-tes-cooling":
+			phase = 3
+		default:
+			continue
+		}
+		// First tick with this phase is the event tick; the event time is
+		// one step later.
+		first := -1
+		for i, p := range res.Telemetry.Phase {
+			if p == phase {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			t.Fatalf("span %q has no matching tick in the phase series", s.Name)
+		}
+		want := time.Duration(first+1) * step
+		if s.Start != want {
+			t.Errorf("span %q starts at %v, want %v (first tick %d)", s.Name, s.Start, want, first)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %q not closed: %v..%v", s.Name, s.Start, s.End)
+		}
+	}
+}
+
+func TestInstrumentFaultProbes(t *testing.T) {
+	sched, err := faults.Parse(strings.NewReader("2m sensor-stuck sensor=room-temp value=24 dur=3m\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	in := NewInstrument(reg, nil)
+	if _, err := RunObserved(Scenario{
+		Name:   "faulted",
+		Trace:  mustTrace(workload.SyntheticYahoo(1, 3.0, 10*time.Minute)),
+		Faults: sched,
+	}, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterWith("dcsprint_faults_injected_total", "",
+		telemetry.Labels{"kind": "sensor-stuck"}).Value(); got != 1 {
+		t.Fatalf("injected counter = %v, want 1", got)
+	}
+	if got := reg.CounterWith("dcsprint_sensors_fault_windows_total", "",
+		telemetry.Labels{"kind": "sensor-stuck"}).Value(); got != 1 {
+		t.Fatalf("window counter = %v, want 1", got)
+	}
+	if got := reg.CounterWith("dcsprint_sensors_reads_total", "",
+		telemetry.Labels{"channel": "room"}).Value(); got == 0 {
+		t.Fatal("no room sensor reads counted")
+	}
+}
+
+// TestDefaultRunCounters checks the always-on probes every Run feeds into
+// the process-wide registry.
+func TestDefaultRunCounters(t *testing.T) {
+	reg := telemetry.Default()
+	runs := reg.Counter("dcsprint_sim_runs_total", "")
+	ticks := reg.Counter("dcsprint_sim_run_ticks_total", "")
+	r0, t0 := runs.Value(), ticks.Value()
+	tr := mustTrace(workload.SyntheticYahoo(1, 2.0, 5*time.Minute))
+	if _, err := Run(Scenario{Name: "counted", Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Value() - r0; got != 1 {
+		t.Fatalf("runs counter moved by %v, want 1", got)
+	}
+	if got := ticks.Value() - t0; got != float64(tr.Len()) {
+		t.Fatalf("ticks counter moved by %v, want %d", got, tr.Len())
+	}
+}
+
+// TestWriteRunCSV pins the canonical run schema — the one table every CSV
+// consumer shares.
+func TestWriteRunCSV(t *testing.T) {
+	res, err := Run(Scenario{Name: "csv", Trace: mustTrace(workload.SyntheticYahoo(1, 3.0, 10*time.Minute))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteRunCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	const header = "t_sec,required,achieved,degree,phase,dc_load_w,pdu_load_w,ups_w,cooling_w,tes_w,room_c"
+	if lines[0] != header {
+		t.Fatalf("header = %q, want %q", lines[0], header)
+	}
+	if got, want := len(lines), res.Telemetry.Required.Len()+1; got != want {
+		t.Fatalf("lines = %d, want %d", got, want)
+	}
+	// Row zero is tick zero: integer time, 4-decimal ratios, integer watts.
+	fields := strings.Split(lines[1], ",")
+	if len(fields) != 11 {
+		t.Fatalf("row has %d fields: %q", len(fields), lines[1])
+	}
+	if fields[0] != "0" {
+		t.Fatalf("t_sec[0] = %q, want 0", fields[0])
+	}
+	if !strings.Contains(fields[1], ".") || len(strings.SplitN(fields[1], ".", 2)[1]) != 4 {
+		t.Fatalf("required[0] = %q, want 4 decimals", fields[1])
+	}
+	if strings.Contains(fields[5], ".") {
+		t.Fatalf("dc_load_w[0] = %q, want integer", fields[5])
+	}
+}

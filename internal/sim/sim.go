@@ -23,6 +23,7 @@ import (
 	"dcsprint/internal/genset"
 	"dcsprint/internal/power"
 	"dcsprint/internal/server"
+	"dcsprint/internal/telemetry"
 	"dcsprint/internal/tes"
 	"dcsprint/internal/trace"
 	"dcsprint/internal/units"
@@ -207,6 +208,14 @@ func (r *Result) AvgBurstDegree() float64 {
 
 // Run executes one scenario.
 func Run(sc Scenario) (*Result, error) {
+	return RunObserved(sc, nil)
+}
+
+// RunObserved executes one scenario with an optional telemetry observer.
+// The observer is deliberately not part of the Scenario: Result.Scenario
+// echoes the input, and observation must never change the outcome — a run
+// with an observer attached is bit-for-bit identical to one without.
+func RunObserved(sc Scenario, obs Observer) (*Result, error) {
 	if err := sc.normalize(); err != nil {
 		return nil, err
 	}
@@ -272,6 +281,12 @@ func Run(sc Scenario) (*Result, error) {
 		ctl.AttachSensors(bus)
 		inj = faults.NewInjector(sc.Faults, tree, tank, bus)
 		inj.BindChiller(ctl)
+		// An observer that carries a registry (sim.Instrument does) also
+		// gets the fault-plane probes.
+		if rp, ok := obs.(interface{ Registry() *telemetry.Registry }); ok && rp.Registry() != nil {
+			bus.Instrument(rp.Registry())
+			inj.Instrument(rp.Registry())
+		}
 	}
 	if sc.ChipPCMMinutes > 0 {
 		sustainable := srv.PeakNormalPower() - srv.NonCPUPower
@@ -285,6 +300,10 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 		ctl.AttachChipThermal(th)
+	}
+
+	if obs != nil {
+		ctl.SetEventSink(obs.ObserveEvent)
 	}
 
 	n := sc.Trace.Len()
@@ -328,6 +347,9 @@ func Run(sc Scenario) (*Result, error) {
 			in.SupplyLimit = units.Watts(supFrac) * tree.DCBreaker.Rated
 		}
 		tick := ctl.TickInput(in, step)
+		if obs != nil {
+			obs.ObserveTick(time.Duration(i)*step, tick)
+		}
 		required[i] = demand
 		achieved[i] = tick.Delivered
 		degree[i] = tick.Degree
@@ -404,6 +426,10 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, mkErr
 	}
 	res.Telemetry = tele
+	defaultRunCounters(res)
+	if obs != nil {
+		obs.ObserveDone(time.Duration(n)*step, res)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Column is one named, formatted column of a per-tick table.
+type Column struct {
+	// Name is the CSV header of the column.
+	Name string
+	// Values holds one sample per tick.
+	Values []float64
+	// Format is the fmt verb for one value; empty means %g. Integer-valued
+	// columns (phase indices, core counts) typically use %.0f.
+	Format string
+}
+
+// WriteCSV writes aligned per-tick columns as CSV: a t_sec leading column
+// (the tick start time in seconds) followed by the given columns, one row
+// per tick. Every CSV the project emits — dcsprint -csv, the experiment
+// harness, the trace and testbed exporters — goes through this one encoder
+// so there is a single schema and a single test.
+func WriteCSV(w io.Writer, step time.Duration, cols ...Column) error {
+	if step <= 0 {
+		return fmt.Errorf("telemetry: non-positive step %v", step)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("telemetry: no columns")
+	}
+	n := len(cols[0].Values)
+	for _, c := range cols {
+		if c.Name == "" {
+			return fmt.Errorf("telemetry: unnamed column")
+		}
+		if len(c.Values) != n {
+			return fmt.Errorf("telemetry: column %q has %d values, want %d", c.Name, len(c.Values), n)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t_sec")
+	for _, c := range cols {
+		bw.WriteByte(',')
+		bw.WriteString(c.Name)
+	}
+	bw.WriteByte('\n')
+	sec := step.Seconds()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "%g", float64(i)*sec)
+		for _, c := range cols {
+			format := c.Format
+			if format == "" {
+				format = "%g"
+			}
+			bw.WriteByte(',')
+			fmt.Fprintf(bw, format, c.Values[i])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

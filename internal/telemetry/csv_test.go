@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, time.Second,
+		Column{Name: "required", Values: []float64{1.5, 2.25}},
+		Column{Name: "phase", Values: []float64{0, 2}, Format: "%.0f"},
+		Column{Name: "dc_load_w", Values: []float64{125000.4, 90000.6}, Format: "%.0f"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t_sec,required,phase,dc_load_w\n" +
+		"0,1.5,0,125000\n" +
+		"1,2.25,2,90001\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVStepScaling(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, 30*time.Second, Column{Name: "v", Values: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[1] != "0,1" || lines[2] != "30,2" || lines[3] != "60,3" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, 0, Column{Name: "v", Values: nil}); err == nil {
+		t.Error("accepted zero step")
+	}
+	if err := WriteCSV(&b, time.Second); err == nil {
+		t.Error("accepted zero columns")
+	}
+	if err := WriteCSV(&b, time.Second, Column{Name: "", Values: []float64{1}}); err == nil {
+		t.Error("accepted unnamed column")
+	}
+	err := WriteCSV(&b, time.Second,
+		Column{Name: "a", Values: []float64{1, 2}},
+		Column{Name: "b", Values: []float64{1}},
+	)
+	if err == nil {
+		t.Error("accepted ragged columns")
+	}
+}

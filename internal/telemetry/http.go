@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server exposes a registry (and optionally a tracer) over HTTP for live
+// inspection of long experiment runs:
+//
+//	/metrics       Prometheus text exposition
+//	/healthz       JSON liveness (status, uptime, spans/points so far)
+//	/trace.jsonl   the tracer's closed spans and points as JSONL
+//	/debug/pprof/  the standard Go profiler endpoints
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	ln     net.Listener
+	srv    *http.Server
+	start  time.Time
+	closed atomic.Bool
+}
+
+// StartServer listens on addr (":0" picks a free port) and serves in a
+// background goroutine until Close. The tracer may be nil; /trace.jsonl
+// then returns 404.
+func StartServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("telemetry: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, tracer: tracer, ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/trace.jsonl", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down. Safe to call more than once.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type health struct {
+		Status   string  `json:"status"`
+		UptimeS  float64 `json:"uptime_s"`
+		Spans    int     `json:"spans"`
+		Open     int     `json:"open_spans"`
+		Points   int     `json:"points"`
+		Families int     `json:"metric_families"`
+	}
+	h := health{Status: "ok", UptimeS: time.Since(s.start).Seconds()}
+	if s.tracer != nil {
+		h.Spans = len(s.tracer.Spans())
+		h.Open = len(s.tracer.OpenSpans())
+		h.Points = len(s.tracer.Points())
+	}
+	s.reg.mu.RLock()
+	h.Families = len(s.reg.families)
+	s.reg.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort liveness
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.tracer == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := s.tracer.WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T, tracer *Tracer) (*Server, *Registry) {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("dcsprint_test_hits_total", "hits").Add(7)
+	s, err := StartServer("127.0.0.1:0", r, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, r
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	s, _ := startTestServer(t, nil)
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	samples, err := ParsePrometheus(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v\n%s", err, body)
+	}
+	found := false
+	for _, smp := range samples {
+		if smp.Name == "dcsprint_test_hits_total" && smp.Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("burst", time.Second, "")
+	tr.EndSpan("burst", 2*time.Second)
+	tr.StartSpan("open", 3*time.Second, "")
+	tr.Point("p", time.Second, "")
+	s, _ := startTestServer(t, tr)
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Spans  int    `json:"spans"`
+		Open   int    `json:"open_spans"`
+		Points int    `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Spans != 1 || h.Open != 1 || h.Points != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestServerTraceEndpoint(t *testing.T) {
+	tr := NewTracer()
+	tr.Point("brownout", 9*time.Second, "")
+	s, _ := startTestServer(t, tr)
+	code, body := get(t, "http://"+s.Addr()+"/trace.jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace.jsonl = %d", code)
+	}
+	recs, err := ReadJSONL(strings.NewReader(body))
+	if err != nil || len(recs) != 1 || recs[0].Name != "brownout" {
+		t.Fatalf("trace endpoint = %v, %v", recs, err)
+	}
+
+	// Without a tracer the endpoint 404s.
+	s2, _ := startTestServer(t, nil)
+	code, _ = get(t, "http://"+s2.Addr()+"/trace.jsonl")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /trace.jsonl without tracer = %d, want 404", code)
+	}
+}
+
+func TestServerPprofIndex(t *testing.T) {
+	s, _ := startTestServer(t, nil)
+	code, _ := get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d", code)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := startTestServer(t, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+func TestStartServerErrors(t *testing.T) {
+	if _, err := StartServer("127.0.0.1:0", nil, nil); err == nil {
+		t.Fatal("accepted nil registry")
+	}
+	if _, err := StartServer("definitely:not:an:addr", NewRegistry(), nil); err == nil {
+		t.Fatal("accepted bad address")
+	}
+}

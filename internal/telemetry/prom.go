@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE pair per
+// family, children sorted by label signature, histograms expanded into
+// cumulative _bucket/_sum/_count samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		sigs := make([]string, 0, len(f.children))
+		for sig := range f.children {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			labels := f.labels[sig]
+			switch c := f.children[sig].(type) {
+			case *Counter:
+				writeSample(bw, f.name, labels, "", "", c.Value())
+			case *Gauge:
+				writeSample(bw, f.name, labels, "", "", c.Value())
+			case *Histogram:
+				uppers, counts := c.Buckets()
+				var cum uint64
+				for i, ub := range uppers {
+					cum += counts[i]
+					writeSample(bw, f.name+"_bucket", labels, "le", formatFloat(ub), float64(cum))
+				}
+				cum += counts[len(uppers)]
+				writeSample(bw, f.name+"_bucket", labels, "le", "+Inf", float64(cum))
+				writeSample(bw, f.name+"_sum", labels, "", "", c.Sum())
+				writeSample(bw, f.name+"_count", labels, "", "", float64(c.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one exposition line, merging an extra label (le) into
+// the label set when given.
+func writeSample(w io.Writer, name string, labels Labels, extraKey, extraVal string, v float64) {
+	keys := make([]string, 0, len(labels)+1)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	if len(keys) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		first := true
+		for _, k := range keys {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", k, labels[k])
+			first = false
+		}
+		if extraKey != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	fmt.Fprintf(w, "%s %s\n", b.String(), formatFloat(v))
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample name (histogram samples keep their _bucket/_sum/
+	// _count suffix).
+	Name string
+	// Labels holds the label pairs, including le for buckets.
+	Labels Labels
+	// Value is the sample value.
+	Value float64
+}
+
+// Key returns the canonical name{labels} identity of the sample.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels.signature() + "}"
+}
+
+// ParsePrometheus parses text exposition back into samples, ignoring HELP,
+// TYPE and blank lines. It exists so tests (and downstream tooling) can
+// round-trip the registry without a Prometheus dependency.
+func ParsePrometheus(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return out, nil
+}
+
+// parseSample parses one `name{k="v",...} value` line.
+func parseSample(text string) (Sample, error) {
+	s := Sample{Labels: Labels{}}
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", text)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	val := strings.TrimSpace(rest)
+	// A timestamp suffix (unused by our writer) would appear as a second
+	// field; take the first.
+	if i := strings.IndexByte(val, ' '); i >= 0 {
+		val = val[:i]
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseValue accepts the float grammar plus the +Inf/-Inf/NaN spellings.
+func parseValue(text string) (float64, error) {
+	switch text {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", text)
+	}
+	return v, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst.
+func parseLabels(text string, dst Labels) error {
+	for text != "" {
+		eq := strings.IndexByte(text, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label pair %q", text)
+		}
+		key := strings.TrimSpace(text[:eq])
+		rest := text[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value in %q", text)
+		}
+		val, tail, err := unquoteLabel(rest)
+		if err != nil {
+			return err
+		}
+		dst[key] = val
+		text = strings.TrimPrefix(strings.TrimSpace(tail), ",")
+		text = strings.TrimSpace(text)
+	}
+	return nil
+}
+
+// unquoteLabel consumes a leading quoted string and returns the value and
+// the remaining text.
+func unquoteLabel(text string) (string, string, error) {
+	// text starts with a quote; find the matching unescaped close quote.
+	for i := 1; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			i++
+		case '"':
+			val, err := strconv.Unquote(text[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad label value %q: %v", text[:i+1], err)
+			}
+			return val, text[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value %q", text)
+}

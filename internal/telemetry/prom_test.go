@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("dcsprint_sim_runs_total", "Completed simulation runs.").Add(3)
+	r.GaugeWith("dcsprint_power_dc_load_watts", "DC load.", Labels{"trace": "yahoo"}).Set(125000.5)
+	r.GaugeWith("dcsprint_power_dc_load_watts", "DC load.", Labels{"trace": "fb"}).Set(90000)
+	h := r.Histogram("dcsprint_controller_degree_ratio", "Sprint degree.", []float64{0.5, 1, 1.5})
+	for _, v := range []float64{0.2, 0.7, 1.2, 2.0} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP dcsprint_sim_runs_total Completed simulation runs.\n",
+		"# TYPE dcsprint_sim_runs_total counter\n",
+		"dcsprint_sim_runs_total 3\n",
+		"# TYPE dcsprint_power_dc_load_watts gauge\n",
+		`dcsprint_power_dc_load_watts{trace="yahoo"} 125000.5` + "\n",
+		`dcsprint_power_dc_load_watts{trace="fb"} 90000` + "\n",
+		"# TYPE dcsprint_controller_degree_ratio histogram\n",
+		`dcsprint_controller_degree_ratio_bucket{le="0.5"} 1` + "\n",
+		`dcsprint_controller_degree_ratio_bucket{le="1"} 2` + "\n",
+		`dcsprint_controller_degree_ratio_bucket{le="1.5"} 3` + "\n",
+		`dcsprint_controller_degree_ratio_bucket{le="+Inf"} 4` + "\n",
+		"dcsprint_controller_degree_ratio_sum 4.1\n",
+		"dcsprint_controller_degree_ratio_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+	// Families come out sorted by name.
+	if strings.Index(out, "dcsprint_controller") > strings.Index(out, "dcsprint_power") {
+		t.Error("families not sorted by name")
+	}
+}
+
+// TestPrometheusRoundTrip is the acceptance-criteria check: the exposition
+// must parse back into the exact sample set.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Key()] = s.Value
+	}
+	want := map[string]float64{
+		"dcsprint_sim_runs_total":                             3,
+		`dcsprint_power_dc_load_watts{trace="yahoo",}`:        125000.5,
+		`dcsprint_power_dc_load_watts{trace="fb",}`:           90000,
+		`dcsprint_controller_degree_ratio_bucket{le="0.5",}`:  1,
+		`dcsprint_controller_degree_ratio_bucket{le="1",}`:    2,
+		`dcsprint_controller_degree_ratio_bucket{le="1.5",}`:  3,
+		`dcsprint_controller_degree_ratio_bucket{le="+Inf",}`: 4,
+		"dcsprint_controller_degree_ratio_sum":                4.1,
+		"dcsprint_controller_degree_ratio_count":              4,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d samples, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("sample %s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseValueSpecials(t *testing.T) {
+	for text, want := range map[string]float64{
+		"+Inf": math.Inf(1),
+		"Inf":  math.Inf(1),
+		"-Inf": math.Inf(-1),
+		"42.5": 42.5,
+	} {
+		got, err := parseValue(text)
+		if err != nil || got != want {
+			t.Errorf("parseValue(%q) = %v, %v; want %v", text, got, err, want)
+		}
+	}
+	if v, err := parseValue("NaN"); err != nil || !math.IsNaN(v) {
+		t.Errorf("parseValue(NaN) = %v, %v; want NaN", v, err)
+	}
+	if _, err := parseValue("not-a-number"); err == nil {
+		t.Error("parseValue accepted garbage")
+	}
+}
+
+func TestParsePrometheusRejectsBadLines(t *testing.T) {
+	for _, text := range []string{
+		"noval",
+		"9bad_name 1",
+		`unterminated{le="1 2`,
+		`bad_labels{le=1} 2`,
+		"name garbage",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(text + "\n")); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", text)
+		}
+	}
+}
+
+func TestParsePrometheusEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("dcsprint_test_gauge", "g", Labels{"msg": `he said "hi"` + "\n"}).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	if got := samples[0].Labels["msg"]; got != `he said "hi"`+"\n" {
+		t.Fatalf("escaped label round-trip = %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatFloat(+Inf) = %q", got)
+	}
+	if got := formatFloat(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("formatFloat(-Inf) = %q", got)
+	}
+	if got := formatFloat(0.25); got != "0.25" {
+		t.Errorf("formatFloat(0.25) = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dcsprint_test_runs_total", "runs")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Same name returns the same child.
+	if r.Counter("dcsprint_test_runs_total", "runs") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("dcsprint_test_temp_celsius", "temp")
+	g.Set(25)
+	g.Add(-3)
+	if got := g.Value(); got != 22 {
+		t.Fatalf("gauge = %v, want 22", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dcsprint_test_latency_seconds", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 3, 10, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4 (NaN dropped)", got)
+	}
+	if got := h.Sum(); got != 15 {
+		t.Fatalf("sum = %v, want 15", got)
+	}
+	uppers, counts := h.Buckets()
+	wantUppers := []float64{1, 2, 5}
+	wantCounts := []uint64{1, 1, 1, 1} // per-bucket, +Inf last
+	for i := range wantUppers {
+		if uppers[i] != wantUppers[i] {
+			t.Fatalf("uppers = %v, want %v", uppers, wantUppers)
+		}
+	}
+	for i := range wantCounts {
+		if counts[i] != wantCounts[i] {
+			t.Fatalf("counts = %v, want %v", counts, wantCounts)
+		}
+	}
+}
+
+func TestLabeledChildren(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterWith("dcsprint_test_faults_total", "faults", Labels{"kind": "sensor"})
+	b := r.CounterWith("dcsprint_test_faults_total", "faults", Labels{"kind": "plant"})
+	if a == b {
+		t.Fatal("distinct label sets shared a child")
+	}
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Fatalf("labeled counters = %v, %v; want 2, 1", a.Value(), b.Value())
+	}
+	// Same labels in any construction order resolve to the same child.
+	c := r.CounterWith("dcsprint_test_multi_total", "m", Labels{"a": "1", "b": "2"})
+	d := r.CounterWith("dcsprint_test_multi_total", "m", Labels{"b": "2", "a": "1"})
+	if c != d {
+		t.Fatal("label signature is order-sensitive")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcsprint_test_clash_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("dcsprint_test_clash_total", "g")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "9leading", "has space", "bad-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for name %q", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+func TestUnsortedBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted buckets")
+		}
+	}()
+	r.Histogram("dcsprint_test_bad_seconds", "", []float64{5, 1})
+}
+
+func TestLinearBuckets(t *testing.T) {
+	got := LinearBuckets(0, 0.25, 4)
+	want := []float64{0, 0.25, 0.5, 0.75}
+	if len(got) != len(want) {
+		t.Fatalf("LinearBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", got, want)
+		}
+	}
+	if LinearBuckets(0, 1, 0) != nil {
+		t.Fatal("LinearBuckets(_, _, 0) should be nil")
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() is not a singleton")
+	}
+}
+
+// TestConcurrentUse exercises the registry the way a Parallel campaign does:
+// many goroutines registering and updating the same families at once.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("dcsprint_test_shared_total", "shared").Inc()
+				r.GaugeWith("dcsprint_test_live_ratio", "live", Labels{"w": "x"}).Set(float64(i))
+				r.Histogram("dcsprint_test_obs_seconds", "obs", []float64{1, 10}).Observe(float64(i % 20))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("dcsprint_test_shared_total", "shared").Value(); got != workers*iters {
+		t.Fatalf("shared counter = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("dcsprint_test_obs_seconds", "obs", []float64{1, 10}).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %v, want %d", got, workers*iters)
+	}
+}

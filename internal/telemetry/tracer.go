@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one bracketed episode of a run: a controller phase, a burst, a
+// genset dispatch, a supervision distrust episode.
+type Span struct {
+	// Name identifies the episode kind (e.g. "phase-ups-discharge").
+	Name string
+	// Start and End are simulation times. An open span has End < Start.
+	Start, End time.Duration
+	// Detail is the annotation captured when the span opened.
+	Detail string
+}
+
+// Open reports whether the span has not ended yet.
+func (s Span) Open() bool { return s.End < s.Start }
+
+// Point is one instantaneous trace event.
+type Point struct {
+	// Name identifies the event kind (e.g. "breaker-tripped").
+	Name string
+	// At is the simulation time.
+	At time.Duration
+	// Detail is the event annotation.
+	Detail string
+}
+
+// Tracer records spans and points. At most one span per name is open at a
+// time; re-opening an already-open span is a no-op, and ending a span that
+// is not open is a no-op — the event stream, not the tracer, is the source
+// of truth for bracketing.
+type Tracer struct {
+	mu     sync.Mutex
+	open   map[string]*Span
+	done   []Span
+	points []Point
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{open: make(map[string]*Span)}
+}
+
+// StartSpan opens a span. at is the simulation time; detail annotates it.
+func (t *Tracer) StartSpan(name string, at time.Duration, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.open[name]; ok {
+		return
+	}
+	t.open[name] = &Span{Name: name, Start: at, End: -1, Detail: detail}
+}
+
+// EndSpan closes the open span with the given name, if any.
+func (t *Tracer) EndSpan(name string, at time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.open[name]
+	if !ok {
+		return
+	}
+	delete(t.open, name)
+	s.End = at
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	t.done = append(t.done, *s)
+}
+
+// Point records an instantaneous event.
+func (t *Tracer) Point(name string, at time.Duration, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.points = append(t.points, Point{Name: name, At: at, Detail: detail})
+}
+
+// CloseOpen ends every still-open span at the given time — call it when the
+// run finishes so a sprint cut short by the trace end still exports.
+func (t *Tracer) CloseOpen(at time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.open))
+	for name := range t.open {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := t.open[name]
+		delete(t.open, name)
+		s.End = at
+		if s.End < s.Start {
+			s.End = s.Start
+		}
+		t.done = append(t.done, *s)
+	}
+}
+
+// Spans returns the closed spans sorted by start time.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.done))
+	copy(out, t.done)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// OpenSpans returns the currently open spans sorted by start time.
+func (t *Tracer) OpenSpans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.open))
+	for _, s := range t.open {
+		out = append(out, *s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Points returns the recorded points sorted by time.
+func (t *Tracer) Points() []Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Point, len(t.points))
+	copy(out, t.points)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// TraceRecord is the JSONL wire form of one span or point. Times are in
+// seconds of simulation time, matching the per-second tick resolution.
+type TraceRecord struct {
+	Type   string  `json:"type"` // "span" or "point"
+	Name   string  `json:"name"`
+	StartS float64 `json:"start_s,omitempty"`
+	EndS   float64 `json:"end_s,omitempty"`
+	AtS    float64 `json:"t_s,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Record converts a span to its wire form.
+func (s Span) Record() TraceRecord {
+	return TraceRecord{
+		Type:   "span",
+		Name:   s.Name,
+		StartS: s.Start.Seconds(),
+		EndS:   s.End.Seconds(),
+		Detail: s.Detail,
+	}
+}
+
+// Record converts a point to its wire form.
+func (p Point) Record() TraceRecord {
+	return TraceRecord{Type: "point", Name: p.Name, AtS: p.At.Seconds(), Detail: p.Detail}
+}
+
+// JSONLWriter encodes trace records one JSON object per line.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a JSONL encoder over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one record (json.Encoder terminates each with a newline).
+func (w *JSONLWriter) Write(rec TraceRecord) error { return w.enc.Encode(rec) }
+
+// Flush flushes buffered lines to the underlying writer.
+func (w *JSONLWriter) Flush() error { return w.bw.Flush() }
+
+// WriteJSONL exports every closed span and point, merged and sorted by time
+// (span start; point time), one JSON object per line. Call CloseOpen first
+// if open spans should be included.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	spans := t.Spans()
+	points := t.Points()
+	recs := make([]TraceRecord, 0, len(spans)+len(points))
+	for _, s := range spans {
+		recs = append(recs, s.Record())
+	}
+	for _, p := range points {
+		recs = append(recs, p.Record())
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		ti, tj := recs[i].StartS, recs[j].StartS
+		if recs[i].Type == "point" {
+			ti = recs[i].AtS
+		}
+		if recs[j].Type == "point" {
+			tj = recs[j].AtS
+		}
+		return ti < tj
+	})
+	jw := NewJSONLWriter(w)
+	for _, rec := range recs {
+		if err := jw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return jw.Flush()
+}
+
+// ReadJSONL parses JSONL trace records back — the round-trip used by tests
+// and downstream analysis.
+func ReadJSONL(r io.Reader) ([]TraceRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []TraceRecord
+	for {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl record %d: %w", len(out)+1, err)
+		}
+		if rec.Type != "span" && rec.Type != "point" {
+			return nil, fmt.Errorf("telemetry: jsonl record %d: unknown type %q", len(out)+1, rec.Type)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSpanLifecycle(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("burst", 10*time.Second, "degree 1.3")
+	tr.StartSpan("burst", 11*time.Second, "dup ignored")
+	tr.StartSpan("phase-cb-overload", 12*time.Second, "")
+	tr.EndSpan("phase-cb-overload", 40*time.Second)
+	tr.EndSpan("never-opened", 5*time.Second) // no-op
+
+	open := tr.OpenSpans()
+	if len(open) != 1 || open[0].Name != "burst" || open[0].Detail != "degree 1.3" {
+		t.Fatalf("open spans = %+v", open)
+	}
+	if !open[0].Open() {
+		t.Fatal("open span should report Open()")
+	}
+	done := tr.Spans()
+	if len(done) != 1 || done[0].Name != "phase-cb-overload" {
+		t.Fatalf("closed spans = %+v", done)
+	}
+	if done[0].Start != 12*time.Second || done[0].End != 40*time.Second {
+		t.Fatalf("span times = %v..%v", done[0].Start, done[0].End)
+	}
+
+	tr.CloseOpen(60 * time.Second)
+	if len(tr.OpenSpans()) != 0 {
+		t.Fatal("CloseOpen left spans open")
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("closed spans after CloseOpen = %d, want 2", got)
+	}
+}
+
+func TestTracerEndClampsToStart(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("s", 10*time.Second, "")
+	tr.EndSpan("s", 5*time.Second)
+	sp := tr.Spans()[0]
+	if sp.End != sp.Start {
+		t.Fatalf("End = %v, want clamped to Start %v", sp.End, sp.Start)
+	}
+	if sp.Open() {
+		t.Fatal("closed zero-length span reports Open()")
+	}
+}
+
+func TestTracerPoints(t *testing.T) {
+	tr := NewTracer()
+	tr.Point("breaker-tripped", 30*time.Second, "PDU 3")
+	tr.Point("brownout", 20*time.Second, "")
+	pts := tr.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].Name != "brownout" || pts[1].Name != "breaker-tripped" {
+		t.Fatalf("points not sorted by time: %+v", pts)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("burst", 10*time.Second, "d")
+	tr.EndSpan("burst", 90*time.Second)
+	tr.StartSpan("phase-ups-discharge", 20*time.Second, "")
+	tr.EndSpan("phase-ups-discharge", 50*time.Second)
+	tr.Point("tes-exhausted", 55*time.Second, "tank dry")
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Fatalf("JSONL lines = %d, want 3\n%s", got, b.String())
+	}
+	recs, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+	// Merged stream is time-ordered: burst(10), phase(20), point(55).
+	if recs[0].Name != "burst" || recs[1].Name != "phase-ups-discharge" || recs[2].Name != "tes-exhausted" {
+		t.Fatalf("record order = %v, %v, %v", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	if recs[0].Type != "span" || recs[0].StartS != 10 || recs[0].EndS != 90 || recs[0].Detail != "d" {
+		t.Fatalf("span record = %+v", recs[0])
+	}
+	if recs[2].Type != "point" || recs[2].AtS != 55 || recs[2].Detail != "tank dry" {
+		t.Fatalf("point record = %+v", recs[2])
+	}
+}
+
+func TestReadJSONLRejectsUnknownType(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"bogus","name":"x"}` + "\n")); err == nil {
+		t.Fatal("ReadJSONL accepted unknown record type")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{garbage`)); err == nil {
+		t.Fatal("ReadJSONL accepted malformed JSON")
+	}
+}
+
+func TestJSONLWriterDirect(t *testing.T) {
+	var b strings.Builder
+	w := NewJSONLWriter(&b)
+	if err := w.Write(TraceRecord{Type: "point", Name: "n", AtS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"type":"point","name":"n","t_s":1}` + "\n"; b.String() != want {
+		t.Fatalf("wire form = %q, want %q", b.String(), want)
+	}
+}
