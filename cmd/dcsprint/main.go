@@ -12,6 +12,8 @@
 //	dcsprint -trace yahoo -degree 2.5 -duration 12m -faults campaign.spec
 //	dcsprint -trace yahoo -listen :0 -metrics out.prom -trace-out run.jsonl
 //	dcsprint -trace ms -events -events-format json
+//	dcsprint -trace yahoo -snapshot-out run.snap -snapshot-at 5m
+//	dcsprint -trace yahoo -resume run.snap
 //
 // A run that ends with the facility down (breaker trip or room overheat)
 // prints a one-line FAULT: summary to stderr and exits non-zero.
@@ -60,6 +62,9 @@ func run(args []string) error {
 		metrics   = fs.String("metrics", "", "write the Prometheus metrics snapshot to this file after the run")
 		traceOut  = fs.String("trace-out", "", "write the lifecycle trace (one JSONL span/point per line) to this file")
 		listen    = fs.String("listen", "", "serve /metrics, /healthz and pprof on this address during the run (:0 picks a port)")
+		resume    = fs.String("resume", "", "resume from this snapshot file (run with the same scenario flags that produced it)")
+		snapOut   = fs.String("snapshot-out", "", "checkpoint the run to this file at -snapshot-at, then keep running")
+		snapAt    = fs.Duration("snapshot-at", 0, "with -snapshot-out: trace time of the checkpoint (0 = halfway)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,9 +160,12 @@ func run(args []string) error {
 
 	var res *dcsprint.Result
 	var err error
-	if inst != nil {
+	switch {
+	case *resume != "" || *snapOut != "":
+		res, err = runEngine(sc, inst, *resume, *snapOut, *snapAt)
+	case inst != nil:
 		res, err = dcsprint.RunObserved(sc, inst)
-	} else {
+	default:
 		res, err = dcsprint.Run(sc)
 	}
 	if err != nil {
@@ -194,6 +202,65 @@ func run(args []string) error {
 		return errors.New("facility down")
 	}
 	return nil
+}
+
+// runEngine drives the scenario tick-at-a-time so the run can be restored
+// from a snapshot file, checkpointed to one mid-trace, or both. The Result
+// is bit-for-bit identical to the batch path.
+func runEngine(sc dcsprint.Scenario, inst *dcsprint.Instrument, resume, snapOut string, snapAt time.Duration) (*dcsprint.Result, error) {
+	var eng *dcsprint.Engine
+	var err error
+	if resume != "" {
+		snap, rerr := os.ReadFile(resume)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if inst != nil {
+			eng, err = dcsprint.RestoreObservedEngine(sc, snap, inst)
+		} else {
+			eng, err = dcsprint.RestoreEngine(sc, snap)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("resumed from %s at t=%v (tick %d)\n", resume, eng.Now(), eng.Tick())
+	} else {
+		if inst != nil {
+			eng, err = dcsprint.NewObservedEngine(sc, inst)
+		} else {
+			eng, err = dcsprint.NewEngine(sc)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr := eng.Scenario().Trace
+	snapTick := -1
+	if snapOut != "" {
+		if snapAt <= 0 {
+			snapAt = tr.Step * time.Duration(tr.Len()) / 2
+		}
+		snapTick = int(snapAt / tr.Step)
+		if snapTick < eng.Tick() || snapTick >= tr.Len() {
+			return nil, fmt.Errorf("-snapshot-at %v is outside the remaining trace", snapAt)
+		}
+	}
+	for i := eng.Tick(); i < tr.Len(); i++ {
+		if i == snapTick {
+			snap, serr := eng.Snapshot()
+			if serr != nil {
+				return nil, serr
+			}
+			if werr := os.WriteFile(snapOut, snap, 0o644); werr != nil {
+				return nil, werr
+			}
+			fmt.Printf("snapshot written to %s at t=%v (tick %d)\n", snapOut, eng.Now(), i)
+		}
+		if _, err := eng.Step(tr.Samples[i]); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Finish()
 }
 
 // printEvents renders the controller's transition log: the classic text

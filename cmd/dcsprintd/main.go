@@ -1,0 +1,100 @@
+// Command dcsprintd serves the streaming control plane: many concurrent
+// simulated data centres behind the NDJSON-over-HTTP session API, with the
+// telemetry endpoints (/metrics, /healthz, /trace.jsonl, pprof) on the same
+// listener.
+//
+// Examples:
+//
+//	dcsprintd
+//	dcsprintd -listen :9090 -max-sessions 512 -idle-ttl 5m
+//	curl -s localhost:8080/metrics | grep dcsprint_service
+//
+// SIGINT/SIGTERM drains: the listener stops accepting, in-flight requests
+// finish, and every live session goroutine is stopped before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcsprint/internal/service"
+	"dcsprint/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsprintd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcsprintd", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", ":8080", "HTTP listen address (:0 picks a port)")
+		maxSessions = fs.Int("max-sessions", 256, "cap on concurrently live sessions")
+		idleTTL     = fs.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<=0 disables)")
+		queueDepth  = fs.Int("queue-depth", 64, "per-session request queue depth before 429s")
+		drain       = fs.Duration("drain", 10*time.Second, "shutdown grace for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *idleTTL <= 0 {
+		*idleTTL = -1 // Config treats negative as disabled, zero as default
+	}
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer()
+	mgr := service.NewManager(service.Config{
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idleTTL,
+		QueueDepth:  *queueDepth,
+		Registry:    reg,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", mgr.Handler())
+	mux.Handle("/", telemetry.Handler(reg, tracer))
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: the steps stream stays open for a session's life.
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dcsprintd listening on http://%s (sessions<=%d, idle-ttl %v)\n",
+		ln.Addr(), *maxSessions, *idleTTL)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("dcsprintd: %v, draining\n", s)
+	case err := <-errc:
+		mgr.Close()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	mgr.Close()
+	return nil
+}

@@ -1,0 +1,204 @@
+// Command dcsprintload drives a dcsprintd control plane with N concurrent
+// sessions, each streaming a seeded synthetic Yahoo burst sample-by-sample,
+// and reports step throughput and latency percentiles.
+//
+// Examples:
+//
+//	dcsprintload -addr http://127.0.0.1:8080 -sessions 32
+//	dcsprintload -sessions 8 -degree 3.0 -duration 5m -snapshot
+//
+// Busy replies (HTTP 429 backpressure) are retried with a short backoff and
+// counted separately; any other error fails the run and the exit status.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcsprint/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsprintload:", err)
+		os.Exit(1)
+	}
+}
+
+// worker is one session's life: create, stream every sample, optionally
+// checkpoint+restore halfway, finish. It returns its per-step latencies.
+type worker struct {
+	id      int
+	lat     []time.Duration
+	retries int64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcsprintload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "dcsprintd base URL")
+		sessions = fs.Int("sessions", 8, "concurrent sessions")
+		seed     = fs.Int64("seed", 1, "base trace seed; session i uses seed+i")
+		degree   = fs.Float64("degree", 3.2, "yahoo burst degree")
+		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration (simulated)")
+		snapshot = fs.Bool("snapshot", false, "checkpoint and restore each session halfway through")
+		timeout  = fs.Duration("timeout", 10*time.Minute, "overall wall-clock budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessions < 1 {
+		return fmt.Errorf("-sessions must be >= 1")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := &service.Client{Base: *addr}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		retries  atomic.Int64
+		steps    atomic.Int64
+		all      [][]time.Duration
+	)
+	fail := func(id int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("session %d: %w", id, err)
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		w := &worker{id: i}
+		go func() {
+			defer wg.Done()
+			if err := w.drive(ctx, c, *seed+int64(w.id), *degree, *duration, *snapshot); err != nil {
+				fail(w.id, err)
+				return
+			}
+			steps.Add(int64(len(w.lat)))
+			retries.Add(w.retries)
+			mu.Lock()
+			all = append(all, w.lat)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	var lat []time.Duration
+	for _, l := range all {
+		lat = append(lat, l...)
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	n := steps.Load()
+	fmt.Printf("sessions: %d, steps: %d, errors: 0, busy retries: %d\n",
+		*sessions, n, retries.Load())
+	fmt.Printf("wall: %v, throughput: %.0f steps/s\n",
+		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	fmt.Printf("step latency p50: %v, p99: %v, max: %v\n",
+		pct(0.50), pct(0.99), pct(1.0))
+	return nil
+}
+
+func (w *worker) drive(ctx context.Context, c *service.Client, seed int64, degree float64, duration time.Duration, snapshot bool) error {
+	spec := service.ScenarioSpec{
+		Name: fmt.Sprintf("load-%d", w.id),
+		Trace: &service.TraceSpec{
+			Kind:            "yahoo",
+			Seed:            seed,
+			Degree:          degree,
+			DurationSeconds: duration.Seconds(),
+		},
+	}
+	s, err := c.Create(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	id := s.ID
+	half := s.TraceLen / 2
+	st, err := c.Stream(ctx, id)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	// The load shape does not affect service latency; a constant demand above
+	// capacity keeps the controller in its sprinting phases all run long.
+	for tick := 0; tick < s.TraceLen; tick++ {
+		if snapshot && tick == half {
+			if err := st.Close(); err != nil {
+				return fmt.Errorf("close for snapshot: %w", err)
+			}
+			doc, err := c.Snapshot(ctx, id)
+			if err != nil {
+				return fmt.Errorf("snapshot: %w", err)
+			}
+			if _, err := c.Finish(ctx, id); err != nil {
+				return fmt.Errorf("finish pre-restore: %w", err)
+			}
+			restored, err := c.Restore(ctx, doc)
+			if err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+			id = restored.ID
+			if st, err = c.Stream(ctx, id); err != nil {
+				return fmt.Errorf("stream restored: %w", err)
+			}
+		}
+		if err := w.step(ctx, st, degree); err != nil {
+			return fmt.Errorf("step %d: %w", tick, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	if _, err := c.Finish(ctx, id); err != nil {
+		return fmt.Errorf("finish: %w", err)
+	}
+	return nil
+}
+
+// step times one lockstep round trip, retrying 429 backpressure.
+func (w *worker) step(ctx context.Context, st *service.Stream, demand float64) error {
+	for {
+		t0 := time.Now()
+		_, err := st.Step(demand)
+		if err == nil {
+			w.lat = append(w.lat, time.Since(t0))
+			return nil
+		}
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == 429 {
+			w.retries++
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		return err
+	}
+}

@@ -68,6 +68,32 @@ const (
 // Run executes one scenario; see sim.Run.
 func Run(sc Scenario) (*Result, error) { return sim.Run(sc) }
 
+// Engine drives one scenario tick-at-a-time; see sim.Engine. Step it with
+// demand samples, checkpoint it with Snapshot, seal it with Finish.
+type Engine = sim.Engine
+
+// TickDecision is the controller's output for one engine step.
+type TickDecision = sim.TickDecision
+
+// NewEngine builds an engine over a scenario without running it.
+func NewEngine(sc Scenario) (*Engine, error) { return sim.New(sc) }
+
+// NewObservedEngine builds an engine with a telemetry observer attached.
+func NewObservedEngine(sc Scenario, obs Observer) (*Engine, error) {
+	return sim.NewObserved(sc, obs)
+}
+
+// RestoreEngine rebuilds an engine from a scenario and a Snapshot payload,
+// resuming it to a bit-identical future; see sim.Restore.
+func RestoreEngine(sc Scenario, snap []byte) (*Engine, error) {
+	return sim.Restore(sc, snap)
+}
+
+// RestoreObservedEngine is RestoreEngine with a telemetry observer attached.
+func RestoreObservedEngine(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
+	return sim.RestoreObserved(sc, snap, obs)
+}
+
 // Telemetry re-exports. The unified instrumentation layer lives in
 // internal/telemetry; see DESIGN.md's "Telemetry" section.
 type (

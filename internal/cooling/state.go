@@ -1,0 +1,31 @@
+package cooling
+
+import (
+	"fmt"
+	"math"
+
+	"dcsprint/internal/units"
+)
+
+// State is the serializable dynamic state of a room, used by the simulation
+// checkpoint codec.
+type State struct {
+	// Temp is the room temperature.
+	Temp units.Celsius
+}
+
+// State captures the room's dynamic state.
+func (r *Room) State() State { return State{Temp: r.temp} }
+
+// SetState restores a previously captured state. The temperature must be
+// finite and at or above ambient (the room model never cools below it).
+func (r *Room) SetState(s State) error {
+	if math.IsNaN(float64(s.Temp)) || math.IsInf(float64(s.Temp), 0) {
+		return fmt.Errorf("cooling: restore with non-finite temperature")
+	}
+	if s.Temp < r.cfg.Ambient {
+		return fmt.Errorf("cooling: restore with temperature %v below ambient %v", s.Temp, r.cfg.Ambient)
+	}
+	r.temp = s.Temp
+	return nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/units"
+)
+
+// ControllerState is the serializable dynamic state of a Controller: the
+// burst bookkeeping the strategies plan on, the energy split, the event log,
+// the transition-edge memories, and (when a sensor plane is attached) the
+// supervision trust state. Everything derived from configuration — weights,
+// the TES activation delay, the strategy itself — is rebuilt by New and
+// deliberately absent.
+type ControllerState struct {
+	BurstActive bool
+	SprintTime  time.Duration
+	Cooloff     time.Duration
+	PeakDemand  float64
+	DegreeSum   float64
+	DegreeTicks int
+	BudgetTotal units.Joules
+	TESActive   bool
+	Dead        bool
+
+	TempEst       units.Celsius
+	ChillerHealth float64
+	DegradeCap    float64
+	PrevSprinting bool
+	PrevShed      bool
+
+	Now           time.Duration
+	Events        []Event
+	PrevPhase     int
+	PrevTES       bool
+	PrevGenStart  bool
+	PrevGenOnline bool
+	ChipExhausted bool
+
+	Split EnergySplit
+
+	// Supervision is nil when no sensor plane is attached.
+	Supervision *SupervisorState
+}
+
+// SensorHealthState is the serializable trust state of one telemetry channel.
+type SensorHealthState struct {
+	Distrusted bool
+	GoodTicks  int
+	Last       float64
+	HaveLast   bool
+	FrozenFor  time.Duration
+	NeedChange bool
+	RefValue   float64
+}
+
+// SupervisorState is the serializable state of the supervision layer.
+type SupervisorState struct {
+	Room, TES  SensorHealthState
+	SoC        []SensorHealthState
+	ExpectRoom bool
+	ExpectTES  bool
+	ExpectSoC  []bool
+}
+
+func dumpHealth(h sensorHealth) SensorHealthState {
+	return SensorHealthState{
+		Distrusted: h.distrusted,
+		GoodTicks:  h.goodTicks,
+		Last:       h.last,
+		HaveLast:   h.haveLast,
+		FrozenFor:  h.frozenFor,
+		NeedChange: h.needChange,
+		RefValue:   h.refValue,
+	}
+}
+
+func restoreHealth(h *sensorHealth, s SensorHealthState) {
+	h.distrusted = s.Distrusted
+	h.goodTicks = s.GoodTicks
+	h.last = s.Last
+	h.haveLast = s.HaveLast
+	h.frozenFor = s.FrozenFor
+	h.needChange = s.NeedChange
+	h.refValue = s.RefValue
+}
+
+// DumpState captures the controller's dynamic state for checkpointing. The
+// returned events slice is a copy; mutating it does not affect the
+// controller.
+func (c *Controller) DumpState() ControllerState {
+	st := ControllerState{
+		BurstActive:   c.burstActive,
+		SprintTime:    c.sprintTime,
+		Cooloff:       c.cooloff,
+		PeakDemand:    c.peakDemand,
+		DegreeSum:     c.degreeSum,
+		DegreeTicks:   c.degreeTicks,
+		BudgetTotal:   c.budgetTotal,
+		TESActive:     c.tesActive,
+		Dead:          c.dead,
+		TempEst:       c.tempEst,
+		ChillerHealth: c.chillerHealth,
+		DegradeCap:    c.degradeCap,
+		PrevSprinting: c.prevSprinting,
+		PrevShed:      c.prevShed,
+		Now:           c.now,
+		Events:        append([]Event(nil), c.events...),
+		PrevPhase:     c.prevPhase,
+		PrevTES:       c.prevTES,
+		PrevGenStart:  c.prevGenStart,
+		PrevGenOnline: c.prevGenOnline,
+		ChipExhausted: c.chipExhausted,
+		Split:         c.split,
+	}
+	if c.sup != nil {
+		sup := &SupervisorState{
+			Room:       dumpHealth(c.sup.room),
+			TES:        dumpHealth(c.sup.tes),
+			SoC:        make([]SensorHealthState, len(c.sup.soc)),
+			ExpectRoom: c.sup.expectRoom,
+			ExpectTES:  c.sup.expectTES,
+			ExpectSoC:  append([]bool(nil), c.sup.expectSoC...),
+		}
+		for g := range c.sup.soc {
+			sup.SoC[g] = dumpHealth(c.sup.soc[g])
+		}
+		st.Supervision = sup
+	}
+	return st
+}
+
+// RestoreState applies a previously captured state to a freshly constructed
+// controller with the same configuration and plant shape. A supervision
+// payload requires an attached sensor plane of the matching group count.
+func (c *Controller) RestoreState(st ControllerState) error {
+	if st.Supervision != nil {
+		if c.sup == nil {
+			return fmt.Errorf("core: restore with supervision state but no sensor plane attached")
+		}
+		if len(st.Supervision.SoC) != len(c.sup.soc) || len(st.Supervision.ExpectSoC) != len(c.sup.expectSoC) {
+			return fmt.Errorf("core: restore with %d supervised groups, want %d",
+				len(st.Supervision.SoC), len(c.sup.soc))
+		}
+	}
+	if st.SprintTime < 0 || st.Cooloff < 0 || st.Now < 0 || st.DegreeTicks < 0 {
+		return fmt.Errorf("core: restore with negative clock")
+	}
+	if len(st.Events) > maxEvents {
+		return fmt.Errorf("core: restore with %d events, cap %d", len(st.Events), maxEvents)
+	}
+	c.burstActive = st.BurstActive
+	c.sprintTime = st.SprintTime
+	c.cooloff = st.Cooloff
+	c.peakDemand = st.PeakDemand
+	c.degreeSum = st.DegreeSum
+	c.degreeTicks = st.DegreeTicks
+	c.budgetTotal = st.BudgetTotal
+	c.tesActive = st.TESActive
+	c.dead = st.Dead
+	c.tempEst = st.TempEst
+	c.chillerHealth = st.ChillerHealth
+	c.degradeCap = st.DegradeCap
+	c.prevSprinting = st.PrevSprinting
+	c.prevShed = st.PrevShed
+	c.now = st.Now
+	c.events = append([]Event(nil), st.Events...)
+	c.prevPhase = st.PrevPhase
+	c.prevTES = st.PrevTES
+	c.prevGenStart = st.PrevGenStart
+	c.prevGenOnline = st.PrevGenOnline
+	c.chipExhausted = st.ChipExhausted
+	c.split = st.Split
+	if st.Supervision != nil {
+		restoreHealth(&c.sup.room, st.Supervision.Room)
+		restoreHealth(&c.sup.tes, st.Supervision.TES)
+		for g := range st.Supervision.SoC {
+			restoreHealth(&c.sup.soc[g], st.Supervision.SoC[g])
+		}
+		c.sup.expectRoom = st.Supervision.ExpectRoom
+		c.sup.expectTES = st.Supervision.ExpectTES
+		copy(c.sup.expectSoC, st.Supervision.ExpectSoC)
+	}
+	return nil
+}

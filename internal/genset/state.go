@@ -1,0 +1,30 @@
+package genset
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is the serializable dynamic state of a generator, used by the
+// simulation checkpoint codec.
+type State struct {
+	// Started reports whether a start has been requested.
+	Started bool
+	// SinceStart is the time elapsed since the start request.
+	SinceStart time.Duration
+}
+
+// State captures the generator's dynamic state.
+func (g *Generator) State() State {
+	return State{Started: g.started, SinceStart: g.sinceStart}
+}
+
+// SetState restores a previously captured state.
+func (g *Generator) SetState(s State) error {
+	if s.SinceStart < 0 {
+		return fmt.Errorf("genset: restore with negative clock %v", s.SinceStart)
+	}
+	g.started = s.Started
+	g.sinceStart = s.SinceStart
+	return nil
+}

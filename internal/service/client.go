@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a dcsprintd control plane.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the control plane.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doJSON(req, http.StatusCreated, out)
+}
+
+func (c *Client) doJSON(req *http.Request, want int, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) //nolint:errcheck
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Create opens a session.
+func (c *Client) Create(ctx context.Context, spec ScenarioSpec) (*Session, error) {
+	var s Session
+	if err := c.postJSON(ctx, "/v1/sessions", spec, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Restore opens a session from a snapshot document.
+func (c *Client) Restore(ctx context.Context, doc SnapshotDoc) (*Session, error) {
+	var s Session
+	if err := c.postJSON(ctx, "/v1/sessions/restore", doc, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Snapshot checkpoints a session.
+func (c *Client) Snapshot(ctx context.Context, id string) (SnapshotDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/sessions/"+id+"/snapshot", nil)
+	if err != nil {
+		return SnapshotDoc{}, err
+	}
+	var doc SnapshotDoc
+	if err := c.doJSON(req, http.StatusOK, &doc); err != nil {
+		return SnapshotDoc{}, err
+	}
+	return doc, nil
+}
+
+// Finish seals a session and returns its result view.
+func (c *Client) Finish(ctx context.Context, id string) (ResultView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return ResultView{}, err
+	}
+	var v ResultView
+	if err := c.doJSON(req, http.StatusOK, &v); err != nil {
+		return ResultView{}, err
+	}
+	return v, nil
+}
+
+// List returns the live sessions.
+func (c *Client) List(ctx context.Context) ([]SessionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	var infos []SessionInfo
+	if err := c.doJSON(req, http.StatusOK, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Stream is an open steps stream: Step writes one demand line and reads one
+// decision line, in lockstep with the server's per-line flushes.
+type Stream struct {
+	pw   *io.PipeWriter
+	resp *http.Response
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Stream opens the NDJSON steps stream for a session.
+func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/sessions/"+id+"/steps", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	// The server commits its headers before the first input line, so Do
+	// returns while the request body pipe stays open for streaming.
+	resp, err := c.http().Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		pw.Close()
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) //nolint:errcheck
+		return nil, &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+	}
+	return &Stream{pw: pw, resp: resp, enc: json.NewEncoder(pw), dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// Step sends one demand sample and waits for the tick's decision. A server
+// error line is returned as an *APIError with the line's code.
+func (s *Stream) Step(demand float64) (Decision, error) {
+	if err := s.enc.Encode(StepRequest{Demand: demand}); err != nil {
+		return Decision{}, err
+	}
+	var line StepLine
+	if err := s.dec.Decode(&line); err != nil {
+		return Decision{}, err
+	}
+	if line.Err != "" {
+		return Decision{}, &APIError{Status: line.Code, Message: line.Err}
+	}
+	if line.Decision == nil {
+		return Decision{}, fmt.Errorf("service: stream line with neither decision nor error")
+	}
+	return *line.Decision, nil
+}
+
+// Close ends the stream. The session stays alive for snapshots, further
+// streams, or Finish.
+func (s *Stream) Close() error {
+	s.pw.Close()
+	io.Copy(io.Discard, s.resp.Body) //nolint:errcheck // drain for connection reuse
+	return s.resp.Body.Close()
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// StepRequest is one NDJSON input line on the steps stream.
+type StepRequest struct {
+	// Demand is the normalized demand for the next tick.
+	Demand float64 `json:"demand"`
+}
+
+// StepLine is one NDJSON output line: a Decision on success, otherwise an
+// error with the HTTP status it would have carried as its own response.
+type StepLine struct {
+	*Decision
+	Err  string `json:"error,omitempty"`
+	Code int    `json:"code,omitempty"`
+}
+
+// statusOf maps service errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrAtCapacity):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTraceExhausted):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusOf(err))
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// maxBodyBytes caps non-streaming request bodies. Inline traces dominate:
+// 2^20 samples of ~20 JSON bytes each, plus slack for bound tables.
+const maxBodyBytes = 64 << 20
+
+// Handler returns the control-plane API:
+//
+//	POST   /v1/sessions              open a session from a ScenarioSpec
+//	GET    /v1/sessions              list live sessions
+//	POST   /v1/sessions/restore      open a session from a SnapshotDoc
+//	POST   /v1/sessions/{id}/steps   NDJSON demand in, NDJSON decisions out
+//	GET    /v1/sessions/{id}/snapshot  checkpoint to a SnapshotDoc
+//	DELETE /v1/sessions/{id}         finish; returns the ResultView
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", m.handleList)
+	mux.HandleFunc("POST /v1/sessions/restore", m.handleRestore)
+	mux.HandleFunc("POST /v1/sessions/{id}/steps", m.handleSteps)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", m.handleSnapshot)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleFinish)
+	return mux
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec ScenarioSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	s, err := m.Create(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s)
+}
+
+func (m *Manager) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var doc SnapshotDoc
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&doc); err != nil {
+		writeError(w, err)
+		return
+	}
+	s, err := m.Restore(doc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s)
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	infos := m.List()
+	if infos == nil {
+		infos = []SessionInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (m *Manager) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	doc, err := m.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (m *Manager) handleFinish(w http.ResponseWriter, r *http.Request) {
+	res, err := m.Finish(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NewResultView(res))
+}
+
+// handleSteps is the streaming loop: one StepRequest line in, one StepLine
+// out, flushed per line so a client can drive the session in lockstep.
+// Recoverable per-tick failures (backpressure, trace exhausted) are reported
+// as error lines with their HTTP code and the stream stays open; an unknown
+// session ends it.
+func (m *Manager) handleSteps(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := m.lookup(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	rc := http.NewResponseController(w)
+	// Full duplex lets us reply to early lines while the client is still
+	// writing later ones; without it http/1.1 handlers may not interleave.
+	rc.EnableFullDuplex() //nolint:errcheck // best-effort; lockstep still works
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush() //nolint:errcheck // commit headers before the first line
+
+	dec := json.NewDecoder(r.Body)
+	enc := json.NewEncoder(w)
+	for {
+		var in StepRequest
+		if err := dec.Decode(&in); err != nil {
+			// EOF is the client closing its side; anything else is a
+			// malformed line — either way the stream is over.
+			return
+		}
+		var line StepLine
+		d, err := m.Step(id, in.Demand)
+		if err != nil {
+			line.Err = err.Error()
+			line.Code = statusOf(err)
+		} else {
+			line.Decision = &d
+		}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) {
+			return
+		}
+	}
+}

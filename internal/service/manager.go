@@ -1,0 +1,389 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dcsprint/internal/sim"
+	"dcsprint/internal/telemetry"
+)
+
+// Errors the manager maps to specific HTTP statuses.
+var (
+	// ErrNotFound reports an unknown or already-finished session.
+	ErrNotFound = errors.New("service: session not found")
+	// ErrBusy reports a full session mailbox — the caller should back off
+	// and retry (HTTP 429).
+	ErrBusy = errors.New("service: session queue full")
+	// ErrAtCapacity reports the manager's session cap is reached (429).
+	ErrAtCapacity = errors.New("service: session capacity reached")
+	// ErrClosed reports the manager is draining for shutdown.
+	ErrClosed = errors.New("service: manager closed")
+	// ErrTraceExhausted reports a step past the end of a trace-bound
+	// session's demand trace.
+	ErrTraceExhausted = errors.New("service: trace exhausted; finish the session")
+)
+
+// Config sizes a Manager. Zero values take defaults.
+type Config struct {
+	// MaxSessions caps concurrently live sessions. Zero means 256.
+	MaxSessions int
+	// IdleTTL evicts sessions with no activity for this long. Zero means
+	// 10 minutes; negative disables eviction.
+	IdleTTL time.Duration
+	// QueueDepth bounds each session's mailbox. Zero means 64.
+	QueueDepth int
+	// Registry receives the service metrics. Nil creates a private one.
+	Registry *telemetry.Registry
+}
+
+func (c *Config) fill() {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 10 * time.Minute
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+}
+
+// nShards fixes the session-map shard count; 16 keeps contention negligible
+// at hundreds of sessions without complicating iteration.
+const nShards = 16
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+// Manager hosts the live sessions: a sharded id map, a janitor evicting idle
+// sessions, and gauges over the whole population. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg    Config
+	shards [nShards]shard
+
+	mu     sync.Mutex // guards count and closed
+	count  int
+	closed bool
+
+	wg       sync.WaitGroup // live session goroutines + janitor
+	janitorQ chan struct{}
+
+	metrics managerMetrics
+}
+
+type managerMetrics struct {
+	active       *telemetry.Gauge
+	created      *telemetry.Counter
+	finished     *telemetry.Counter
+	evicted      *telemetry.Counter
+	rejected     *telemetry.Counter
+	backpressure *telemetry.Counter
+	steps        *telemetry.Counter
+	stepLatency  *telemetry.Histogram
+}
+
+// stepLatencyBuckets spans 1µs..5s; engine steps land in the tens of
+// microseconds, HTTP round trips in the hundreds.
+func stepLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5,
+	}
+}
+
+// NewManager starts a manager and its eviction janitor.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{cfg: cfg, janitorQ: make(chan struct{})}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*session)
+	}
+	reg := cfg.Registry
+	m.metrics = managerMetrics{
+		active:       reg.Gauge("dcsprint_service_sessions_active", "Live sessions"),
+		created:      reg.Counter("dcsprint_service_sessions_created_total", "Sessions opened"),
+		finished:     reg.Counter("dcsprint_service_sessions_finished_total", "Sessions finished by clients"),
+		evicted:      reg.Counter("dcsprint_service_sessions_evicted_total", "Idle sessions evicted"),
+		rejected:     reg.Counter("dcsprint_service_sessions_rejected_total", "Session opens rejected at capacity"),
+		backpressure: reg.Counter("dcsprint_service_backpressure_total", "Requests rejected by full session queues"),
+		steps:        reg.Counter("dcsprint_service_steps_total", "Engine steps served"),
+		stepLatency: reg.Histogram("dcsprint_service_step_latency_seconds",
+			"Engine step service latency", stepLatencyBuckets()),
+	}
+	if cfg.IdleTTL > 0 {
+		m.wg.Add(1)
+		go m.janitor()
+	}
+	return m
+}
+
+// Registry returns the registry holding the service metrics.
+func (m *Manager) Registry() *telemetry.Registry { return m.cfg.Registry }
+
+func (m *Manager) shardOf(id string) *shard {
+	var h uint32
+	for i := 0; i < len(id); i++ {
+		h = h*31 + uint32(id[i])
+	}
+	return &m.shards[h%nShards]
+}
+
+func newSessionID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: crypto/rand failed: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// reserve claims a session slot, or reports why it cannot.
+func (m *Manager) reserve() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.count >= m.cfg.MaxSessions {
+		m.metrics.rejected.Inc()
+		return ErrAtCapacity
+	}
+	m.count++
+	return nil
+}
+
+func (m *Manager) release() {
+	m.mu.Lock()
+	m.count--
+	m.mu.Unlock()
+}
+
+// install registers a freshly built engine as a live session.
+func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine) *session {
+	s := &session{
+		id:       newSessionID(),
+		spec:     spec,
+		mgr:      m,
+		mail:     make(chan request, m.cfg.QueueDepth),
+		closing:  make(chan struct{}),
+		done:     make(chan struct{}),
+		interval: eng.Interval(),
+	}
+	if tr := eng.Scenario().Trace; tr != nil {
+		s.traceLen = tr.Len()
+	}
+	s.touch()
+	sh := m.shardOf(s.id)
+	sh.mu.Lock()
+	sh.m[s.id] = s
+	sh.mu.Unlock()
+	m.metrics.created.Inc()
+	m.metrics.active.Add(1)
+	m.wg.Add(1)
+	go s.run(eng)
+	return s
+}
+
+// Create opens a session from a scenario spec and returns its id.
+func (m *Manager) Create(spec ScenarioSpec) (*Session, error) {
+	sc, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.reserve(); err != nil {
+		return nil, err
+	}
+	eng, err := sim.New(sc)
+	if err != nil {
+		m.release()
+		return nil, err
+	}
+	s := m.install(spec, eng)
+	return s.public(), nil
+}
+
+// Restore opens a session from a snapshot document previously produced by
+// Snapshot: the spec rebuilds the plant, the snapshot bytes restore its
+// dynamic state.
+func (m *Manager) Restore(doc SnapshotDoc) (*Session, error) {
+	sc, err := doc.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.reserve(); err != nil {
+		return nil, err
+	}
+	eng, err := sim.Restore(sc, doc.Snapshot)
+	if err != nil {
+		m.release()
+		return nil, err
+	}
+	s := m.install(doc.Spec, eng)
+	return s.public(), nil
+}
+
+// lookup finds a live session.
+func (m *Manager) lookup(id string) (*session, error) {
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	s := sh.m[id]
+	sh.mu.Unlock()
+	if s == nil {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Step advances a session one tick.
+func (m *Manager) Step(id string, demand float64) (Decision, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.step(demand)
+}
+
+// Snapshot checkpoints a session into a portable document.
+func (m *Manager) Snapshot(id string) (SnapshotDoc, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return SnapshotDoc{}, err
+	}
+	return s.snapshot()
+}
+
+// Finish seals a session, removes it, and returns its Result.
+func (m *Manager) Finish(id string) (*sim.Result, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.finish()
+	if err != nil {
+		return nil, err
+	}
+	m.metrics.finished.Inc()
+	return res, nil
+}
+
+// SessionInfo summarizes one live session for listings.
+type SessionInfo struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	Tick     int     `json:"tick"`
+	TraceLen int     `json:"trace_len,omitempty"` // 0 for streaming sessions
+	IdleS    float64 `json:"idle_s"`
+}
+
+// List snapshots the live-session population.
+func (m *Manager) List() []SessionInfo {
+	var out []SessionInfo
+	now := time.Now().UnixNano()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			info := SessionInfo{
+				ID:    s.id,
+				Name:  s.spec.Name,
+				IdleS: time.Duration(now - s.last.Load()).Seconds(),
+			}
+			info.Tick, info.TraceLen = s.progress()
+			out = append(out, info)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// drop removes a session from the map; returns false if already gone.
+func (m *Manager) drop(s *session) bool {
+	sh := m.shardOf(s.id)
+	sh.mu.Lock()
+	_, ok := sh.m[s.id]
+	if ok {
+		delete(sh.m, s.id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		m.metrics.active.Add(-1)
+		m.release()
+	}
+	return ok
+}
+
+// janitor evicts sessions whose last activity is older than the TTL.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	tick := m.cfg.IdleTTL / 4
+	if tick < time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorQ:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-m.cfg.IdleTTL).UnixNano()
+			for i := range m.shards {
+				sh := &m.shards[i]
+				sh.mu.Lock()
+				var idle []*session
+				for _, s := range sh.m {
+					if s.last.Load() < cutoff {
+						idle = append(idle, s)
+					}
+				}
+				sh.mu.Unlock()
+				for _, s := range idle {
+					if s.close() {
+						m.metrics.evicted.Inc()
+					}
+				}
+			}
+		}
+	}
+}
+
+// Close drains the manager: no new sessions, every live session's goroutine
+// is stopped and waited for. In-flight requests finish; queued ones get
+// ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	if m.cfg.IdleTTL > 0 {
+		close(m.janitorQ)
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		all := make([]*session, 0, len(sh.m))
+		for _, s := range sh.m {
+			all = append(all, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range all {
+			s.close()
+		}
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcsprint/internal/sim"
+)
+
+// Session is the public description of a freshly opened session.
+type Session struct {
+	// ID addresses the session in every other call.
+	ID string `json:"id"`
+	// StepNs is the session's tick interval.
+	StepNs int64 `json:"step_ns"`
+	// TraceLen is the demand-trace length, or 0 for an unbounded
+	// streaming session.
+	TraceLen int `json:"trace_len,omitempty"`
+}
+
+// SnapshotDoc is a portable checkpoint: the scenario spec that rebuilds the
+// plant plus the engine's dynamic state (base64 in JSON). Restore on any
+// dcsprintd instance resumes the session bit-for-bit.
+type SnapshotDoc struct {
+	Spec     ScenarioSpec `json:"spec"`
+	Snapshot []byte       `json:"snapshot"`
+}
+
+type opKind int
+
+const (
+	opStep opKind = iota
+	opSnapshot
+	opFinish
+)
+
+type request struct {
+	op     opKind
+	demand float64
+	reply  chan response
+}
+
+type response struct {
+	dec Decision
+	doc SnapshotDoc
+	res *sim.Result
+	err error
+}
+
+// session confines one engine to one goroutine: every operation is a message
+// through the bounded mailbox, so the engine itself never needs locks.
+type session struct {
+	id       string
+	spec     ScenarioSpec
+	mgr      *Manager
+	mail     chan request
+	closing  chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	interval time.Duration
+	traceLen int
+	tick     atomic.Int64
+	last     atomic.Int64 // unix nanos of last activity
+}
+
+func (s *session) touch() { s.last.Store(time.Now().UnixNano()) }
+
+func (s *session) public() *Session {
+	return &Session{ID: s.id, StepNs: int64(s.interval), TraceLen: s.traceLen}
+}
+
+func (s *session) progress() (tick, traceLen int) {
+	return int(s.tick.Load()), s.traceLen
+}
+
+// do submits a request without blocking; a full mailbox is ErrBusy, which
+// the HTTP layer maps to 429.
+func (s *session) do(req request) (response, error) {
+	select {
+	case s.mail <- req:
+	default:
+		s.mgr.metrics.backpressure.Inc()
+		return response{}, ErrBusy
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, resp.err
+	case <-s.done:
+		// The goroutine exited while our request was queued; it may still
+		// have answered just before exiting.
+		select {
+		case resp := <-req.reply:
+			return resp, resp.err
+		default:
+			return response{}, ErrClosed
+		}
+	}
+}
+
+func (s *session) step(demand float64) (Decision, error) {
+	resp, err := s.do(request{op: opStep, demand: demand, reply: make(chan response, 1)})
+	return resp.dec, err
+}
+
+func (s *session) snapshot() (SnapshotDoc, error) {
+	resp, err := s.do(request{op: opSnapshot, reply: make(chan response, 1)})
+	return resp.doc, err
+}
+
+func (s *session) finish() (*sim.Result, error) {
+	resp, err := s.do(request{op: opFinish, reply: make(chan response, 1)})
+	return resp.res, err
+}
+
+// close asks the session goroutine to exit and waits for it. Returns false
+// when the session was already stopping (or finished).
+func (s *session) close() bool {
+	fired := false
+	s.stopOnce.Do(func() { close(s.closing); fired = true })
+	<-s.done
+	return fired
+}
+
+// run is the session goroutine: sole owner of the engine.
+func (s *session) run(eng *sim.Engine) {
+	defer s.mgr.wg.Done()
+	defer close(s.done)
+	for {
+		select {
+		case <-s.closing:
+			s.shutdown()
+			return
+		case req := <-s.mail:
+			if s.handle(eng, req) {
+				// Finished: leave the map, then answer stragglers.
+				s.mgr.drop(s)
+				s.drain(ErrNotFound)
+				return
+			}
+		}
+	}
+}
+
+// shutdown removes the session and fails everything still queued.
+func (s *session) shutdown() {
+	s.mgr.drop(s)
+	s.drain(ErrClosed)
+}
+
+func (s *session) drain(err error) {
+	for {
+		select {
+		case req := <-s.mail:
+			req.reply <- response{err: err}
+		default:
+			return
+		}
+	}
+}
+
+// handle serves one request; reports true when the session finished.
+func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
+	s.touch()
+	switch req.op {
+	case opStep:
+		start := time.Now()
+		if s.traceLen > 0 && eng.Tick() >= s.traceLen {
+			req.reply <- response{err: ErrTraceExhausted}
+			return false
+		}
+		tick := eng.Tick()
+		dec, err := eng.Step(req.demand)
+		if err != nil {
+			req.reply <- response{err: err}
+			return false
+		}
+		s.tick.Store(int64(eng.Tick()))
+		s.mgr.metrics.steps.Inc()
+		s.mgr.metrics.stepLatency.Observe(time.Since(start).Seconds())
+		req.reply <- response{dec: decisionOf(tick, dec)}
+		return false
+	case opSnapshot:
+		snap, err := eng.Snapshot()
+		if err != nil {
+			req.reply <- response{err: err}
+			return false
+		}
+		req.reply <- response{doc: SnapshotDoc{Spec: s.spec, Snapshot: snap}}
+		return false
+	case opFinish:
+		res, err := eng.Finish()
+		if err != nil {
+			req.reply <- response{err: err}
+			// The engine is sealed after a Finish error only when it was
+			// already finished; either way the session is unusable.
+			return true
+		}
+		req.reply <- response{res: res}
+		return true
+	default:
+		req.reply <- response{err: ErrNotFound}
+		return false
+	}
+}

@@ -1,0 +1,210 @@
+// Package service hosts many concurrent simulated data centres behind an
+// NDJSON-over-HTTP control plane. Each session owns one sim.Engine confined
+// to a single goroutine; callers stream demand samples in and receive the
+// controller's per-tick decisions out, checkpoint sessions to portable
+// snapshot documents, and finish them for the full Result.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"dcsprint/internal/core"
+	"dcsprint/internal/sim"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/workload"
+)
+
+// Limits on client-supplied scenarios, so one request cannot make the
+// manager allocate an absurd facility or trace.
+const (
+	// MaxServers bounds the facility size a session may request (paper
+	// scale is 180,000 servers).
+	MaxServers = 1_000_000
+	// MaxTraceSamples bounds an inline or generated demand trace.
+	MaxTraceSamples = 1 << 20
+)
+
+// ScenarioSpec is the wire form of sim.Scenario: plain JSON, no interfaces,
+// no unbounded fields. Fault-injection campaigns are deliberately absent —
+// they are a batch-experiment feature and their random state would make
+// sessions non-checkpointable.
+type ScenarioSpec struct {
+	Name string `json:"name,omitempty"`
+	// Trace generates the demand trace; nil opens an unbounded streaming
+	// session stepped at one-second ticks.
+	Trace    *TraceSpec    `json:"trace,omitempty"`
+	Strategy *StrategySpec `json:"strategy,omitempty"`
+
+	Uncontrolled         bool      `json:"uncontrolled,omitempty"`
+	NoTES                bool      `json:"no_tes,omitempty"`
+	Servers              int       `json:"servers,omitempty"`
+	ServersPerPDU        int       `json:"servers_per_pdu,omitempty"`
+	DCHeadroom           float64   `json:"dc_headroom,omitempty"`
+	ExplicitZeroHeadroom bool      `json:"explicit_zero_headroom,omitempty"`
+	PUE                  float64   `json:"pue,omitempty"`
+	ReserveSeconds       float64   `json:"reserve_seconds,omitempty"`
+	Generator            bool      `json:"generator,omitempty"`
+	ChipPCMMinutes       float64   `json:"chip_pcm_minutes,omitempty"`
+	BatteryAh            float64   `json:"battery_ah,omitempty"`
+	TESMinutes           float64   `json:"tes_minutes,omitempty"`
+	Weights              []float64 `json:"weights,omitempty"`
+}
+
+// TraceSpec describes a demand trace by construction rather than by value,
+// so a session request stays small.
+type TraceSpec struct {
+	// Kind selects the generator: "yahoo" (seeded synthetic Yahoo burst),
+	// "ms" (seeded synthetic MS trace), "constant", or "samples" (inline).
+	Kind string `json:"kind"`
+	// Seed seeds the yahoo and ms generators.
+	Seed int64 `json:"seed,omitempty"`
+	// Degree is the yahoo burst height.
+	Degree float64 `json:"degree,omitempty"`
+	// DurationSeconds is the yahoo burst duration or the constant length.
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// StepSeconds is the sample interval for constant and samples traces;
+	// zero means one second.
+	StepSeconds float64 `json:"step_seconds,omitempty"`
+	// Value is the constant demand level.
+	Value float64 `json:"value,omitempty"`
+	// Samples is the inline demand trace for kind "samples".
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// StrategySpec describes a sprinting strategy. The zero value means Greedy.
+type StrategySpec struct {
+	// Kind is "greedy", "fixed", "prediction", "heuristic" or "adaptive".
+	Kind string `json:"kind"`
+	// Bound is the fixed strategy's constant upper bound.
+	Bound float64 `json:"bound,omitempty"`
+	// PredictedSeconds is the prediction strategy's forecast burst duration.
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	// EstimatedAvgDegree and Flexibility parameterize the heuristic.
+	EstimatedAvgDegree float64 `json:"estimated_avg_degree,omitempty"`
+	Flexibility        float64 `json:"flexibility,omitempty"`
+	// MinDurationSeconds floors the adaptive strategy's online forecast.
+	MinDurationSeconds float64 `json:"min_duration_seconds,omitempty"`
+	// Table is the Oracle-built bound table for prediction and adaptive,
+	// inline. Without it those strategies fall back to the unbounded
+	// degree, exactly as the core package documents.
+	Table *core.BoundTable `json:"table,omitempty"`
+}
+
+func (t *TraceSpec) build() (*trace.Series, error) {
+	step := time.Second
+	if t.StepSeconds > 0 {
+		step = time.Duration(t.StepSeconds * float64(time.Second))
+	}
+	switch t.Kind {
+	case "yahoo":
+		s, err := workload.SyntheticYahoo(t.Seed, t.Degree, time.Duration(t.DurationSeconds*float64(time.Second)))
+		if err != nil {
+			return nil, err
+		}
+		return s, capSamples(s)
+	case "ms":
+		s, err := workload.SyntheticMS(t.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return s, capSamples(s)
+	case "constant":
+		if t.DurationSeconds <= 0 {
+			return nil, fmt.Errorf("service: constant trace needs duration_seconds > 0")
+		}
+		s, err := trace.Constant(step, time.Duration(t.DurationSeconds*float64(time.Second)), t.Value)
+		if err != nil {
+			return nil, err
+		}
+		return s, capSamples(s)
+	case "samples":
+		if len(t.Samples) == 0 {
+			return nil, fmt.Errorf("service: samples trace is empty")
+		}
+		if len(t.Samples) > MaxTraceSamples {
+			return nil, fmt.Errorf("service: %d samples exceed the %d cap", len(t.Samples), MaxTraceSamples)
+		}
+		return trace.New(step, t.Samples)
+	default:
+		return nil, fmt.Errorf("service: unknown trace kind %q", t.Kind)
+	}
+}
+
+func capSamples(s *trace.Series) error {
+	if s.Len() > MaxTraceSamples {
+		return fmt.Errorf("service: generated trace of %d samples exceeds the %d cap", s.Len(), MaxTraceSamples)
+	}
+	return nil
+}
+
+func (s *StrategySpec) build() (core.Strategy, error) {
+	switch s.Kind {
+	case "", "greedy":
+		return core.Greedy{}, nil
+	case "fixed":
+		if s.Bound < 1 {
+			return nil, fmt.Errorf("service: fixed strategy needs bound >= 1, got %v", s.Bound)
+		}
+		return core.FixedBound{Bound: s.Bound}, nil
+	case "prediction":
+		return core.Prediction{
+			PredictedDuration: time.Duration(s.PredictedSeconds * float64(time.Second)),
+			Table:             s.Table,
+		}, nil
+	case "heuristic":
+		return core.Heuristic{
+			EstimatedAvgDegree: s.EstimatedAvgDegree,
+			Flexibility:        s.Flexibility,
+		}, nil
+	case "adaptive":
+		return core.Adaptive{
+			Table:       s.Table,
+			MinDuration: time.Duration(s.MinDurationSeconds * float64(time.Second)),
+		}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown strategy kind %q", s.Kind)
+	}
+}
+
+// Build converts the spec into a runnable scenario, enforcing the service
+// limits. The returned scenario is not yet normalized; sim.New does that.
+func (s ScenarioSpec) Build() (sim.Scenario, error) {
+	if s.Servers < 0 || s.Servers > MaxServers {
+		return sim.Scenario{}, fmt.Errorf("service: servers %d outside [0, %d]", s.Servers, MaxServers)
+	}
+	if s.ServersPerPDU < 0 {
+		return sim.Scenario{}, fmt.Errorf("service: negative servers_per_pdu")
+	}
+	sc := sim.Scenario{
+		Name:                 s.Name,
+		Uncontrolled:         s.Uncontrolled,
+		NoTES:                s.NoTES,
+		Servers:              s.Servers,
+		ServersPerPDU:        s.ServersPerPDU,
+		DCHeadroom:           s.DCHeadroom,
+		ExplicitZeroHeadroom: s.ExplicitZeroHeadroom,
+		PUE:                  s.PUE,
+		Reserve:              time.Duration(s.ReserveSeconds * float64(time.Second)),
+		Generator:            s.Generator,
+		ChipPCMMinutes:       s.ChipPCMMinutes,
+		BatteryAh:            s.BatteryAh,
+		TESMinutes:           s.TESMinutes,
+		Weights:              s.Weights,
+	}
+	if s.Trace != nil {
+		tr, err := s.Trace.build()
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		sc.Trace = tr
+	}
+	if s.Strategy != nil {
+		strat, err := s.Strategy.build()
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		sc.Strategy = strat
+	}
+	return sc, nil
+}

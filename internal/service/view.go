@@ -1,0 +1,155 @@
+package service
+
+import (
+	"dcsprint/internal/core"
+	"dcsprint/internal/sim"
+)
+
+// Decision is the wire form of one tick's controller output.
+type Decision struct {
+	// Tick is the zero-based index of the completed tick.
+	Tick int `json:"tick"`
+	// Demand and Delivered are normalized throughput (1.0 = peak-normal).
+	Demand    float64 `json:"demand"`
+	Delivered float64 `json:"delivered"`
+	// Degree and Bound describe the realized and permitted sprinting degree.
+	Degree float64 `json:"degree"`
+	Bound  float64 `json:"bound"`
+	// Phase is 0 outside sprinting, then 1 (CB), 2 (UPS), 3 (TES).
+	Phase int `json:"phase"`
+
+	ActiveCores   int     `json:"active_cores"`
+	ITPowerW      float64 `json:"it_power_w"`
+	CoolingPowerW float64 `json:"cooling_power_w"`
+	DCLoadW       float64 `json:"dc_load_w"`
+	PDULoadW      float64 `json:"pdu_load_w"`
+	UPSPowerW     float64 `json:"ups_power_w"`
+	GenPowerW     float64 `json:"gen_power_w"`
+	TESHeatRateW  float64 `json:"tes_heat_rate_w"`
+	RoomTempC     float64 `json:"room_temp_c"`
+
+	Tripped bool `json:"tripped,omitempty"`
+	Dead    bool `json:"dead,omitempty"`
+}
+
+func decisionOf(tick int, t sim.TickDecision) Decision {
+	return Decision{
+		Tick:          tick,
+		Demand:        t.Demand,
+		Delivered:     t.Delivered,
+		Degree:        t.Degree,
+		Bound:         t.Bound,
+		Phase:         t.Phase,
+		ActiveCores:   t.ActiveCores,
+		ITPowerW:      float64(t.ITPower),
+		CoolingPowerW: float64(t.CoolingPower),
+		DCLoadW:       float64(t.DCLoad),
+		PDULoadW:      float64(t.PDULoad),
+		UPSPowerW:     float64(t.UPSPower),
+		GenPowerW:     float64(t.GenPower),
+		TESHeatRateW:  float64(t.TESHeatRate),
+		RoomTempC:     float64(t.RoomTemp),
+		Tripped:       t.Tripped,
+		Dead:          t.Dead,
+	}
+}
+
+// EventView is the wire form of one controller event.
+type EventView struct {
+	TimeNs int64  `json:"time_ns"`
+	Kind   int    `json:"kind"`
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	From   int    `json:"from,omitempty"`
+	To     int    `json:"to,omitempty"`
+}
+
+// TelemetryView carries the full per-tick series of a finished run. All
+// values round-trip exactly through JSON (encoding/json emits the shortest
+// float64 representation that parses back bit-identically).
+type TelemetryView struct {
+	Required      []float64 `json:"required"`
+	Achieved      []float64 `json:"achieved"`
+	Degree        []float64 `json:"degree"`
+	DCLoadW       []float64 `json:"dc_load_w"`
+	PDULoadW      []float64 `json:"pdu_load_w"`
+	UPSPowerW     []float64 `json:"ups_power_w"`
+	GenPowerW     []float64 `json:"gen_power_w"`
+	UPSSoC        []float64 `json:"ups_soc"`
+	CoolingPowerW []float64 `json:"cooling_power_w"`
+	TESRateW      []float64 `json:"tes_rate_w"`
+	RoomTempC     []float64 `json:"room_temp_c"`
+	Phase         []int     `json:"phase"`
+}
+
+// ResultView is the wire form of sim.Result: everything except the echoed
+// scenario (the client supplied it) in plain exactly-round-tripping JSON.
+type ResultView struct {
+	Name                string        `json:"name,omitempty"`
+	StepNs              int64         `json:"step_ns"`
+	Ticks               int           `json:"ticks"`
+	AvgBurstPerformance float64       `json:"avg_burst_performance"`
+	Improvement         float64       `json:"improvement"`
+	SprintSustainedNs   int64         `json:"sprint_sustained_ns"`
+	TrippedAtNs         int64         `json:"tripped_at_ns"` // negative when no trip
+	Dead                bool          `json:"dead,omitempty"`
+	Aborts              int           `json:"aborts,omitempty"`
+	MaxBreakerStress    float64       `json:"max_breaker_stress"`
+	ExcessServed        float64       `json:"excess_served"`
+	FaultsApplied       int           `json:"faults_applied,omitempty"`
+	SplitUPSJ           float64       `json:"split_ups_j"`
+	SplitTESJ           float64       `json:"split_tes_j"`
+	SplitCBOverloadJ    float64       `json:"split_cb_overload_j"`
+	DCRatedW            float64       `json:"dc_rated_w"`
+	PDURatedW           float64       `json:"pdu_rated_w"`
+	Events              []EventView   `json:"events,omitempty"`
+	Telemetry           TelemetryView `json:"telemetry"`
+}
+
+// NewResultView flattens a Result for the wire.
+func NewResultView(r *sim.Result) ResultView {
+	v := ResultView{
+		Name:                r.Scenario.Name,
+		StepNs:              int64(r.Scenario.Trace.Step),
+		Ticks:               r.Scenario.Trace.Len(),
+		AvgBurstPerformance: r.AvgBurstPerformance,
+		Improvement:         r.Improvement(),
+		SprintSustainedNs:   int64(r.SprintSustained),
+		TrippedAtNs:         int64(r.TrippedAt),
+		Dead:                r.Dead,
+		Aborts:              r.Aborts,
+		MaxBreakerStress:    r.MaxBreakerStress,
+		ExcessServed:        r.ExcessServed,
+		FaultsApplied:       r.FaultsApplied,
+		SplitUPSJ:           float64(r.Split.UPS),
+		SplitTESJ:           float64(r.Split.TES),
+		SplitCBOverloadJ:    float64(r.Split.CBOverload),
+		DCRatedW:            float64(r.DCRated),
+		PDURatedW:           float64(r.PDURated),
+		Telemetry: TelemetryView{
+			Required:      r.Telemetry.Required.Samples,
+			Achieved:      r.Telemetry.Achieved.Samples,
+			Degree:        r.Telemetry.Degree.Samples,
+			DCLoadW:       r.Telemetry.DCLoad.Samples,
+			PDULoadW:      r.Telemetry.PDULoad.Samples,
+			UPSPowerW:     r.Telemetry.UPSPower.Samples,
+			GenPowerW:     r.Telemetry.GenPower.Samples,
+			UPSSoC:        r.Telemetry.UPSSoC.Samples,
+			CoolingPowerW: r.Telemetry.CoolingPower.Samples,
+			TESRateW:      r.Telemetry.TESRate.Samples,
+			RoomTempC:     r.Telemetry.RoomTemp.Samples,
+			Phase:         r.Telemetry.Phase,
+		},
+	}
+	for _, ev := range r.Events {
+		v.Events = append(v.Events, EventView{
+			TimeNs: int64(ev.Time),
+			Kind:   int(ev.Kind),
+			Name:   core.EventKind(ev.Kind).String(),
+			Detail: ev.Detail,
+			From:   ev.From,
+			To:     ev.To,
+		})
+	}
+	return v
+}

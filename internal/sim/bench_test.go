@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineStep measures one bare tick of the streaming engine — the
+// floor under every per-step latency number the control-plane service can
+// report.
+func BenchmarkEngineStep(b *testing.B) {
+	eng, err := New(Scenario{Name: "bench"})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(1.5); err != nil {
+			b.Fatalf("Step: %v", err)
+		}
+	}
+}
+
+// BenchmarkEngineSnapshot measures checkpoint cost at a realistic mid-run
+// history depth.
+func BenchmarkEngineSnapshot(b *testing.B) {
+	eng, err := New(Scenario{Name: "bench"})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := eng.Step(1.5); err != nil {
+			b.Fatalf("Step: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Snapshot(); err != nil {
+			b.Fatalf("Snapshot: %v", err)
+		}
+	}
+}

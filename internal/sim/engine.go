@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/chip"
+	"dcsprint/internal/cooling"
+	"dcsprint/internal/core"
+	"dcsprint/internal/faults"
+	"dcsprint/internal/genset"
+	"dcsprint/internal/power"
+	"dcsprint/internal/telemetry"
+	"dcsprint/internal/tes"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/units"
+	"dcsprint/internal/ups"
+)
+
+// ErrFinished is returned by Step and Finish once Finish has been called.
+var ErrFinished = errors.New("sim: engine already finished")
+
+// TickDecision is the controller's per-tick output a streaming caller
+// receives from Step.
+type TickDecision = core.TickResult
+
+// DefaultStreamStep is the tick interval of a streaming engine built from a
+// scenario without a trace — the paper's one-second control loop.
+const DefaultStreamStep = time.Second
+
+// plant bundles the physical facility one engine drives: the power tree, the
+// room thermal model, the optional TES tank and chip package, the controller
+// supervising them, and the optional fault injector replaying a campaign.
+type plant struct {
+	tree *power.Tree
+	room *cooling.Room
+	tank *tes.Tank
+	ctl  *core.Controller
+	inj  *faults.Injector
+	gen  *genset.Generator
+	chip *chip.Thermal
+}
+
+// buildPlant assembles the facility for a normalized scenario. It is the
+// single construction path shared by the batch and streaming engines, so the
+// two cannot drift. The observer is consulted only for the fault-plane
+// registry probes; it is not attached as an event sink here.
+func buildPlant(sc Scenario, obs Observer) (*plant, error) {
+	srv := sc.Server
+	battery := ups.DefaultServerBattery()
+	if sc.BatteryAh > 0 {
+		battery.Capacity = units.AmpHours(sc.BatteryAh)
+	}
+	treeCfg := power.Config{
+		Servers:          sc.Servers,
+		ServersPerPDU:    sc.ServersPerPDU,
+		ServerPeakNormal: srv.PeakNormalPower(),
+		PDUHeadroom:      0.25,
+		DCHeadroom:       sc.DCHeadroom,
+		PUE:              sc.PUE,
+		Curve:            breaker.Bulletin1489A(),
+		Battery:          battery,
+	}
+	tree, err := power.New(treeCfg)
+	if err != nil {
+		return nil, err
+	}
+	coolCfg := cooling.Default(tree.PeakNormalIT())
+	coolCfg.PUE = sc.PUE
+	room, err := cooling.NewRoom(coolCfg)
+	if err != nil {
+		return nil, err
+	}
+	var tank *tes.Tank
+	if !sc.NoTES {
+		tankCfg := tes.DefaultTank(tree.PeakNormalIT())
+		if sc.TESMinutes > 0 {
+			tankCfg.HeatCapacity = units.ForDuration(tree.PeakNormalIT(),
+				time.Duration(sc.TESMinutes*float64(time.Minute)))
+		}
+		tank, err = tes.New(tankCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctl, err := core.New(core.Config{
+		Server:       srv,
+		Cooling:      coolCfg,
+		Strategy:     sc.Strategy,
+		Reserve:      sc.Reserve,
+		Weights:      sc.Weights,
+		Uncontrolled: sc.Uncontrolled,
+	}, tree, room, tank)
+	if err != nil {
+		return nil, err
+	}
+	p := &plant{tree: tree, room: room, tank: tank, ctl: ctl}
+	if sc.Generator {
+		normalTotal := tree.PeakNormalIT() + coolCfg.NormalCoolingPower()
+		gen, err := genset.New(genset.Default(normalTotal))
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachGenerator(gen)
+		p.gen = gen
+	}
+	if sc.Faults != nil {
+		bus := faults.NewSensorBus(tree, room, tank)
+		ctl.AttachSensors(bus)
+		inj := faults.NewInjector(sc.Faults, tree, tank, bus)
+		inj.BindChiller(ctl)
+		p.inj = inj
+		// An observer that carries a registry (sim.Instrument does) also
+		// gets the fault-plane probes.
+		if rp, ok := obs.(interface{ Registry() *telemetry.Registry }); ok && rp.Registry() != nil {
+			bus.Instrument(rp.Registry())
+			inj.Instrument(rp.Registry())
+		}
+	}
+	if sc.ChipPCMMinutes > 0 {
+		sustainable := srv.PeakNormalPower() - srv.NonCPUPower
+		excess := srv.PeakSprintPower() - srv.PeakNormalPower()
+		th, err := chip.New(chip.Config{
+			SustainablePower: sustainable,
+			PCMCapacity:      units.ForDuration(excess, time.Duration(sc.ChipPCMMinutes*float64(time.Minute))),
+			RefreezeRate:     excess / 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachChipThermal(th)
+		p.chip = th
+	}
+	return p, nil
+}
+
+// Engine drives one scenario tick-at-a-time: the online form of Run, built
+// for streaming control planes that observe demand one sample at a time.
+// Construct with New or NewObserved, feed demand through Step, and call
+// Finish for the Result. Engines are not safe for concurrent use; a serving
+// layer must confine each engine to one goroutine.
+type Engine struct {
+	sc   Scenario
+	p    *plant
+	obs  Observer
+	step time.Duration
+	i    int
+
+	// Breaker ratings captured at construction (fault injection can derate
+	// the live breakers mid-run; Result echoes the nameplate values).
+	dcRated, pduRated units.Watts
+
+	// Per-tick telemetry accumulators, one value per completed Step.
+	required, achieved, degree          []float64
+	dcLoad, pduLoad, upsPower, genPower []float64
+	upsSoC, coolPower, tesRate          []float64
+	roomTemp                            []float64
+	phase                               []int
+
+	trippedAt       time.Duration
+	sprintSustained time.Duration
+	excessServed    float64
+	maxStress       float64
+	burstTicks      int
+	burstAchieved   float64
+	finished        bool
+}
+
+// New returns an engine for the scenario. A scenario with a trace runs at
+// the trace's step and Result.Scenario echoes it unchanged; a scenario
+// without a trace streams unbounded at DefaultStreamStep and the demand fed
+// through Step becomes the echoed trace at Finish.
+func New(sc Scenario) (*Engine, error) { return NewObserved(sc, nil) }
+
+// NewObserved returns an engine with an optional telemetry observer. As with
+// RunObserved, observation never changes the outcome.
+func NewObserved(sc Scenario, obs Observer) (*Engine, error) {
+	step := DefaultStreamStep
+	if sc.Trace != nil {
+		if err := sc.normalize(); err != nil {
+			return nil, err
+		}
+		step = sc.Trace.Step
+	} else {
+		sc.normalizeDefaults()
+	}
+	p, err := buildPlant(sc, obs)
+	if err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		p.ctl.SetEventSink(obs.ObserveEvent)
+	}
+	e := &Engine{
+		sc:        sc,
+		p:         p,
+		obs:       obs,
+		step:      step,
+		dcRated:   p.tree.DCBreaker.Rated,
+		pduRated:  p.tree.PDUs[0].Breaker.Rated,
+		trippedAt: -1,
+	}
+	if n := e.traceLen(); n > 0 {
+		e.grow(n)
+	}
+	return e, nil
+}
+
+// traceLen returns the scenario trace length, or 0 in streaming mode.
+func (e *Engine) traceLen() int {
+	if e.sc.Trace == nil {
+		return 0
+	}
+	return e.sc.Trace.Len()
+}
+
+// grow pre-sizes the telemetry accumulators for n ticks.
+func (e *Engine) grow(n int) {
+	e.required = make([]float64, 0, n)
+	e.achieved = make([]float64, 0, n)
+	e.degree = make([]float64, 0, n)
+	e.dcLoad = make([]float64, 0, n)
+	e.pduLoad = make([]float64, 0, n)
+	e.upsPower = make([]float64, 0, n)
+	e.genPower = make([]float64, 0, n)
+	e.upsSoC = make([]float64, 0, n)
+	e.coolPower = make([]float64, 0, n)
+	e.tesRate = make([]float64, 0, n)
+	e.roomTemp = make([]float64, 0, n)
+	e.phase = make([]int, 0, n)
+}
+
+// Scenario returns the engine's normalized scenario.
+func (e *Engine) Scenario() Scenario { return e.sc }
+
+// Interval returns the engine's tick duration.
+func (e *Engine) Interval() time.Duration { return e.step }
+
+// Tick returns the number of completed steps.
+func (e *Engine) Tick() int { return e.i }
+
+// Now returns the simulation time at the start of the next tick.
+func (e *Engine) Now() time.Duration { return time.Duration(e.i) * e.step }
+
+// Dead reports whether the facility is down (trip or overheat). A dead
+// engine keeps accepting steps — the controller serves nothing — so a
+// streaming session can observe the failure and decide when to finish.
+func (e *Engine) Dead() bool { return e.p.ctl.Dead() }
+
+// Step advances the simulation one tick under the given normalized demand
+// and returns the controller's decision for the tick.
+func (e *Engine) Step(demand float64) (TickDecision, error) {
+	if e.finished {
+		return TickDecision{}, ErrFinished
+	}
+	sc, step, i := &e.sc, e.step, e.i
+	in := core.Input{Demand: demand}
+	supFrac := 1.0
+	if e.p.inj != nil {
+		// Fire fault events (and running leaks / expiries) before the
+		// controller plans the tick, so the tick sees their effects.
+		e.p.inj.Advance(step)
+		supFrac = e.p.inj.SupplyFraction()
+	}
+	if sc.Supply != nil {
+		if f := sc.Supply.At(time.Duration(i) * step); f < supFrac {
+			supFrac = f
+		}
+	}
+	if sc.Supply != nil || supFrac < 1 {
+		in.SupplyLimit = units.Watts(supFrac) * e.p.tree.DCBreaker.Rated
+	}
+	tick := e.p.ctl.TickInput(in, step)
+	if e.obs != nil {
+		e.obs.ObserveTick(time.Duration(i)*step, tick)
+	}
+	e.required = append(e.required, demand)
+	e.achieved = append(e.achieved, tick.Delivered)
+	e.degree = append(e.degree, tick.Degree)
+	e.dcLoad = append(e.dcLoad, float64(tick.DCLoad))
+	e.pduLoad = append(e.pduLoad, float64(tick.PDULoad))
+	e.upsPower = append(e.upsPower, float64(tick.UPSPower))
+	e.genPower = append(e.genPower, float64(tick.GenPower))
+	e.upsSoC = append(e.upsSoC, e.p.tree.UPSSoC())
+	e.coolPower = append(e.coolPower, float64(tick.CoolingPower))
+	e.tesRate = append(e.tesRate, float64(tick.TESHeatRate))
+	e.roomTemp = append(e.roomTemp, float64(tick.RoomTemp))
+	e.phase = append(e.phase, tick.Phase)
+	if tick.Tripped && e.trippedAt < 0 {
+		e.trippedAt = time.Duration(i) * step
+	}
+	if tick.Delivered > 1 {
+		e.sprintSustained += step
+		e.excessServed += (tick.Delivered - 1) * step.Seconds()
+	}
+	if acc := e.p.tree.DCBreaker.Accumulator(); acc > e.maxStress {
+		e.maxStress = acc
+	}
+	for _, pdu := range e.p.tree.PDUs {
+		if acc := pdu.Breaker.Accumulator(); acc > e.maxStress {
+			e.maxStress = acc
+		}
+	}
+	if demand > 1 {
+		e.burstTicks++
+		// The no-sprinting facility serves exactly 1.0 here, so the
+		// achieved value is already the per-tick improvement factor.
+		e.burstAchieved += tick.Delivered
+	}
+	e.i = i + 1
+	return tick, nil
+}
+
+// Finish seals the engine and assembles the Result covering every step so
+// far. Further Step or Finish calls return ErrFinished.
+func (e *Engine) Finish() (*Result, error) {
+	if e.finished {
+		return nil, ErrFinished
+	}
+	e.finished = true
+	n, step := e.i, e.step
+	sc := e.sc
+	if sc.Trace == nil {
+		// A streaming session has no input trace; echo the demand it served.
+		tr, err := trace.New(step, e.required)
+		if err != nil {
+			return nil, fmt.Errorf("sim: streaming session of %d ticks: %w", n, err)
+		}
+		sc.Trace = tr
+	}
+	res := &Result{
+		TrippedAt:        e.trippedAt,
+		DCRated:          e.dcRated,
+		PDURated:         e.pduRated,
+		SprintSustained:  e.sprintSustained,
+		ExcessServed:     e.excessServed,
+		MaxBreakerStress: e.maxStress,
+	}
+	if e.burstTicks > 0 {
+		res.AvgBurstPerformance = e.burstAchieved / float64(e.burstTicks)
+	}
+	res.Split = e.p.ctl.Split()
+	res.Events = e.p.ctl.Events()
+	res.Scenario = sc
+	res.Dead = e.p.ctl.Dead()
+	if e.p.inj != nil {
+		res.FaultsApplied = e.p.inj.Applied()
+	}
+	for _, ev := range res.Events {
+		if ev.Kind == core.EventSprintAborted {
+			res.Aborts++
+		}
+	}
+
+	var mkErr error
+	mk := func(samples []float64) *trace.Series {
+		s, err := trace.New(step, samples)
+		if err != nil {
+			if mkErr == nil {
+				mkErr = fmt.Errorf("sim: internal series error: %w", err)
+			}
+			return nil
+		}
+		return s
+	}
+	tele := Telemetry{Phase: e.phase}
+	tele.Required = mk(e.required)
+	tele.Achieved = mk(e.achieved)
+	tele.Degree = mk(e.degree)
+	tele.DCLoad = mk(e.dcLoad)
+	tele.PDULoad = mk(e.pduLoad)
+	tele.UPSPower = mk(e.upsPower)
+	tele.GenPower = mk(e.genPower)
+	tele.UPSSoC = mk(e.upsSoC)
+	tele.CoolingPower = mk(e.coolPower)
+	tele.TESRate = mk(e.tesRate)
+	tele.RoomTemp = mk(e.roomTemp)
+	if mkErr != nil {
+		return nil, mkErr
+	}
+	res.Telemetry = tele
+	defaultRunCounters(res)
+	if e.obs != nil {
+		e.obs.ObserveDone(time.Duration(n)*step, res)
+	}
+	return res, nil
+}

@@ -15,19 +15,11 @@ import (
 	"sync"
 	"time"
 
-	"dcsprint/internal/breaker"
-	"dcsprint/internal/chip"
-	"dcsprint/internal/cooling"
 	"dcsprint/internal/core"
 	"dcsprint/internal/faults"
-	"dcsprint/internal/genset"
-	"dcsprint/internal/power"
 	"dcsprint/internal/server"
-	"dcsprint/internal/telemetry"
-	"dcsprint/internal/tes"
 	"dcsprint/internal/trace"
 	"dcsprint/internal/units"
-	"dcsprint/internal/ups"
 )
 
 // Scenario describes one simulation run. Zero fields take the paper's
@@ -92,11 +84,19 @@ type Scenario struct {
 // facility and paper-scale (180,000 servers) is a config choice.
 const DefaultServers = 2000
 
-// normalize fills defaults in place and validates the scenario.
+// normalize fills defaults in place and validates the scenario. Batch runs
+// require a demand trace; streaming engines (Trace == nil) fill the same
+// defaults via normalizeDefaults.
 func (s *Scenario) normalize() error {
 	if s.Trace == nil || s.Trace.Len() == 0 {
 		return fmt.Errorf("sim: scenario %q has no trace", s.Name)
 	}
+	s.normalizeDefaults()
+	return nil
+}
+
+// normalizeDefaults fills the paper's defaults in place.
+func (s *Scenario) normalizeDefaults() {
 	if s.Servers == 0 {
 		s.Servers = DefaultServers
 	}
@@ -112,7 +112,6 @@ func (s *Scenario) normalize() error {
 	if s.Server.TotalCores == 0 {
 		s.Server = server.Default()
 	}
-	return nil
 }
 
 // Telemetry holds the per-tick series of one run, each aligned with the
@@ -215,222 +214,24 @@ func Run(sc Scenario) (*Result, error) {
 // The observer is deliberately not part of the Scenario: Result.Scenario
 // echoes the input, and observation must never change the outcome — a run
 // with an observer attached is bit-for-bit identical to one without.
+//
+// RunObserved is a thin loop over Engine.Step: it consumes the scenario's
+// trace one sample at a time through exactly the code path a streaming
+// session uses, so the batch and streaming results cannot drift.
 func RunObserved(sc Scenario, obs Observer) (*Result, error) {
 	if err := sc.normalize(); err != nil {
 		return nil, err
 	}
-	srv := sc.Server
-	battery := ups.DefaultServerBattery()
-	if sc.BatteryAh > 0 {
-		battery.Capacity = units.AmpHours(sc.BatteryAh)
-	}
-	treeCfg := power.Config{
-		Servers:          sc.Servers,
-		ServersPerPDU:    sc.ServersPerPDU,
-		ServerPeakNormal: srv.PeakNormalPower(),
-		PDUHeadroom:      0.25,
-		DCHeadroom:       sc.DCHeadroom,
-		PUE:              sc.PUE,
-		Curve:            breaker.Bulletin1489A(),
-		Battery:          battery,
-	}
-	tree, err := power.New(treeCfg)
+	eng, err := NewObserved(sc, obs)
 	if err != nil {
 		return nil, err
 	}
-	coolCfg := cooling.Default(tree.PeakNormalIT())
-	coolCfg.PUE = sc.PUE
-	room, err := cooling.NewRoom(coolCfg)
-	if err != nil {
-		return nil, err
-	}
-	var tank *tes.Tank
-	if !sc.NoTES {
-		tankCfg := tes.DefaultTank(tree.PeakNormalIT())
-		if sc.TESMinutes > 0 {
-			tankCfg.HeatCapacity = units.ForDuration(tree.PeakNormalIT(),
-				time.Duration(sc.TESMinutes*float64(time.Minute)))
-		}
-		tank, err = tes.New(tankCfg)
-		if err != nil {
+	for _, demand := range eng.sc.Trace.Samples {
+		if _, err := eng.Step(demand); err != nil {
 			return nil, err
 		}
 	}
-	ctl, err := core.New(core.Config{
-		Server:       srv,
-		Cooling:      coolCfg,
-		Strategy:     sc.Strategy,
-		Reserve:      sc.Reserve,
-		Weights:      sc.Weights,
-		Uncontrolled: sc.Uncontrolled,
-	}, tree, room, tank)
-	if err != nil {
-		return nil, err
-	}
-	if sc.Generator {
-		normalTotal := tree.PeakNormalIT() + coolCfg.NormalCoolingPower()
-		gen, err := genset.New(genset.Default(normalTotal))
-		if err != nil {
-			return nil, err
-		}
-		ctl.AttachGenerator(gen)
-	}
-	var inj *faults.Injector
-	if sc.Faults != nil {
-		bus := faults.NewSensorBus(tree, room, tank)
-		ctl.AttachSensors(bus)
-		inj = faults.NewInjector(sc.Faults, tree, tank, bus)
-		inj.BindChiller(ctl)
-		// An observer that carries a registry (sim.Instrument does) also
-		// gets the fault-plane probes.
-		if rp, ok := obs.(interface{ Registry() *telemetry.Registry }); ok && rp.Registry() != nil {
-			bus.Instrument(rp.Registry())
-			inj.Instrument(rp.Registry())
-		}
-	}
-	if sc.ChipPCMMinutes > 0 {
-		sustainable := srv.PeakNormalPower() - srv.NonCPUPower
-		excess := srv.PeakSprintPower() - srv.PeakNormalPower()
-		th, err := chip.New(chip.Config{
-			SustainablePower: sustainable,
-			PCMCapacity:      units.ForDuration(excess, time.Duration(sc.ChipPCMMinutes*float64(time.Minute))),
-			RefreezeRate:     excess / 4,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ctl.AttachChipThermal(th)
-	}
-
-	if obs != nil {
-		ctl.SetEventSink(obs.ObserveEvent)
-	}
-
-	n := sc.Trace.Len()
-	step := sc.Trace.Step
-	tele := Telemetry{Phase: make([]int, n)}
-	required := make([]float64, n)
-	achieved := make([]float64, n)
-	degree := make([]float64, n)
-	dcLoad := make([]float64, n)
-	pduLoad := make([]float64, n)
-	upsPower := make([]float64, n)
-	genPower := make([]float64, n)
-	upsSoC := make([]float64, n)
-	coolPower := make([]float64, n)
-	tesRate := make([]float64, n)
-	roomTemp := make([]float64, n)
-
-	res := &Result{
-		TrippedAt: -1,
-		DCRated:   tree.DCBreaker.Rated,
-		PDURated:  tree.PDUs[0].Breaker.Rated,
-	}
-	var burstTicks int
-	var burstAchieved float64
-	for i := 0; i < n; i++ {
-		demand := sc.Trace.Samples[i]
-		in := core.Input{Demand: demand}
-		supFrac := 1.0
-		if inj != nil {
-			// Fire fault events (and running leaks / expiries) before the
-			// controller plans the tick, so the tick sees their effects.
-			inj.Advance(step)
-			supFrac = inj.SupplyFraction()
-		}
-		if sc.Supply != nil {
-			if f := sc.Supply.At(time.Duration(i) * step); f < supFrac {
-				supFrac = f
-			}
-		}
-		if sc.Supply != nil || supFrac < 1 {
-			in.SupplyLimit = units.Watts(supFrac) * tree.DCBreaker.Rated
-		}
-		tick := ctl.TickInput(in, step)
-		if obs != nil {
-			obs.ObserveTick(time.Duration(i)*step, tick)
-		}
-		required[i] = demand
-		achieved[i] = tick.Delivered
-		degree[i] = tick.Degree
-		dcLoad[i] = float64(tick.DCLoad)
-		pduLoad[i] = float64(tick.PDULoad)
-		upsPower[i] = float64(tick.UPSPower)
-		genPower[i] = float64(tick.GenPower)
-		upsSoC[i] = tree.UPSSoC()
-		coolPower[i] = float64(tick.CoolingPower)
-		tesRate[i] = float64(tick.TESHeatRate)
-		roomTemp[i] = float64(tick.RoomTemp)
-		tele.Phase[i] = tick.Phase
-		if tick.Tripped && res.TrippedAt < 0 {
-			res.TrippedAt = time.Duration(i) * step
-		}
-		if tick.Delivered > 1 {
-			res.SprintSustained += step
-			res.ExcessServed += (tick.Delivered - 1) * step.Seconds()
-		}
-		if acc := tree.DCBreaker.Accumulator(); acc > res.MaxBreakerStress {
-			res.MaxBreakerStress = acc
-		}
-		for _, pdu := range tree.PDUs {
-			if acc := pdu.Breaker.Accumulator(); acc > res.MaxBreakerStress {
-				res.MaxBreakerStress = acc
-			}
-		}
-		if demand > 1 {
-			burstTicks++
-			// The no-sprinting facility serves exactly 1.0 here, so the
-			// achieved value is already the per-tick improvement factor.
-			burstAchieved += tick.Delivered
-		}
-	}
-	if burstTicks > 0 {
-		res.AvgBurstPerformance = burstAchieved / float64(burstTicks)
-	}
-	res.Split = ctl.Split()
-	res.Events = ctl.Events()
-	res.Scenario = sc
-	res.Dead = ctl.Dead()
-	if inj != nil {
-		res.FaultsApplied = inj.Applied()
-	}
-	for _, e := range res.Events {
-		if e.Kind == core.EventSprintAborted {
-			res.Aborts++
-		}
-	}
-
-	var mkErr error
-	mk := func(samples []float64) *trace.Series {
-		s, err := trace.New(step, samples)
-		if err != nil {
-			if mkErr == nil {
-				mkErr = fmt.Errorf("sim: internal series error: %w", err)
-			}
-			return nil
-		}
-		return s
-	}
-	tele.Required = mk(required)
-	tele.Achieved = mk(achieved)
-	tele.Degree = mk(degree)
-	tele.DCLoad = mk(dcLoad)
-	tele.PDULoad = mk(pduLoad)
-	tele.UPSPower = mk(upsPower)
-	tele.GenPower = mk(genPower)
-	tele.UPSSoC = mk(upsSoC)
-	tele.CoolingPower = mk(coolPower)
-	tele.TESRate = mk(tesRate)
-	tele.RoomTemp = mk(roomTemp)
-	if mkErr != nil {
-		return nil, mkErr
-	}
-	res.Telemetry = tele
-	defaultRunCounters(res)
-	if obs != nil {
-		obs.ObserveDone(time.Duration(n)*step, res)
-	}
-	return res, nil
+	return eng.Finish()
 }
 
 // Parallel maps fn over items with a bounded worker pool, preserving order.

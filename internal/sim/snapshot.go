@@ -1,0 +1,597 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"dcsprint/internal/breaker"
+	"dcsprint/internal/chip"
+	"dcsprint/internal/cooling"
+	"dcsprint/internal/core"
+	"dcsprint/internal/genset"
+	"dcsprint/internal/tes"
+	"dcsprint/internal/units"
+	"dcsprint/internal/ups"
+)
+
+// Snapshot format: a versioned little-endian binary image of everything an
+// Engine needs to resume mid-run — tick counters, telemetry accumulators,
+// breaker thermal state, UPS charge and wear ledgers, TES level, room
+// temperature, generator and chip state, and the controller's dynamic state
+// including supervision trust. The scenario itself is NOT in the snapshot;
+// Restore takes the same scenario the engine was built from, so the plant is
+// reconstructed by the one buildPlant path and the snapshot only carries what
+// evolves at runtime.
+//
+//	offset  field
+//	0       magic "DCSPSNAP" (8 bytes)
+//	8       version uint16 (currently 1)
+//	10      payload (version-specific)
+//	len-4   CRC32 (IEEE) of everything before the trailer
+//
+// Versioning rule: any change to the payload layout bumps the version;
+// decoders reject versions they do not know. There is no in-place migration —
+// a snapshot is a short-lived checkpoint, not an archival format.
+
+// snapMagic identifies a dcsprint engine snapshot.
+const snapMagic = "DCSPSNAP"
+
+// SnapshotVersion is the current snapshot codec version.
+const SnapshotVersion uint16 = 1
+
+// ErrSnapshotFaults is returned by Snapshot when a fault-injection campaign
+// is attached: the injector and sensor bus carry pseudo-random state that is
+// not checkpointable, so a restored run could not replay identically.
+var ErrSnapshotFaults = errors.New("sim: cannot snapshot an engine with fault injection attached")
+
+// snapMaxTicks bounds the tick count a decoder will allocate for
+// (1<<26 ticks = one simulated year at 2 Hz, ~5.5 GB of telemetry — far
+// beyond any real run, but small enough to reject absurd length fields
+// before allocating).
+const snapMaxTicks = 1 << 26
+
+// snapMaxDetail bounds an event-detail string in a snapshot.
+const snapMaxDetail = 1 << 12
+
+// snapWriter appends little-endian fields to a buffer.
+type snapWriter struct{ buf []byte }
+
+func (w *snapWriter) u8(v uint8)          { w.buf = append(w.buf, v) }
+func (w *snapWriter) bool(v bool)         { w.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (w *snapWriter) u16(v uint16)        { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *snapWriter) u32(v uint32)        { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *snapWriter) u64(v uint64)        { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *snapWriter) i64(v int64)         { w.u64(uint64(v)) }
+func (w *snapWriter) f64(v float64)       { w.u64(math.Float64bits(v)) }
+func (w *snapWriter) dur(v time.Duration) { w.i64(int64(v)) }
+func (w *snapWriter) str(s string) {
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *snapWriter) floats(s []float64) {
+	for _, v := range s {
+		w.f64(v)
+	}
+}
+
+// snapReader consumes little-endian fields with bounds checking; the first
+// short read poisons the reader and every subsequent read returns zero.
+type snapReader struct {
+	buf []byte
+	err error
+}
+
+func (r *snapReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("sim: snapshot truncated reading %s", what)
+	}
+}
+
+func (r *snapReader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *snapReader) u8(what string) uint8 {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *snapReader) bool(what string) bool { return r.u8(what) != 0 }
+
+func (r *snapReader) u16(what string) uint16 {
+	b := r.take(2, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *snapReader) u32(what string) uint32 {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapReader) u64(what string) uint64 {
+	b := r.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *snapReader) i64(what string) int64         { return int64(r.u64(what)) }
+func (r *snapReader) f64(what string) float64       { return math.Float64frombits(r.u64(what)) }
+func (r *snapReader) dur(what string) time.Duration { return time.Duration(r.i64(what)) }
+
+func (r *snapReader) str(what string) string {
+	n := int(r.u16(what))
+	b := r.take(n, what)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// floats reads exactly n float64 values, verifying the bytes exist before
+// allocating — a corrupt length field must not trigger a huge allocation.
+func (r *snapReader) floats(n int, what string) []float64 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.buf) < 8*n {
+		r.fail(what)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[8*i:]))
+	}
+	r.buf = r.buf[8*n:]
+	return out
+}
+
+// Presence bits for optional plant components.
+const (
+	snapHasTank = 1 << iota
+	snapHasGen
+	snapHasChip
+)
+
+// Snapshot serializes the engine's complete dynamic state. It errors on a
+// finished engine and on one with fault injection attached (the injector's
+// random state is not checkpointable). The engine remains usable; Snapshot
+// does not advance or seal it.
+func (e *Engine) Snapshot() ([]byte, error) {
+	if e.finished {
+		return nil, ErrFinished
+	}
+	if e.p.inj != nil {
+		return nil, ErrSnapshotFaults
+	}
+	w := &snapWriter{buf: make([]byte, 0, 10+8*11*e.i+1024)}
+	w.buf = append(w.buf, snapMagic...)
+	w.u16(SnapshotVersion)
+
+	// Engine counters.
+	w.dur(e.step)
+	w.u64(uint64(e.i))
+	w.f64(float64(e.dcRated))
+	w.f64(float64(e.pduRated))
+	w.dur(e.trippedAt)
+	w.dur(e.sprintSustained)
+	w.f64(e.excessServed)
+	w.f64(e.maxStress)
+	w.u64(uint64(e.burstTicks))
+	w.f64(e.burstAchieved)
+
+	// Telemetry accumulators, each exactly e.i values.
+	w.floats(e.required)
+	w.floats(e.achieved)
+	w.floats(e.degree)
+	w.floats(e.dcLoad)
+	w.floats(e.pduLoad)
+	w.floats(e.upsPower)
+	w.floats(e.genPower)
+	w.floats(e.upsSoC)
+	w.floats(e.coolPower)
+	w.floats(e.tesRate)
+	w.floats(e.roomTemp)
+	for _, p := range e.phase {
+		w.u8(uint8(p))
+	}
+
+	// Plant presence and shape.
+	var presence uint8
+	if e.p.tank != nil {
+		presence |= snapHasTank
+	}
+	if e.p.gen != nil {
+		presence |= snapHasGen
+	}
+	if e.p.chip != nil {
+		presence |= snapHasChip
+	}
+	w.u8(presence)
+	w.u32(uint32(len(e.p.tree.PDUs)))
+
+	writeBreaker := func(s breaker.State) {
+		w.f64(float64(s.Rated))
+		w.f64(s.Acc)
+		w.bool(s.Tripped)
+		w.f64(float64(s.Load))
+	}
+	writeBreaker(e.p.tree.DCBreaker.State())
+	for _, pdu := range e.p.tree.PDUs {
+		writeBreaker(pdu.Breaker.State())
+		us := pdu.UPS.State()
+		w.f64(float64(us.Capacity))
+		w.f64(float64(us.MaxDischarge))
+		w.f64(float64(us.MaxRecharge))
+		w.f64(float64(us.Stored))
+		w.f64(float64(us.Discharged))
+		w.bool(us.Failed)
+	}
+	w.f64(float64(e.p.room.State().Temp))
+	if e.p.tank != nil {
+		ts := e.p.tank.State()
+		w.f64(float64(ts.Cold))
+		w.bool(ts.ValveStuck)
+	}
+	if e.p.gen != nil {
+		gs := e.p.gen.State()
+		w.bool(gs.Started)
+		w.dur(gs.SinceStart)
+	}
+	if e.p.chip != nil {
+		w.f64(float64(e.p.chip.State().Melted))
+	}
+
+	// Controller state.
+	cs := e.p.ctl.DumpState()
+	w.bool(cs.BurstActive)
+	w.dur(cs.SprintTime)
+	w.dur(cs.Cooloff)
+	w.f64(cs.PeakDemand)
+	w.f64(cs.DegreeSum)
+	w.i64(int64(cs.DegreeTicks))
+	w.f64(float64(cs.BudgetTotal))
+	w.bool(cs.TESActive)
+	w.bool(cs.Dead)
+	w.f64(float64(cs.TempEst))
+	w.f64(cs.ChillerHealth)
+	w.f64(cs.DegradeCap)
+	w.bool(cs.PrevSprinting)
+	w.bool(cs.PrevShed)
+	w.dur(cs.Now)
+	w.i64(int64(cs.PrevPhase))
+	w.bool(cs.PrevTES)
+	w.bool(cs.PrevGenStart)
+	w.bool(cs.PrevGenOnline)
+	w.bool(cs.ChipExhausted)
+	w.f64(float64(cs.Split.UPS))
+	w.f64(float64(cs.Split.TES))
+	w.f64(float64(cs.Split.CBOverload))
+	w.u32(uint32(len(cs.Events)))
+	for _, ev := range cs.Events {
+		w.dur(ev.Time)
+		w.i64(int64(ev.Kind))
+		w.str(ev.Detail)
+		w.i64(int64(ev.From))
+		w.i64(int64(ev.To))
+	}
+	w.bool(cs.Supervision != nil)
+	if sup := cs.Supervision; sup != nil {
+		writeHealth := func(h core.SensorHealthState) {
+			w.bool(h.Distrusted)
+			w.i64(int64(h.GoodTicks))
+			w.f64(h.Last)
+			w.bool(h.HaveLast)
+			w.dur(h.FrozenFor)
+			w.bool(h.NeedChange)
+			w.f64(h.RefValue)
+		}
+		writeHealth(sup.Room)
+		writeHealth(sup.TES)
+		w.u32(uint32(len(sup.SoC)))
+		for _, h := range sup.SoC {
+			writeHealth(h)
+		}
+		w.bool(sup.ExpectRoom)
+		w.bool(sup.ExpectTES)
+		w.u32(uint32(len(sup.ExpectSoC)))
+		for _, b := range sup.ExpectSoC {
+			w.bool(b)
+		}
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf, nil
+}
+
+// Restore rebuilds an engine from a scenario and a snapshot previously taken
+// from an engine built on the same scenario. The scenario is normalized and
+// the plant reconstructed exactly as New does, then the snapshot's dynamic
+// state is applied; the restored engine continues bit-for-bit identically to
+// the original. Corrupt or mismatched snapshots return an error — never a
+// panic, never a half-restored engine.
+func Restore(sc Scenario, snap []byte) (*Engine, error) {
+	return RestoreObserved(sc, snap, nil)
+}
+
+// RestoreObserved is Restore with an optional telemetry observer attached to
+// the resumed run.
+func RestoreObserved(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
+	if len(snap) < len(snapMagic)+2+4 {
+		return nil, fmt.Errorf("sim: snapshot too short (%d bytes)", len(snap))
+	}
+	if string(snap[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("sim: bad snapshot magic")
+	}
+	body, trailer := snap[:len(snap)-4], snap[len(snap)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("sim: snapshot checksum mismatch (%08x != %08x)", got, want)
+	}
+	r := &snapReader{buf: body[len(snapMagic):]}
+	if v := r.u16("version"); v != SnapshotVersion {
+		return nil, fmt.Errorf("sim: unsupported snapshot version %d (have %d)", v, SnapshotVersion)
+	}
+
+	if sc.Faults != nil {
+		return nil, ErrSnapshotFaults
+	}
+	e, err := NewObserved(sc, obs)
+	if err != nil {
+		return nil, err
+	}
+
+	step := r.dur("step")
+	ticks64 := r.u64("tick count")
+	if r.err == nil && step != e.step {
+		return nil, fmt.Errorf("sim: snapshot step %v does not match scenario step %v", step, e.step)
+	}
+	if ticks64 > snapMaxTicks {
+		return nil, fmt.Errorf("sim: snapshot tick count %d exceeds limit %d", ticks64, snapMaxTicks)
+	}
+	ticks := int(ticks64)
+	if n := e.traceLen(); n > 0 && ticks > n {
+		return nil, fmt.Errorf("sim: snapshot at tick %d beyond the %d-sample trace", ticks, n)
+	}
+	e.i = ticks
+	e.dcRated = units.Watts(r.f64("dc rating"))
+	e.pduRated = units.Watts(r.f64("pdu rating"))
+	e.trippedAt = r.dur("tripped at")
+	e.sprintSustained = r.dur("sprint sustained")
+	e.excessServed = r.f64("excess served")
+	e.maxStress = r.f64("max stress")
+	e.burstTicks = int(r.u64("burst ticks"))
+	e.burstAchieved = r.f64("burst achieved")
+
+	e.required = r.floats(ticks, "required series")
+	e.achieved = r.floats(ticks, "achieved series")
+	e.degree = r.floats(ticks, "degree series")
+	e.dcLoad = r.floats(ticks, "dc load series")
+	e.pduLoad = r.floats(ticks, "pdu load series")
+	e.upsPower = r.floats(ticks, "ups power series")
+	e.genPower = r.floats(ticks, "gen power series")
+	e.upsSoC = r.floats(ticks, "ups soc series")
+	e.coolPower = r.floats(ticks, "cooling power series")
+	e.tesRate = r.floats(ticks, "tes rate series")
+	e.roomTemp = r.floats(ticks, "room temp series")
+	if phases := r.take(ticks, "phase series"); phases != nil {
+		e.phase = make([]int, ticks)
+		for i, p := range phases {
+			e.phase[i] = int(p)
+		}
+	}
+
+	presence := r.u8("presence flags")
+	var wantPresence uint8
+	if e.p.tank != nil {
+		wantPresence |= snapHasTank
+	}
+	if e.p.gen != nil {
+		wantPresence |= snapHasGen
+	}
+	if e.p.chip != nil {
+		wantPresence |= snapHasChip
+	}
+	if r.err == nil && presence != wantPresence {
+		return nil, fmt.Errorf("sim: snapshot plant shape %03b does not match scenario %03b", presence, wantPresence)
+	}
+	nPDU := r.u32("pdu count")
+	if r.err == nil && int(nPDU) != len(e.p.tree.PDUs) {
+		return nil, fmt.Errorf("sim: snapshot has %d PDUs, scenario builds %d", nPDU, len(e.p.tree.PDUs))
+	}
+
+	readBreaker := func(what string) breaker.State {
+		return breaker.State{
+			Rated:   units.Watts(r.f64(what + " rating")),
+			Acc:     r.f64(what + " accumulator"),
+			Tripped: r.bool(what + " tripped"),
+			Load:    units.Watts(r.f64(what + " load")),
+		}
+	}
+	dcState := readBreaker("dc breaker")
+	pduBreakers := make([]breaker.State, len(e.p.tree.PDUs))
+	upsStates := make([]ups.State, len(e.p.tree.PDUs))
+	for i := range e.p.tree.PDUs {
+		pduBreakers[i] = readBreaker("pdu breaker")
+		upsStates[i] = ups.State{
+			Capacity:     units.AmpHours(r.f64("ups capacity")),
+			MaxDischarge: units.Watts(r.f64("ups max discharge")),
+			MaxRecharge:  units.Watts(r.f64("ups max recharge")),
+			Stored:       units.Joules(r.f64("ups stored")),
+			Discharged:   units.Joules(r.f64("ups discharged")),
+			Failed:       r.bool("ups failed"),
+		}
+	}
+	roomState := cooling.State{Temp: units.Celsius(r.f64("room temperature"))}
+	var tankState tes.State
+	if presence&snapHasTank != 0 {
+		tankState = tes.State{
+			Cold:       units.Joules(r.f64("tes cold")),
+			ValveStuck: r.bool("tes valve"),
+		}
+	}
+	var genState genset.State
+	if presence&snapHasGen != 0 {
+		genState = genset.State{
+			Started:    r.bool("genset started"),
+			SinceStart: r.dur("genset clock"),
+		}
+	}
+	var chipState chip.State
+	if presence&snapHasChip != 0 {
+		chipState = chip.State{Melted: units.Joules(r.f64("chip melted"))}
+	}
+
+	var cs core.ControllerState
+	cs.BurstActive = r.bool("burst active")
+	cs.SprintTime = r.dur("sprint time")
+	cs.Cooloff = r.dur("cooloff")
+	cs.PeakDemand = r.f64("peak demand")
+	cs.DegreeSum = r.f64("degree sum")
+	cs.DegreeTicks = int(r.i64("degree ticks"))
+	cs.BudgetTotal = units.Joules(r.f64("budget total"))
+	cs.TESActive = r.bool("tes active")
+	cs.Dead = r.bool("dead")
+	cs.TempEst = units.Celsius(r.f64("temp estimate"))
+	cs.ChillerHealth = r.f64("chiller health")
+	cs.DegradeCap = r.f64("degrade cap")
+	cs.PrevSprinting = r.bool("prev sprinting")
+	cs.PrevShed = r.bool("prev shed")
+	cs.Now = r.dur("controller clock")
+	cs.PrevPhase = int(r.i64("prev phase"))
+	cs.PrevTES = r.bool("prev tes")
+	cs.PrevGenStart = r.bool("prev gen start")
+	cs.PrevGenOnline = r.bool("prev gen online")
+	cs.ChipExhausted = r.bool("chip exhausted")
+	cs.Split.UPS = units.Joules(r.f64("split ups"))
+	cs.Split.TES = units.Joules(r.f64("split tes"))
+	cs.Split.CBOverload = units.Joules(r.f64("split cb"))
+	nEvents := r.u32("event count")
+	if r.err == nil && nEvents > 4096 {
+		return nil, fmt.Errorf("sim: snapshot has %d events, cap 4096", nEvents)
+	}
+	if r.err == nil {
+		cs.Events = make([]core.Event, 0, nEvents)
+		for i := uint32(0); i < nEvents && r.err == nil; i++ {
+			var ev core.Event
+			ev.Time = r.dur("event time")
+			ev.Kind = core.EventKind(r.i64("event kind"))
+			if n := int(r.u16("event detail length")); n > snapMaxDetail {
+				return nil, fmt.Errorf("sim: snapshot event detail of %d bytes, cap %d", n, snapMaxDetail)
+			} else if b := r.take(n, "event detail"); b != nil {
+				ev.Detail = string(b)
+			}
+			ev.From = int(r.i64("event from"))
+			ev.To = int(r.i64("event to"))
+			cs.Events = append(cs.Events, ev)
+		}
+	}
+	if r.bool("supervision flag") {
+		readHealth := func(what string) core.SensorHealthState {
+			return core.SensorHealthState{
+				Distrusted: r.bool(what + " distrusted"),
+				GoodTicks:  int(r.i64(what + " good ticks")),
+				Last:       r.f64(what + " last"),
+				HaveLast:   r.bool(what + " have last"),
+				FrozenFor:  r.dur(what + " frozen"),
+				NeedChange: r.bool(what + " need change"),
+				RefValue:   r.f64(what + " reference"),
+			}
+		}
+		sup := &core.SupervisorState{
+			Room: readHealth("room sensor"),
+			TES:  readHealth("tes sensor"),
+		}
+		nSoC := int(r.u32("soc sensor count"))
+		if r.err == nil && (nSoC < 0 || len(r.buf) < nSoC) {
+			return nil, fmt.Errorf("sim: snapshot soc sensor count %d exceeds payload", nSoC)
+		}
+		if r.err == nil {
+			sup.SoC = make([]core.SensorHealthState, nSoC)
+			for i := range sup.SoC {
+				sup.SoC[i] = readHealth("soc sensor")
+			}
+		}
+		sup.ExpectRoom = r.bool("expect room")
+		sup.ExpectTES = r.bool("expect tes")
+		nExpect := int(r.u32("expect soc count"))
+		if r.err == nil && (nExpect < 0 || len(r.buf) < nExpect) {
+			return nil, fmt.Errorf("sim: snapshot expect count %d exceeds payload", nExpect)
+		}
+		if r.err == nil {
+			sup.ExpectSoC = make([]bool, nExpect)
+			for i := range sup.ExpectSoC {
+				sup.ExpectSoC[i] = r.bool("expect soc")
+			}
+		}
+		cs.Supervision = sup
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("sim: snapshot has %d trailing bytes", len(r.buf))
+	}
+
+	// All fields decoded; apply them. Every SetState validates, so a
+	// snapshot carrying unphysical values errors here.
+	if e.dcRated <= 0 || e.pduRated <= 0 ||
+		math.IsNaN(float64(e.dcRated)) || math.IsNaN(float64(e.pduRated)) {
+		return nil, fmt.Errorf("sim: snapshot with non-positive breaker ratings")
+	}
+	if err := e.p.tree.DCBreaker.SetState(dcState); err != nil {
+		return nil, err
+	}
+	for i, pdu := range e.p.tree.PDUs {
+		if err := pdu.Breaker.SetState(pduBreakers[i]); err != nil {
+			return nil, err
+		}
+		if err := pdu.UPS.SetState(upsStates[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.p.room.SetState(roomState); err != nil {
+		return nil, err
+	}
+	if e.p.tank != nil {
+		if err := e.p.tank.SetState(tankState); err != nil {
+			return nil, err
+		}
+	}
+	if e.p.gen != nil {
+		if err := e.p.gen.SetState(genState); err != nil {
+			return nil, err
+		}
+	}
+	if e.p.chip != nil {
+		if err := e.p.chip.SetState(chipState); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.p.ctl.RestoreState(cs); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

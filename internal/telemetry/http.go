@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -10,21 +11,47 @@ import (
 	"time"
 )
 
-// Server exposes a registry (and optionally a tracer) over HTTP for live
-// inspection of long experiment runs:
+// exposition serves a registry (and optionally a tracer) over HTTP:
 //
 //	/metrics       Prometheus text exposition
 //	/healthz       JSON liveness (status, uptime, spans/points so far)
 //	/trace.jsonl   the tracer's closed spans and points as JSONL
 //	/debug/pprof/  the standard Go profiler endpoints
-type Server struct {
+type exposition struct {
 	reg    *Registry
 	tracer *Tracer
+	start  time.Time
+}
+
+// Handler returns an http.Handler exposing the registry's /metrics, a
+// /healthz liveness probe, the tracer's /trace.jsonl (404 when tracer is
+// nil) and /debug/pprof/. Daemons embedding their own http.Server mount this
+// next to their API routes; StartServer wraps it for standalone use.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	e := &exposition{reg: reg, tracer: tracer, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.HandleFunc("/trace.jsonl", e.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server exposes a registry over HTTP in a background goroutine for live
+// inspection of long experiment runs. See Handler for the routes.
+type Server struct {
 	ln     net.Listener
 	srv    *http.Server
-	start  time.Time
 	closed atomic.Bool
 }
+
+// closeTimeout bounds the graceful drain a Close attempts before falling
+// back to hard-closing open connections.
+const closeTimeout = 3 * time.Second
 
 // StartServer listens on addr (":0" picks a free port) and serves in a
 // background goroutine until Close. The tracer may be nil; /trace.jsonl
@@ -37,17 +64,15 @@ func StartServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, tracer: tracer, ln: ln, start: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/trace.jsonl", s.handleTrace)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
+	s := &Server{ln: ln}
+	// ReadHeaderTimeout caps how long a client may dribble request headers
+	// (slowloris); no WriteTimeout because /debug/pprof/profile and
+	// /trace.jsonl legitimately stream for a long time.
+	s.srv = &http.Server{
+		Handler:           Handler(reg, tracer),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
 }
@@ -55,22 +80,28 @@ func StartServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down. Safe to call more than once.
+// Close drains in-flight requests for up to closeTimeout, then hard-closes
+// whatever remains. Safe to call more than once.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (e *exposition) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.reg.WritePrometheus(w); err != nil {
+	if err := e.reg.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (e *exposition) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	type health struct {
 		Status   string  `json:"status"`
 		UptimeS  float64 `json:"uptime_s"`
@@ -79,26 +110,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Points   int     `json:"points"`
 		Families int     `json:"metric_families"`
 	}
-	h := health{Status: "ok", UptimeS: time.Since(s.start).Seconds()}
-	if s.tracer != nil {
-		h.Spans = len(s.tracer.Spans())
-		h.Open = len(s.tracer.OpenSpans())
-		h.Points = len(s.tracer.Points())
+	h := health{Status: "ok", UptimeS: time.Since(e.start).Seconds()}
+	if e.tracer != nil {
+		h.Spans = len(e.tracer.Spans())
+		h.Open = len(e.tracer.OpenSpans())
+		h.Points = len(e.tracer.Points())
 	}
-	s.reg.mu.RLock()
-	h.Families = len(s.reg.families)
-	s.reg.mu.RUnlock()
+	e.reg.mu.RLock()
+	h.Families = len(e.reg.families)
+	e.reg.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort liveness
 }
 
-func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
-	if s.tracer == nil {
+func (e *exposition) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if e.tracer == nil {
 		http.NotFound(w, nil)
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
-	if err := s.tracer.WriteJSONL(w); err != nil {
+	if err := e.tracer.WriteJSONL(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
