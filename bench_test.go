@@ -9,6 +9,7 @@ package dcsprint
 // both times the harness and prints the reproduced numbers.
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -341,4 +342,27 @@ func BenchmarkPlanStores(b *testing.B) {
 		ah = p.BatteryAh
 	}
 	b.ReportMetric(ah, "battery_ah_for_2x_10min")
+}
+
+// Campaign-engine scaling: the same 200-seed Monte Carlo grid, serial versus
+// the full worker pool. Per-seed results are bit-identical by the campaign
+// contract (TestMonteCarloParallelMatchesSerial pins it); the ratio of these
+// two benches is the wall-clock speedup BENCH_PR5.json records.
+
+func BenchmarkCampaignMonteCarloSerial(b *testing.B)   { benchCampaignMonteCarlo(b, 1) }
+func BenchmarkCampaignMonteCarloParallel(b *testing.B) { benchCampaignMonteCarlo(b, 0) }
+
+func benchCampaignMonteCarlo(b *testing.B, workers int) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		st, err := MonteCarloContext(context.Background(), CampaignOptions{Workers: workers}, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Trips != 0 {
+			b.Fatalf("campaign tripped %d times", st.Trips)
+		}
+		mean = st.Mean
+	}
+	b.ReportMetric(mean, "mean_improvement_x")
 }

@@ -7,6 +7,13 @@
 // Repeated runs of the same benchmark (-count N) are aggregated into
 // mean/min/max per metric; every ReportMetric unit is preserved alongside
 // the standard ns/op, B/op and allocs/op columns.
+//
+// With -baseline <file> and one or more -gate <Name>:<unit> flags the run
+// also compares the current report against a previously archived one and
+// exits non-zero when a gated metric's mean regressed (grew) relative to the
+// baseline, which is how CI pins the engine's allocs/op at zero:
+//
+//	benchjson -out BENCH_PR5.json -baseline BENCH_PR4.json -gate EngineStep:allocs/op
 package main
 
 import (
@@ -55,7 +62,9 @@ type Report struct {
 
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	out := ""
+	baseline := ""
 	indent := true
+	var gates []string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-out", "--out":
@@ -64,11 +73,26 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 				return fmt.Errorf("-out needs a file argument")
 			}
 			out = args[i]
+		case "-baseline", "--baseline":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-baseline needs a file argument")
+			}
+			baseline = args[i]
+		case "-gate", "--gate":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-gate needs a <Benchmark>:<unit> argument")
+			}
+			gates = append(gates, args[i])
 		case "-compact", "--compact":
 			indent = false
 		default:
-			return fmt.Errorf("unknown argument %q (want -out <file> or -compact)", args[i])
+			return fmt.Errorf("unknown argument %q (want -out <file>, -baseline <file>, -gate <Name>:<unit> or -compact)", args[i])
 		}
+	}
+	if len(gates) > 0 && baseline == "" {
+		return fmt.Errorf("-gate requires -baseline")
 	}
 	rep, err := Parse(in)
 	if err != nil {
@@ -87,7 +111,78 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	if indent {
 		enc.SetIndent("", "  ")
 	}
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if baseline == "" {
+		return nil
+	}
+	base, err := loadReport(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return gate(rep, base, gates)
+}
+
+// loadReport reads a previously archived Report JSON document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// findMetric locates a benchmark's metric by bare name (no Benchmark prefix,
+// no -procs suffix) and unit.
+func findMetric(rep *Report, name, unit string) (Metric, bool) {
+	for _, b := range rep.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		for _, m := range b.Metrics {
+			if m.Unit == unit {
+				return m, true
+			}
+		}
+	}
+	return Metric{}, false
+}
+
+// gate compares each <Name>:<unit> spec between the current and baseline
+// reports and fails when the current mean exceeds the baseline mean. Lower is
+// better for every gated unit (ns/op, B/op, allocs/op); equal means hold.
+func gate(cur, base *Report, specs []string) error {
+	var failed []string
+	for _, spec := range specs {
+		name, unit, ok := strings.Cut(spec, ":")
+		if !ok || name == "" || unit == "" {
+			return fmt.Errorf("malformed gate %q (want <Benchmark>:<unit>)", spec)
+		}
+		cm, ok := findMetric(cur, name, unit)
+		if !ok {
+			return fmt.Errorf("gate %s: benchmark not in current run", spec)
+		}
+		bm, ok := findMetric(base, name, unit)
+		if !ok {
+			return fmt.Errorf("gate %s: benchmark not in baseline", spec)
+		}
+		verdict := "ok"
+		if cm.Mean > bm.Mean {
+			verdict = "REGRESSION"
+			failed = append(failed, spec)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %-40s baseline %.4g -> current %.4g  %s\n",
+			spec, bm.Mean, cm.Mean, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d gate(s) regressed: %s", len(failed), strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // Parse reads `go test -bench` output and aggregates repeated runs.

@@ -107,3 +107,60 @@ func TestRunUnknownFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+// writeBaseline archives a bench-text sample as a Report JSON file, the way
+// CI archives BENCH_PRn.json, and returns its path.
+func writeBaseline(t *testing.T, benchText string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := run([]string{"-out", path}, strings.NewReader(benchText), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWhenEqualOrBetter(t *testing.T) {
+	base := writeBaseline(t, sample)
+	better := strings.ReplaceAll(sample, "3 allocs/op", "0 allocs/op")
+	var sb strings.Builder
+	err := run([]string{"-compact", "-baseline", base,
+		"-gate", "Fig2TripCurve:allocs/op", "-gate", "Fig2TripCurve:ns/op"},
+		strings.NewReader(better), &sb)
+	if err != nil {
+		t.Fatalf("improved run failed the gate: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, sample)
+	worse := strings.ReplaceAll(sample, "3 allocs/op", "9 allocs/op")
+	var sb strings.Builder
+	err := run([]string{"-compact", "-baseline", base, "-gate", "Fig2TripCurve:allocs/op"},
+		strings.NewReader(worse), &sb)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+	// The report is still written before the gate verdict.
+	if !strings.Contains(sb.String(), "Fig2TripCurve") {
+		t.Fatal("report not emitted alongside the gate failure")
+	}
+}
+
+func TestGateArgumentErrors(t *testing.T) {
+	base := writeBaseline(t, sample)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"gate without baseline", []string{"-gate", "Fig2TripCurve:allocs/op"}},
+		{"malformed spec", []string{"-baseline", base, "-gate", "Fig2TripCurve"}},
+		{"unknown benchmark", []string{"-baseline", base, "-gate", "Nope:allocs/op"}},
+		{"unknown unit", []string{"-baseline", base, "-gate", "Fig2TripCurve:furlongs"}},
+		{"missing baseline file", []string{"-baseline", filepath.Join(t.TempDir(), "nope.json"), "-gate", "Fig2TripCurve:allocs/op"}},
+	} {
+		var sb strings.Builder
+		if err := run(append([]string{"-compact"}, tc.args...), strings.NewReader(sample), &sb); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -7,14 +7,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"dcsprint"
 )
+
+// campaignOpts carries the -parallel worker bound into the campaign-engine
+// fan-outs (Monte Carlo, chaos).
+var campaignOpts dcsprint.CampaignOptions
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -31,12 +37,19 @@ var sweepReserves = []time.Duration{
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which   = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos")
-		seed    = fs.Int64("seed", 1, "trace generator seed")
-		metrics = fs.String("metrics", "", "write the campaign's Prometheus metrics snapshot (run/tick/trip totals) to this file")
+		which    = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos")
+		seed     = fs.Int64("seed", 1, "trace generator seed")
+		metrics  = fs.String("metrics", "", "write the campaign's Prometheus metrics snapshot (run/tick/trip totals) to this file")
+		parallel = fs.Int("parallel", 0, "campaign worker count for the sweep fan-outs (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel > 0 {
+		// Bound both the campaign pools that take explicit options and the
+		// GOMAXPROCS default the remaining sweeps size themselves by.
+		runtime.GOMAXPROCS(*parallel)
+		campaignOpts.Workers = *parallel
 	}
 
 	all := map[string]func(int64) error{
@@ -417,7 +430,7 @@ func burstiness(seed int64) error {
 
 func montecarlo(int64) error {
 	header("E13 — Monte-Carlo robustness (Yahoo 3.2x / 15 min across 32 seeds)")
-	st, err := dcsprint.MonteCarlo(32)
+	st, err := dcsprint.MonteCarloContext(context.Background(), campaignOpts, 32)
 	if err != nil {
 		return err
 	}
@@ -451,7 +464,7 @@ func plan(seed int64) error {
 
 func chaos(seed int64) error {
 	header("E15 — chaos: 50 random fault campaigns per strategy (Yahoo 2.5x / 12 min)")
-	rows, err := dcsprint.Chaos(seed, 0)
+	rows, err := dcsprint.ChaosContext(context.Background(), campaignOpts, seed, 0)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,14 @@
 package dcsprint
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"dcsprint/internal/breaker"
+	"dcsprint/internal/campaign"
 	"dcsprint/internal/core"
 	"dcsprint/internal/economics"
 	"dcsprint/internal/faults"
@@ -21,6 +23,19 @@ import (
 // This file regenerates every table and figure of the paper's evaluation
 // (§VI-§VII). Each FigN function returns the figure's data; cmd/experiments
 // prints the rows and EXPERIMENTS.md records paper-versus-measured.
+//
+// Every fan-out below rides the campaign engine (internal/campaign), which
+// keeps sim.Parallel's order and first-error semantics, so the batch results
+// are bit-identical to a serial loop regardless of the worker count.
+
+// sweepCtx adapts the experiments' context-free per-item functions onto
+// campaign.Sweep.
+func sweepCtx[T, R any](ctx context.Context, opts campaign.Options, items []T, fn func(T) (R, error)) ([]R, error) {
+	out, _, err := campaign.Sweep(ctx, opts, items, func(_ context.Context, v T) (R, error) {
+		return fn(v)
+	})
+	return out, err
+}
 
 // CurvePoint is one point of the Fig 2 breaker trip curve.
 type CurvePoint struct {
@@ -164,12 +179,16 @@ var standardTableOnce struct {
 // StandardBoundTable returns the Oracle-built table over the standard
 // parametric-burst grid (durations 2-30 min, degrees 2.0-3.6).
 func StandardBoundTable(seed int64) (*BoundTable, error) {
+	return standardBoundTable(context.Background(), seed)
+}
+
+func standardBoundTable(ctx context.Context, seed int64) (*BoundTable, error) {
 	standardTableOnce.Lock()
 	defer standardTableOnce.Unlock()
 	if tbl, ok := standardTableOnce.tables[seed]; ok {
 		return tbl, nil
 	}
-	tbl, err := BuildBoundTable(
+	tbl, err := campaign.BuildBoundTable(ctx, campaign.Options{},
 		Scenario{},
 		func(degree float64, d time.Duration) (*Series, error) {
 			return YahooTrace(seed, degree, d)
@@ -223,7 +242,7 @@ func Fig9(seed int64, errorPercents []float64) ([]Fig9Row, error) {
 		BurstDuration: stats.AggregateDuration,
 		AvgDegree:     oracle.Result.AvgBurstDegree(),
 	}
-	rows, err := sim.Parallel(errorPercents, func(pct float64) (Fig9Row, error) {
+	rows, err := sweepCtx(context.Background(), campaign.Options{}, errorPercents, func(pct float64) (Fig9Row, error) {
 		est := realEstimate.WithError(pct / 100)
 		pred, err := Run(Scenario{
 			Name:     fmt.Sprintf("fig9-pred-%+.0f%%", pct),
@@ -272,7 +291,7 @@ func Fig10(seed int64, duration time.Duration, degrees []float64) ([]Fig10Row, e
 	if err != nil {
 		return nil, err
 	}
-	rows, err := sim.Parallel(degrees, func(degree float64) (Fig10Row, error) {
+	rows, err := sweepCtx(context.Background(), campaign.Options{}, degrees, func(degree float64) (Fig10Row, error) {
 		tr, err := YahooTrace(seed, degree, duration)
 		if err != nil {
 			return Fig10Row{}, err
@@ -371,7 +390,7 @@ func HeadroomSweep(seed int64, headrooms []float64) ([]SweepRow, error) {
 		return nil, err
 	}
 	stats := workload.Analyze(tr)
-	return sim.Parallel(headrooms, func(h float64) (SweepRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, headrooms, func(h float64) (SweepRow, error) {
 		base := Scenario{Trace: tr, DCHeadroom: h, ExplicitZeroHeadroom: h == 0}
 		g, err := Run(base)
 		if err != nil {
@@ -399,7 +418,7 @@ func PUESweep(seed int64, pues []float64) ([]SweepRow, error) {
 		return nil, err
 	}
 	stats := workload.Analyze(tr)
-	return sim.Parallel(pues, func(pue float64) (SweepRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, pues, func(pue float64) (SweepRow, error) {
 		base := Scenario{Trace: tr, PUE: pue}
 		g, err := Run(base)
 		if err != nil {
@@ -473,7 +492,7 @@ func ReserveSweep(seed int64, reserves []time.Duration) ([]ReserveRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Parallel(reserves, func(res time.Duration) (ReserveRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, reserves, func(res time.Duration) (ReserveRow, error) {
 		r, err := Run(Scenario{Trace: tr, Reserve: res})
 		if err != nil {
 			return ReserveRow{}, err
@@ -518,7 +537,7 @@ func SkewExperiment(seed int64, skews []float64) ([]SkewRow, error) {
 		return nil, err
 	}
 	const groups = 10
-	return sim.Parallel(skews, func(s float64) (SkewRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, skews, func(s float64) (SkewRow, error) {
 		r, err := Run(Scenario{
 			Trace:   tr,
 			Weights: SkewWeights(groups, s),
@@ -656,7 +675,7 @@ func AdaptiveComparison(seed int64, durations []time.Duration) ([]AdaptiveRow, e
 	if err != nil {
 		return nil, err
 	}
-	return sim.Parallel(durations, func(d time.Duration) (AdaptiveRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, durations, func(d time.Duration) (AdaptiveRow, error) {
 		tr, err := YahooTrace(seed, 3.2, d)
 		if err != nil {
 			return AdaptiveRow{}, err
@@ -804,7 +823,7 @@ func ChipPCMSweep(seed int64, pcmMinutes []float64) ([]ChipPCMRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Parallel(pcmMinutes, func(m float64) (ChipPCMRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, pcmMinutes, func(m float64) (ChipPCMRow, error) {
 		r, err := Run(Scenario{Trace: tr, ChipPCMMinutes: m})
 		if err != nil {
 			return ChipPCMRow{}, err
@@ -900,7 +919,7 @@ type BurstinessRow struct {
 // over-capacity excursions sprinting absorbs, and safety must hold at every
 // bias.
 func BurstinessSweep(seed int64, biases []float64) ([]BurstinessRow, error) {
-	return sim.Parallel(biases, func(bias float64) (BurstinessRow, error) {
+	return sweepCtx(context.Background(), campaign.Options{}, biases, func(bias float64) (BurstinessRow, error) {
 		tr, err := SelfSimilarTrace(seed, SelfSimilarConfig{
 			Bias:   bias,
 			Levels: 11, // 2048 s ~ a 34-minute window
@@ -934,10 +953,21 @@ type MonteCarloStats struct {
 	Trips int
 }
 
-// MonteCarlo (E13) re-runs the 15-minute 3.2x Yahoo burst across many trace
-// seeds: the paper evaluates single traces; this measures how stable the
-// headline improvement is against workload realization noise.
+// MonteCarlo runs MonteCarloContext with a background context and default
+// campaign options.
+//
+// Deprecated: use MonteCarloContext, which accepts cancellation and campaign
+// options. This form remains for compatibility.
 func MonteCarlo(seeds int) (*MonteCarloStats, error) {
+	return MonteCarloContext(context.Background(), CampaignOptions{}, seeds)
+}
+
+// MonteCarloContext (E13) re-runs the 15-minute 3.2x Yahoo burst across many
+// trace seeds: the paper evaluates single traces; this measures how stable
+// the headline improvement is against workload realization noise. The seeds
+// fan out on the campaign engine per opts; per-seed results are bit-identical
+// at any worker count.
+func MonteCarloContext(ctx context.Context, opts CampaignOptions, seeds int) (*MonteCarloStats, error) {
 	if seeds <= 0 {
 		return nil, fmt.Errorf("dcsprint: non-positive seed count %d", seeds)
 	}
@@ -947,12 +977,12 @@ func MonteCarlo(seeds int) (*MonteCarloStats, error) {
 	}
 	// Campaign statistics accumulate through a telemetry registry — the
 	// same concurrency-safe primitives the live /metrics endpoint exposes —
-	// exercised here under the Parallel fan-out.
+	// exercised here under the campaign fan-out.
 	reg := telemetry.NewRegistry()
 	trips := reg.Counter("dcsprint_mc_trips_total", "Monte Carlo runs with a breaker trip.")
 	imps := reg.Histogram("dcsprint_mc_improvement_ratio",
 		"Improvement distribution across seeds.", telemetry.LinearBuckets(1, 0.25, 12))
-	vals, err := sim.Parallel(ids, func(seed int64) (float64, error) {
+	vals, err := sweepCtx(ctx, opts, ids, func(seed int64) (float64, error) {
 		tr, err := YahooTrace(seed, 3.2, 15*time.Minute)
 		if err != nil {
 			return 0, err
@@ -1130,14 +1160,24 @@ type ChaosRow struct {
 // chaosCampaigns is the default campaign count per strategy for E15.
 const chaosCampaigns = 50
 
-// Chaos (E15) replays seeded random fault campaigns — battery failures,
-// TES valve/leak faults, chiller degradation, grid curtailments, breaker
-// derates and sensor faults — against all five strategies on a 2.5x / 12 min
-// Yahoo burst, and reports how gracefully each degrades. The healthy
-// baseline runs with a non-nil empty schedule so it exercises the same
-// supervised telemetry path as the faulted runs. campaigns <= 0 means the
-// default of 50.
+// Chaos runs ChaosContext with a background context and default campaign
+// options.
+//
+// Deprecated: use ChaosContext, which accepts cancellation and campaign
+// options. This form remains for compatibility.
 func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
+	return ChaosContext(context.Background(), CampaignOptions{}, seed, campaigns)
+}
+
+// ChaosContext (E15) replays seeded random fault campaigns — battery
+// failures, TES valve/leak faults, chiller degradation, grid curtailments,
+// breaker derates and sensor faults — against all five strategies on a
+// 2.5x / 12 min Yahoo burst, and reports how gracefully each degrades. The
+// healthy baseline runs with a non-nil empty schedule so it exercises the
+// same supervised telemetry path as the faulted runs. campaigns <= 0 means
+// the default of 50. The fault campaigns fan out on the campaign engine per
+// opts (fault runs are never memoized; see Fingerprint).
+func ChaosContext(ctx context.Context, opts CampaignOptions, seed int64, campaigns int) ([]ChaosRow, error) {
 	if campaigns <= 0 {
 		campaigns = chaosCampaigns
 	}
@@ -1146,7 +1186,7 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 		return nil, err
 	}
 	stats := workload.Analyze(tr)
-	tbl, err := StandardBoundTable(seed)
+	tbl, err := standardBoundTable(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -1163,7 +1203,7 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 		{"adaptive", Adaptive(tbl)},
 	}
 	// Per-strategy campaign tallies live in a telemetry registry and are
-	// incremented from inside the Parallel workers — the counters must hold
+	// incremented from inside the sweep workers — the counters must hold
 	// up under the fan-out (the race job covers this path).
 	reg := telemetry.NewRegistry()
 	count := func(name, help, strategy string) *telemetry.Counter {
@@ -1189,7 +1229,7 @@ func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
 		for i := range idx {
 			idx[i] = i
 		}
-		results, err := sim.Parallel(idx, func(i int) (*Result, error) {
+		results, err := sweepCtx(ctx, opts, idx, func(i int) (*Result, error) {
 			r, err := Run(Scenario{
 				Name:     fmt.Sprintf("chaos-%s-%d", s.name, i),
 				Trace:    tr,

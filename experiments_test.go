@@ -1,7 +1,9 @@
 package dcsprint
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -595,5 +597,22 @@ func TestPlanStores(t *testing.T) {
 	// Degenerate input.
 	if _, err := PlanStores(testSeed, 1.0, 5*time.Minute); err == nil {
 		t.Fatal("burst-free degree accepted")
+	}
+}
+
+// TestMonteCarloParallelMatchesSerial pins the campaign-engine contract at
+// the experiments layer: the same seed grid produces identical statistics at
+// any worker count.
+func TestMonteCarloParallelMatchesSerial(t *testing.T) {
+	serial, err := MonteCarloContext(context.Background(), CampaignOptions{Workers: 1}, 24)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := MonteCarloContext(context.Background(), CampaignOptions{Workers: 4}, 24)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("worker count changed Monte Carlo statistics:\nserial   %+v\nparallel %+v", serial, parallel)
 	}
 }

@@ -17,12 +17,22 @@ import (
 // The returned slice is the per-child allocation, parallel to demands.
 // Negative demands are treated as zero.
 func Allocate(budget units.Watts, demands []units.Watts) []units.Watts {
-	out := make([]units.Watts, len(demands))
+	return AllocateInto(make([]units.Watts, len(demands)), make([]int, 0, len(demands)), budget, demands)
+}
+
+// AllocateInto is Allocate with caller-provided buffers, for tick loops that
+// must not allocate: out receives the per-child allocation (len(out) must
+// equal len(demands)) and idx is scratch for the unmet-child worklist (pass
+// capacity >= len(demands) to stay allocation-free). Returns out.
+func AllocateInto(out []units.Watts, idx []int, budget units.Watts, demands []units.Watts) []units.Watts {
+	for i := range out {
+		out[i] = 0
+	}
 	if budget <= 0 || len(demands) == 0 {
 		return out
 	}
 	remaining := budget
-	unmet := make([]int, 0, len(demands))
+	unmet := idx[:0]
 	for i, d := range demands {
 		if d > 0 {
 			unmet = append(unmet, i)

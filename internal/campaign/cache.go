@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dcsprint/internal/sim"
+	"dcsprint/internal/trace"
+)
+
+// Key is a content-addressed scenario fingerprint: the SHA-256 of the
+// normalized scenario and its trace digests. Two scenarios with the same Key
+// produce the same oracle outcome, so the bound found for one can be reused
+// for the other.
+type Key [sha256.Size]byte
+
+// String renders the fingerprint as hex for logs.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// fpVersion seeds the hash so any change to the fingerprint layout (or to
+// scenario semantics) invalidates every previously cached entry instead of
+// silently aliasing old answers.
+const fpVersion = "dcsprint-campaign-fp-v1"
+
+// Fingerprint returns the content-addressed key of a scenario, or ok=false
+// when the scenario cannot be safely memoized: fault-injection campaigns
+// carry pseudo-random injector state a fingerprint cannot capture. The
+// Strategy field is deliberately excluded — oracle campaigns substitute
+// their own candidate strategies, so the fingerprint identifies the plant,
+// the workload and the supply, not the policy under test.
+func Fingerprint(sc sim.Scenario) (Key, bool) {
+	if sc.Faults != nil {
+		return Key{}, false
+	}
+	h := sha256.New()
+	h.Write([]byte(fpVersion))
+	w := func(vs ...any) {
+		for _, v := range vs {
+			_ = binary.Write(h, binary.LittleEndian, v)
+		}
+	}
+	srv := sc.Server
+	w(int64(sc.Servers), int64(sc.ServersPerPDU),
+		sc.DCHeadroom, boolByte(sc.ExplicitZeroHeadroom), sc.PUE,
+		int64(sc.Reserve), boolByte(sc.Uncontrolled), boolByte(sc.NoTES),
+		boolByte(sc.Generator), sc.ChipPCMMinutes, sc.BatteryAh, sc.TESMinutes,
+		int64(srv.TotalCores), int64(srv.NormalCores),
+		float64(srv.CorePower), float64(srv.ChipIdlePower),
+		float64(srv.NonCPUPower), srv.PerfExponent)
+	w(int64(len(sc.Weights)))
+	for _, v := range sc.Weights {
+		w(v)
+	}
+	digestSeries(h, sc.Trace)
+	digestSeries(h, sc.Supply)
+	var k Key
+	h.Sum(k[:0])
+	return k, true
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// digestSeries folds a trace (step plus every sample) into the hash; nil is
+// distinguished from empty.
+func digestSeries(h interface{ Write([]byte) (int, error) }, s *trace.Series) {
+	var hdr [16]byte
+	if s == nil {
+		binary.LittleEndian.PutUint64(hdr[:8], math.MaxUint64)
+		h.Write(hdr[:8])
+		return
+	}
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(s.Step))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(s.Samples)))
+	h.Write(hdr[:])
+	var b [8]byte
+	for _, v := range s.Samples {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+}
+
+// Cache memoizes oracle-search outcomes (the optimal constant bound per
+// scenario fingerprint). It is safe for concurrent use by every worker of a
+// campaign. A cache opened from a path can persist itself with Save using a
+// versioned binary codec, the sibling of the engine-snapshot codec.
+type Cache struct {
+	mu     sync.Mutex
+	bounds map[Key]float64
+	path   string
+	dirty  bool
+	hits   int
+	misses int
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache { return &Cache{bounds: make(map[Key]float64)} }
+
+// OpenCache loads a cache from path, or returns an empty cache bound to the
+// path when the file does not exist yet. Save writes it back.
+func OpenCache(path string) (*Cache, error) {
+	c := NewCache()
+	c.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open cache: %w", err)
+	}
+	if err := c.decode(data); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Bound returns the memoized optimal bound for a fingerprint.
+func (c *Cache) Bound(k Key) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.bounds[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// SetBound memoizes the optimal bound for a fingerprint.
+func (c *Cache) SetBound(k Key, bound float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.bounds[k]; ok && old == bound {
+		return
+	}
+	c.bounds[k] = bound
+	c.dirty = true
+}
+
+// Len returns the number of memoized entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bounds)
+}
+
+// Stats returns the lookup hit and miss counts since the cache was built.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Cache file format, the on-disk sibling of the engine-snapshot codec:
+//
+//	offset  field
+//	0       magic "DCSPORCL" (8 bytes)
+//	8       version uint16 (currently 1)
+//	10      count uint32
+//	14      count x { fingerprint (32 bytes) | bound float64 (8 bytes) }
+//	len-4   CRC32 (IEEE) of everything before the trailer
+const cacheMagic = "DCSPORCL"
+
+// CacheVersion is the current cache codec version.
+const CacheVersion uint16 = 1
+
+// cacheMaxEntries bounds what a decoder will allocate for (1<<24 entries is
+// a ~640 MB file, far beyond any real campaign).
+const cacheMaxEntries = 1 << 24
+
+// Save writes the cache to the path it was opened from, atomically
+// (temp file + rename). A pathless or unmodified cache saves nothing.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path == "" || !c.dirty {
+		return nil
+	}
+	data := c.encodeLocked()
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".dcsprint-cache-*")
+	if err != nil {
+		return fmt.Errorf("campaign: save cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: save cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: save cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: save cache: %w", err)
+	}
+	c.dirty = false
+	return nil
+}
+
+func (c *Cache) encodeLocked() []byte {
+	buf := make([]byte, 0, 14+len(c.bounds)*40+4)
+	buf = append(buf, cacheMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, CacheVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.bounds)))
+	// Map order is random; the codec does not promise a canonical byte
+	// stream, only a correct round trip, so entries go out in map order.
+	for k, v := range c.bounds {
+		buf = append(buf, k[:]...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+func (c *Cache) decode(data []byte) error {
+	if len(data) < 14+4 {
+		return fmt.Errorf("campaign: cache file truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != cacheMagic {
+		return fmt.Errorf("campaign: not a cache file (bad magic)")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return fmt.Errorf("campaign: cache checksum mismatch (%08x != %08x)", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(data[8:10]); v != CacheVersion {
+		return fmt.Errorf("campaign: cache version %d, decoder knows %d", v, CacheVersion)
+	}
+	count := binary.LittleEndian.Uint32(data[10:14])
+	if count > cacheMaxEntries {
+		return fmt.Errorf("campaign: cache claims %d entries, cap %d", count, cacheMaxEntries)
+	}
+	if want := 14 + int(count)*40 + 4; len(data) != want {
+		return fmt.Errorf("campaign: cache length %d, want %d for %d entries", len(data), want, count)
+	}
+	c.bounds = make(map[Key]float64, count)
+	off := 14
+	for i := uint32(0); i < count; i++ {
+		var k Key
+		copy(k[:], data[off:off+32])
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[off+32 : off+40]))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("campaign: cache entry %d has invalid bound", i)
+		}
+		c.bounds[k] = v
+		off += 40
+	}
+	return nil
+}

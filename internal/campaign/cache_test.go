@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcsprint/internal/faults"
+	"dcsprint/internal/sim"
+	"dcsprint/internal/workload"
+)
+
+func yahooScenario(t *testing.T, seed int64) sim.Scenario {
+	t.Helper()
+	tr, err := workload.SyntheticYahoo(seed, 3.2, 15*time.Minute)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return sim.Scenario{Name: "fp", Trace: tr}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	sc, err := yahooScenario(t, 7).Normalized()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	k1, ok := Fingerprint(sc)
+	if !ok {
+		t.Fatal("scenario unexpectedly uncacheable")
+	}
+	k2, _ := Fingerprint(sc)
+	if k1 != k2 {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	// The strategy is excluded by design: oracle campaigns substitute their
+	// own candidates, so the fingerprint identifies plant + workload.
+	withStrategy := sc
+	withStrategy.Strategy = nil
+	if k3, _ := Fingerprint(withStrategy); k3 != k1 {
+		t.Fatal("strategy changed the fingerprint")
+	}
+	// The name is labeling only.
+	renamed := sc
+	renamed.Name = "other"
+	if k4, _ := Fingerprint(renamed); k4 != k1 {
+		t.Fatal("name changed the fingerprint")
+	}
+
+	// Anything that changes the outcome must change the key.
+	other, err := yahooScenario(t, 8).Normalized()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if k5, _ := Fingerprint(other); k5 == k1 {
+		t.Fatal("different trace, same fingerprint")
+	}
+	noTES := sc
+	noTES.NoTES = true
+	if k6, _ := Fingerprint(noTES); k6 == k1 {
+		t.Fatal("NoTES did not change the fingerprint")
+	}
+	weighted := sc
+	weighted.Weights = []float64{1.2, 0.8, 1, 1, 1, 1, 1, 1, 1, 1}
+	if k7, _ := Fingerprint(weighted); k7 == k1 {
+		t.Fatal("weights did not change the fingerprint")
+	}
+}
+
+func TestFingerprintRefusesFaults(t *testing.T) {
+	sc := yahooScenario(t, 7)
+	sc.Faults = &faults.Schedule{}
+	if _, ok := Fingerprint(sc); ok {
+		t.Fatal("fault campaign must not be memoizable")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "oracle.cache")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache(new): %v", err)
+	}
+	var k1, k2 Key
+	k1[0], k2[0] = 1, 2
+	c.SetBound(k1, 2.5)
+	c.SetBound(k2, 3.25)
+	if err := c.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	re, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache(existing): %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", re.Len())
+	}
+	if v, ok := re.Bound(k1); !ok || v != 2.5 {
+		t.Fatalf("k1: got %v/%v", v, ok)
+	}
+	if v, ok := re.Bound(k2); !ok || v != 3.25 {
+		t.Fatalf("k2: got %v/%v", v, ok)
+	}
+	if hits, misses := re.Stats(); hits != 2 || misses != 0 {
+		t.Fatalf("stats: %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestCacheSaveIsAtomicAndIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oracle.cache")
+	c, _ := OpenCache(path)
+	var k Key
+	c.SetBound(k, 1.5)
+	if err := c.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	// A clean cache does not rewrite the file.
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Save(); err != nil {
+		t.Fatalf("Save(clean): %v", err)
+	}
+	after, _ := os.Stat(path)
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("clean Save rewrote the file")
+	}
+	// An in-memory cache has nowhere to save; that is not an error.
+	if err := NewCache().Save(); err != nil {
+		t.Fatalf("pathless Save: %v", err)
+	}
+}
+
+func TestCacheRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oracle.cache")
+	c, _ := OpenCache(path)
+	var k Key
+	c.SetBound(k, 1.5)
+	if err := c.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	cases := map[string][]byte{
+		"bad magic":  append([]byte("NOTACACH"), data[8:]...),
+		"truncated":  data[:10],
+		"flipped":    flipByte(data, len(data)/2),
+		"bad crc":    flipByte(data, len(data)-1),
+		"wrong size": append(append([]byte{}, data...), 0),
+	}
+	for name, corrupt := range cases {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		if _, err := OpenCache(path); err == nil {
+			t.Errorf("%s: decoder accepted corrupt file", name)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte{}, data...)
+	out[i] ^= 0xFF
+	return out
+}

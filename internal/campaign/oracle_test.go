@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dcsprint/internal/sim"
+	"dcsprint/internal/telemetry"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/workload"
+)
+
+// oracleScenarios are the traces the bisection-equals-exhaustive contract is
+// pinned on: the standard Yahoo burst, a taller-and-shorter burst, the MS
+// consecutive-burst trace, and a skewed facility.
+func oracleScenarios(t *testing.T) map[string]sim.Scenario {
+	t.Helper()
+	yahoo, err := workload.SyntheticYahoo(7, 3.2, 15*time.Minute)
+	if err != nil {
+		t.Fatalf("yahoo: %v", err)
+	}
+	tall, err := workload.SyntheticYahoo(11, 3.8, 6*time.Minute)
+	if err != nil {
+		t.Fatalf("tall: %v", err)
+	}
+	ms, err := workload.SyntheticMS(7)
+	if err != nil {
+		t.Fatalf("ms: %v", err)
+	}
+	return map[string]sim.Scenario{
+		"yahoo": {Name: "yahoo", Trace: yahoo},
+		"tall":  {Name: "tall", Trace: tall},
+		"ms":    {Name: "ms", Trace: ms},
+		"skew": {Name: "skew", Trace: yahoo,
+			Weights: []float64{1.3, 0.7, 1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+}
+
+func TestOracleSearchMatchesSim(t *testing.T) {
+	for name, sc := range oracleScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := sim.OracleSearch(sc)
+			if err != nil {
+				t.Fatalf("sim.OracleSearch: %v", err)
+			}
+			// The default is the exhaustive scan — the literal same search
+			// as sim's, just sharded across the pool.
+			got, err := OracleSearch(context.Background(), Options{}, sc)
+			if err != nil {
+				t.Fatalf("campaign.OracleSearch: %v", err)
+			}
+			if got.Bound != want.Bound {
+				t.Fatalf("campaign bound %v != sim bound %v", got.Bound, want.Bound)
+			}
+			if !reflect.DeepEqual(got.Result, want.Result) {
+				t.Fatal("campaign oracle Result differs from sim's")
+			}
+			// Bisection agrees with the scan on these curves, which are
+			// unimodal in the bound (the contract Prune is allowed to
+			// assume; see Options.Prune for the caveat).
+			pr, err := OracleSearch(context.Background(), Options{Prune: true}, sc)
+			if err != nil {
+				t.Fatalf("pruned OracleSearch: %v", err)
+			}
+			if pr.Bound != want.Bound || !reflect.DeepEqual(pr.Result, want.Result) {
+				t.Fatal("pruned campaign oracle differs from sim")
+			}
+		})
+	}
+}
+
+func TestOracleSearchCacheHitIsBitIdentical(t *testing.T) {
+	sc := oracleScenarios(t)["yahoo"]
+	cache := NewCache()
+	cold, err := OracleSearch(context.Background(), Options{Cache: cache}, sc)
+	if err != nil {
+		t.Fatalf("cold search: %v", err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after cold search, want 1", cache.Len())
+	}
+	warm, err := OracleSearch(context.Background(), Options{Cache: cache}, sc)
+	if err != nil {
+		t.Fatalf("warm search: %v", err)
+	}
+	if warm.Bound != cold.Bound {
+		t.Fatalf("warm bound %v != cold bound %v", warm.Bound, cold.Bound)
+	}
+	if !reflect.DeepEqual(warm.Result, cold.Result) {
+		t.Fatal("memoized search produced a different Result")
+	}
+	hits, _ := cache.Stats()
+	if hits != 1 {
+		t.Fatalf("cache hits: got %d, want 1", hits)
+	}
+}
+
+func TestOracleSearchCachePersists(t *testing.T) {
+	sc := oracleScenarios(t)["tall"]
+	path := filepath.Join(t.TempDir(), "oracle.cache")
+	cache, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	cold, err := OracleSearch(context.Background(), Options{Cache: cache}, sc)
+	if err != nil {
+		t.Fatalf("cold search: %v", err)
+	}
+	if err := cache.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	reloaded, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	warm, err := OracleSearch(context.Background(), Options{Cache: reloaded}, sc)
+	if err != nil {
+		t.Fatalf("warm search: %v", err)
+	}
+	if warm.Bound != cold.Bound || !reflect.DeepEqual(warm.Result, cold.Result) {
+		t.Fatal("on-disk round trip changed the oracle outcome")
+	}
+	if hits, misses := reloaded.Stats(); hits != 1 || misses != 0 {
+		t.Fatalf("reloaded cache stats: %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestOracleSearchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OracleSearch(ctx, Options{}, oracleScenarios(t)["yahoo"]); err == nil {
+		t.Fatal("canceled oracle search returned no error")
+	}
+}
+
+func TestBuildBoundTableMatchesSim(t *testing.T) {
+	base := sim.Scenario{Name: "table"}
+	durations := []time.Duration{5 * time.Minute, 10 * time.Minute}
+	degrees := []float64{2.0, 3.0}
+	var tm sim.TraceMaker = func(degree float64, d time.Duration) (*trace.Series, error) {
+		return workload.SyntheticYahoo(3, degree, d)
+	}
+	want, err := sim.BuildBoundTable(base, tm, durations, degrees)
+	if err != nil {
+		t.Fatalf("sim.BuildBoundTable: %v", err)
+	}
+	reg := telemetry.NewRegistry()
+	cache := NewCache()
+	got, err := BuildBoundTable(context.Background(), Options{Registry: reg, Cache: cache}, base, tm, durations, degrees)
+	if err != nil {
+		t.Fatalf("campaign.BuildBoundTable: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("campaign bound table differs from sim's")
+	}
+	if cache.Len() != len(durations)*len(degrees) {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), len(durations)*len(degrees))
+	}
+	// A second build is all cache hits and must produce the same table.
+	again, err := BuildBoundTable(context.Background(), Options{Cache: cache}, base, tm, durations, degrees)
+	if err != nil {
+		t.Fatalf("warm BuildBoundTable: %v", err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("memoized bound table differs")
+	}
+}

@@ -169,6 +169,54 @@ type Controller struct {
 	chipExhausted bool
 
 	split EnergySplit
+
+	buf scratch
+}
+
+// groupPlan is one PDU group's desired operating point while a plan is
+// being built.
+type groupPlan struct {
+	demand    float64
+	cores     int
+	perServer units.Watts
+	delivered float64
+}
+
+// scratch holds the per-tick planning buffers. plan rewrites every entry it
+// uses on each call, so one set of buffers serves the whole run and the
+// steady-state tick loop performs no heap allocations. Nothing here is
+// controller state: snapshots ignore it and a restored controller simply
+// reallocates it.
+type scratch struct {
+	groups      []groupPlan
+	wants       []units.Watts
+	flowServer  []units.Watts
+	flowUPS     []units.Watts
+	alloc       []units.Watts
+	allocIdx    []int
+	upsRecharge []units.Watts
+}
+
+// groupHeat totals the server heat across the groups' current operating
+// points (hoisted out of plan so the tick loop carries no closures).
+func groupHeat(groups []groupPlan, groupSize units.Watts) units.Watts {
+	var total units.Watts
+	for g := range groups {
+		total += groups[g].perServer * groupSize
+	}
+	return total
+}
+
+func newScratch(nPDU int) scratch {
+	return scratch{
+		groups:      make([]groupPlan, nPDU),
+		wants:       make([]units.Watts, nPDU),
+		flowServer:  make([]units.Watts, nPDU),
+		flowUPS:     make([]units.Watts, nPDU),
+		alloc:       make([]units.Watts, nPDU),
+		allocIdx:    make([]int, 0, nPDU),
+		upsRecharge: make([]units.Watts, nPDU),
+	}
 }
 
 // plan is one tick's (possibly unsafe, when forced) power assignment.
@@ -227,6 +275,7 @@ func New(cfg Config, tree *power.Tree, room *cooling.Room, tank *tes.Tank) (*Con
 		degradeCap:    cfg.Server.MaxDegree(),
 		tesDelay: cooling.TESActivationDelay(
 			cfg.Server.PeakNormalPower(), cfg.Server.MaxAdditionalPower()),
+		buf: newScratch(len(tree.PDUs)),
 	}, nil
 }
 
@@ -426,18 +475,21 @@ func (c *Controller) TickInput(in Input, dt time.Duration) TickResult {
 	if !ok {
 		lo, hi := c.cfg.Server.NormalCores, capCores-1
 		best := -1
-		var bestPlan plan
 		for lo <= hi {
 			mid := (lo + hi) / 2
-			if cand, okc := c.plan(mid, in, dt, false); okc {
-				best, bestPlan = mid, cand
+			if _, okc := c.plan(mid, in, dt, false); okc {
+				best = mid
 				lo = mid + 1
 			} else {
 				hi = mid - 1
 			}
 		}
 		if best >= 0 {
-			p, ok = bestPlan, true
+			// plan reads component state without mutating it, so re-planning
+			// at the best cap reproduces the candidate the search found; the
+			// probes above can then all share one set of scratch buffers
+			// instead of each retaining a copy of the winning plan.
+			p, ok = c.plan(best, in, dt, false)
 		}
 	}
 	if !ok {
@@ -458,13 +510,7 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 	nPDU := len(c.tree.PDUs)
 
 	// Per-group demand and desired operating point.
-	type groupPlan struct {
-		demand    float64
-		cores     int
-		perServer units.Watts
-		delivered float64
-	}
-	groups := make([]groupPlan, nPDU)
+	groups := c.buf.groups
 	sprinting := false
 	for g := range groups {
 		d := in.Demand * c.weights[g]
@@ -482,16 +528,8 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 		}
 	}
 
-	heatGen := func() units.Watts {
-		var total units.Watts
-		for g := range groups {
-			total += groups[g].perServer * groupSize
-		}
-		return total
-	}
-
 	coolNormal := c.cfg.Cooling.NormalCoolingPower()
-	gen := heatGen()
+	gen := groupHeat(groups, groupSize)
 
 	// A supply emergency: the curtailed grid plus the generator cannot
 	// carry the facility. The TES then rides the emergency regardless of
@@ -582,7 +620,7 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 						gp.perServer, _ = srv.PowerAtDemand(gp.cores, shed)
 					}
 				}
-				gen = heatGen()
+				gen = groupHeat(groups, groupSize)
 				thermalShed = true
 				if tesOn {
 					if tesAbsorb > gen {
@@ -617,7 +655,7 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 	if serverBudget < 0 {
 		serverBudget = 0
 	}
-	wants := make([]units.Watts, nPDU)
+	wants := c.buf.wants
 	for g, pdu := range c.tree.PDUs {
 		need := groups[g].perServer * groupSize
 		bound := pdu.Breaker.MaxLoadFor(c.cfg.Reserve)
@@ -627,13 +665,13 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 			wants[g] = bound
 		}
 	}
-	cbAlloc := breaker.Allocate(serverBudget, wants)
+	cbAlloc := breaker.AllocateInto(c.buf.alloc, c.buf.allocIdx, serverBudget, wants)
 
 	// PDU level: whatever the breaker share cannot carry rides the UPS;
 	// a group whose battery cannot cover the difference sheds cores.
 	flow := power.Flow{
-		PDUServer: make([]units.Watts, nPDU),
-		PDUUPS:    make([]units.Watts, nPDU),
+		PDUServer: c.buf.flowServer,
+		PDUUPS:    c.buf.flowUPS,
 		Cooling:   chillerElec,
 	}
 	for g, pdu := range c.tree.PDUs {
@@ -697,7 +735,7 @@ func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) 
 	}
 	p.delivered = deliveredSum / float64(nPDU)
 	p.meanDegree = degreeSum / float64(nPDU)
-	p.heatGen = heatGen()
+	p.heatGen = groupHeat(groups, groupSize)
 	p.sprinting = p.maxCores > srv.NormalCores
 	// Recompute the absorption for the possibly reduced heat: the chiller
 	// only removes what exists, and the tank must not drain faster than
@@ -736,7 +774,10 @@ func (c *Controller) planRecharge(p *plan, dcAllow units.Watts, dt time.Duration
 	if dcSpare <= 0 {
 		return
 	}
-	p.upsRecharge = make([]units.Watts, len(c.tree.PDUs))
+	p.upsRecharge = c.buf.upsRecharge
+	for i := range p.upsRecharge {
+		p.upsRecharge[i] = 0
+	}
 	for i, pdu := range c.tree.PDUs {
 		if dcSpare <= 0 {
 			break
@@ -976,9 +1017,12 @@ func (c *Controller) tickUncontrolled(demand float64, dt time.Duration) TickResu
 
 	nPDU := len(c.tree.PDUs)
 	flow := power.Flow{
-		PDUServer: make([]units.Watts, nPDU),
-		PDUUPS:    make([]units.Watts, nPDU),
+		PDUServer: c.buf.flowServer,
+		PDUUPS:    c.buf.flowUPS,
 		Cooling:   coolNormal,
+	}
+	for g := range flow.PDUUPS {
+		flow.PDUUPS[g] = 0 // uncontrolled: nothing rides the batteries
 	}
 	var heatGen, maxPDULoad units.Watts
 	var deliveredSum, degreeSum float64

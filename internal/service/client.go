@@ -162,6 +162,9 @@ func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
 
 // Step sends one demand sample and waits for the tick's decision. A server
 // error line is returned as an *APIError with the line's code.
+//
+// Deprecated: use StepContext, which can abandon a stuck stream when its
+// context is canceled. This form remains for compatibility.
 func (s *Stream) Step(demand float64) (Decision, error) {
 	if err := s.enc.Encode(StepRequest{Demand: demand}); err != nil {
 		return Decision{}, err
@@ -177,6 +180,27 @@ func (s *Stream) Step(demand float64) (Decision, error) {
 		return Decision{}, fmt.Errorf("service: stream line with neither decision nor error")
 	}
 	return *line.Decision, nil
+}
+
+// StepContext is Step with cancellation. The stream protocol is a blocking
+// lockstep over one connection, so cancellation mid-step tears the stream
+// down (that is the only way to unblock the read) and returns the context's
+// error; the stream is unusable afterwards, but the session survives for a
+// new Stream, Snapshot or Finish.
+func (s *Stream) StepContext(ctx context.Context, demand float64) (Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return Decision{}, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.pw.CloseWithError(ctx.Err())
+		s.resp.Body.Close()
+	})
+	defer stop()
+	d, err := s.Step(demand)
+	if cerr := ctx.Err(); cerr != nil {
+		return Decision{}, cerr
+	}
+	return d, err
 }
 
 // Close ends the stream. The session stays alive for snapshots, further

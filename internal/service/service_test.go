@@ -429,3 +429,47 @@ func BenchmarkServiceSession(b *testing.B) {
 		}
 	}
 }
+
+// TestStreamStepContext checks the cancellable step form: it matches Step on
+// a live stream, and a canceled context aborts a step and reports the
+// context's error while the session itself survives.
+func TestStreamStepContext(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	ctx := context.Background()
+
+	s, err := c.Create(ctx, yahooSpec("step-ctx"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	st, err := c.Stream(ctx, s.ID)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	dec, err := st.StepContext(ctx, 0.5)
+	if err != nil {
+		t.Fatalf("StepContext: %v", err)
+	}
+	if dec.Tick != 0 || dec.Demand != 0.5 {
+		t.Fatalf("decision: %+v", dec)
+	}
+	// A context that is already canceled fails fast without sending the
+	// demand, leaving the stream intact.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := st.StepContext(canceled, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled StepContext: err = %v, want context.Canceled", err)
+	}
+	if dec, err = st.StepContext(ctx, 0.7); err != nil || dec.Tick != 1 {
+		t.Fatalf("step after canceled step: %+v, %v", dec, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := c.Finish(ctx, s.ID); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}

@@ -204,9 +204,18 @@ func NewObserved(sc Scenario, obs Observer) (*Engine, error) {
 	}
 	if n := e.traceLen(); n > 0 {
 		e.grow(n)
+	} else {
+		// Streaming mode has no known length; start with a generous chunk so
+		// the first streamPrealloc ticks append without allocating and later
+		// growth amortizes to nothing.
+		e.grow(streamPrealloc)
 	}
 	return e, nil
 }
+
+// streamPrealloc is the accumulator capacity (in ticks) a streaming engine
+// starts with — about 17 minutes of one-second telemetry, ~100 KiB.
+const streamPrealloc = 1024
 
 // traceLen returns the scenario trace length, or 0 in streaming mode.
 func (e *Engine) traceLen() int {

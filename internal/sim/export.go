@@ -6,11 +6,11 @@ import (
 	"dcsprint/internal/telemetry"
 )
 
-// WriteRunCSV writes the canonical per-second telemetry table of one run —
-// the single schema shared by dcsprint -csv and the experiment harness:
+// WriteCSV writes the run's canonical per-second telemetry table — the
+// single schema shared by dcsprint -csv and the experiment harness:
 //
 //	t_sec,required,achieved,degree,phase,dc_load_w,pdu_load_w,ups_w,cooling_w,tes_w,room_c
-func WriteRunCSV(w io.Writer, res *Result) error {
+func (res *Result) WriteCSV(w io.Writer) error {
 	tele := res.Telemetry
 	phase := make([]float64, len(tele.Phase))
 	for i, p := range tele.Phase {
@@ -29,3 +29,7 @@ func WriteRunCSV(w io.Writer, res *Result) error {
 		telemetry.Column{Name: "room_c", Values: tele.RoomTemp.Samples, Format: "%.2f"},
 	)
 }
+
+// WriteRunCSV writes res's canonical telemetry table; it is a thin wrapper
+// around (*Result).WriteCSV kept for existing callers.
+func WriteRunCSV(w io.Writer, res *Result) error { return res.WriteCSV(w) }

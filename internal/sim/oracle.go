@@ -16,6 +16,10 @@ type OracleResult struct {
 	Result *Result
 }
 
+// Improvement returns the headline metric of the run achieved at the optimal
+// bound — shorthand for r.Result.Improvement().
+func (r *OracleResult) Improvement() float64 { return r.Result.Improvement() }
+
 // OracleSearch implements the paper's Oracle strategy (§V-A): with perfect
 // knowledge of the burst (the full trace), it exhaustively tries every
 // constant sprinting-degree upper bound the chip can realize (one per

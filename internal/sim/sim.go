@@ -84,6 +84,18 @@ type Scenario struct {
 // facility and paper-scale (180,000 servers) is a config choice.
 const DefaultServers = 2000
 
+// Normalized returns a copy of the scenario with every default filled in, or
+// an error when the scenario is not runnable. Campaign engines use it to
+// fingerprint scenarios and enumerate strategy candidates against the same
+// defaults a Run would see.
+func (s Scenario) Normalized() (Scenario, error) {
+	c := s
+	if err := c.normalize(); err != nil {
+		return Scenario{}, err
+	}
+	return c, nil
+}
+
 // normalize fills defaults in place and validates the scenario. Batch runs
 // require a demand trace; streaming engines (Trace == nil) fill the same
 // defaults via normalizeDefaults.

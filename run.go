@@ -1,0 +1,144 @@
+package dcsprint
+
+// This file is the simulation facade: scenarios, results, strategies, the
+// batch Run entry point and the tick-at-a-time Engine. The trace and
+// telemetry surfaces live in workloads.go and telemetry.go; scenario sweeps
+// at scale live in campaign.go.
+
+import (
+	"context"
+	"time"
+
+	"dcsprint/internal/campaign"
+	"dcsprint/internal/core"
+	"dcsprint/internal/faults"
+	"dcsprint/internal/sim"
+	"dcsprint/internal/ups"
+)
+
+// Re-exported simulation types. The facade keeps examples and downstream
+// tools on one import while the implementation lives in internal packages.
+type (
+	// Scenario describes one simulation run; see sim.Scenario.
+	Scenario = sim.Scenario
+	// Result is a simulation outcome; see sim.Result.
+	Result = sim.Result
+	// Telemetry holds a run's per-tick series; see sim.Telemetry.
+	Telemetry = sim.Telemetry
+	// OracleResult is an Oracle exhaustive-search outcome.
+	OracleResult = sim.OracleResult
+	// Strategy bounds the sprinting degree each tick.
+	Strategy = core.Strategy
+	// State is the controller snapshot a Strategy sees.
+	State = core.State
+	// BoundTable maps (burst duration, degree) to optimal bounds.
+	BoundTable = core.BoundTable
+	// FaultSchedule is a parsed fault-injection campaign; see
+	// faults.Schedule and the spec grammar in DESIGN.md.
+	FaultSchedule = faults.Schedule
+	// Event is one controller transition; see core.Event.
+	Event = core.Event
+)
+
+// Run executes one scenario; see sim.Run.
+func Run(sc Scenario) (*Result, error) { return sim.Run(sc) }
+
+// Engine sentinel errors.
+var (
+	// ErrEngineFinished reports a Step or Finish on a sealed engine.
+	ErrEngineFinished = sim.ErrFinished
+	// ErrSnapshotFaults reports a Snapshot of an engine with fault
+	// injection attached (fault state is not checkpointable).
+	ErrSnapshotFaults = sim.ErrSnapshotFaults
+)
+
+// TraceMaker builds a demand trace for a parametric burst, used to populate
+// bound tables; see sim.TraceMaker.
+type TraceMaker = sim.TraceMaker
+
+// Engine drives one scenario tick-at-a-time; see sim.Engine. Step it with
+// demand samples, checkpoint it with Snapshot, seal it with Finish.
+type Engine = sim.Engine
+
+// TickDecision is the controller's output for one engine step.
+type TickDecision = sim.TickDecision
+
+// NewEngine builds an engine over a scenario without running it.
+func NewEngine(sc Scenario) (*Engine, error) { return sim.New(sc) }
+
+// NewObservedEngine builds an engine with a telemetry observer attached.
+func NewObservedEngine(sc Scenario, obs Observer) (*Engine, error) {
+	return sim.NewObserved(sc, obs)
+}
+
+// RestoreEngine rebuilds an engine from a scenario and a Snapshot payload,
+// resuming it to a bit-identical future; see sim.Restore.
+func RestoreEngine(sc Scenario, snap []byte) (*Engine, error) {
+	return sim.Restore(sc, snap)
+}
+
+// RestoreObservedEngine is RestoreEngine with a telemetry observer attached.
+func RestoreObservedEngine(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
+	return sim.RestoreObserved(sc, snap, obs)
+}
+
+// ParseFaultFile loads a fault-injection spec file for Scenario.Faults;
+// see faults.ParseFile for the grammar.
+func ParseFaultFile(path string) (*FaultSchedule, error) { return faults.ParseFile(path) }
+
+// OracleSearch finds the optimal constant degree bound with perfect burst
+// knowledge (the paper's Oracle strategy).
+//
+// Deprecated: use OracleSearchContext, which accepts cancellation and
+// campaign options (worker count, memoization). This form remains for
+// compatibility and produces bit-identical results.
+func OracleSearch(sc Scenario) (*OracleResult, error) {
+	return campaign.OracleSearch(context.Background(), campaign.Options{}, sc)
+}
+
+// BuildBoundTable populates the Prediction strategy's lookup table by
+// Oracle-searching a grid of parametric bursts.
+//
+// Deprecated: use BuildBoundTableContext, which accepts cancellation and
+// campaign options (worker count, memoization). This form remains for
+// compatibility and produces bit-identical results.
+func BuildBoundTable(base Scenario, mk func(degree float64, d time.Duration) (*Series, error),
+	durations []time.Duration, degrees []float64) (*BoundTable, error) {
+	return campaign.BuildBoundTable(context.Background(), campaign.Options{}, base, mk, durations, degrees)
+}
+
+// Greedy returns the paper's Greedy strategy: no degree bound.
+func Greedy() Strategy { return core.Greedy{} }
+
+// FixedBound returns a constant degree bound (the Oracle's building block).
+func FixedBound(bound float64) Strategy { return core.FixedBound{Bound: bound} }
+
+// Prediction returns the paper's Prediction strategy for a predicted burst
+// duration and an Oracle-built table.
+func Prediction(predicted time.Duration, table *BoundTable) Strategy {
+	return core.Prediction{PredictedDuration: predicted, Table: table}
+}
+
+// Heuristic returns the paper's Heuristic strategy for an estimated best
+// average sprinting degree and flexibility factor K (paper default 0.10).
+func Heuristic(estimatedAvgDegree, flexibility float64) Strategy {
+	return core.Heuristic{EstimatedAvgDegree: estimatedAvgDegree, Flexibility: flexibility}
+}
+
+// Adaptive returns the online Prediction variant (the paper's future-work
+// direction): it forecasts the remaining burst duration with the doubling
+// rule instead of requiring an offline estimate.
+func Adaptive(table *BoundTable) Strategy {
+	return core.Adaptive{Table: table}
+}
+
+// BatteryChemistry captures a chemistry's wear law and required service
+// life; see ups.Chemistry.
+type BatteryChemistry = ups.Chemistry
+
+// LFPChemistry returns the paper's lithium-iron-phosphate battery: an
+// 8-year required life tolerating ten full discharges per month.
+func LFPChemistry() BatteryChemistry { return ups.LFP() }
+
+// LeadAcidChemistry returns the 4-year lead-acid alternative.
+func LeadAcidChemistry() BatteryChemistry { return ups.LeadAcid() }

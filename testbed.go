@@ -1,0 +1,44 @@
+package dcsprint
+
+// This file is the hardware-testbed facade: the §VI-B prototype emulator
+// (one server, one breaker, one UPS battery) and its Fig 11 sweeps.
+
+import (
+	"time"
+
+	"dcsprint/internal/testbed"
+)
+
+type (
+	// TestbedConfig describes the §VI-B hardware prototype.
+	TestbedConfig = testbed.Config
+	// TestbedResult reports one testbed run.
+	TestbedResult = testbed.Result
+	// TestbedPolicy selects the testbed coordination algorithm.
+	TestbedPolicy = testbed.Policy
+	// TestbedSweepPoint is one Fig 11(b) x-axis point.
+	TestbedSweepPoint = testbed.SweepPoint
+)
+
+// Testbed policies.
+const (
+	// TestbedOurs is the paper's reserved-trip-time coordination.
+	TestbedOurs = testbed.PolicyOurs
+	// TestbedCBFirst exhausts the breaker before the battery.
+	TestbedCBFirst = testbed.PolicyCBFirst
+	// TestbedCBOnly never uses the battery.
+	TestbedCBOnly = testbed.PolicyCBOnly
+)
+
+// DefaultTestbed returns the calibrated §VI-B testbed.
+func DefaultTestbed() TestbedConfig { return testbed.Default() }
+
+// RunTestbed drives the testbed emulator with a CPU-utilization trace.
+func RunTestbed(cfg TestbedConfig, util *Series, policy TestbedPolicy) (*TestbedResult, error) {
+	return testbed.Run(cfg, util, policy)
+}
+
+// SweepTestbed reproduces Fig 11(b): sustained time vs reserved trip time.
+func SweepTestbed(cfg TestbedConfig, util *Series, reserves []time.Duration) ([]TestbedSweepPoint, error) {
+	return testbed.Sweep(cfg, util, reserves)
+}

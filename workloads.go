@@ -1,0 +1,109 @@
+package dcsprint
+
+// This file is the workload facade: trace generators matching the paper's
+// experiment traces, burst analysis, CSV ingestion, supply-disturbance
+// synthesis, request-level admission replay and the §V-D economics.
+
+import (
+	"io"
+	"time"
+
+	"dcsprint/internal/admission"
+	"dcsprint/internal/economics"
+	"dcsprint/internal/server"
+	"dcsprint/internal/trace"
+	"dcsprint/internal/workload"
+)
+
+type (
+	// Series is a uniform-step time series.
+	Series = trace.Series
+	// BurstStats summarizes a trace's over-capacity episodes.
+	BurstStats = workload.BurstStats
+	// Estimate is a burst prediction consumed by strategies.
+	Estimate = workload.Estimate
+	// EconomicModel holds the §V-D cost/revenue parameters.
+	EconomicModel = economics.Model
+)
+
+// MSTrace returns the 30-minute MS-style experiment trace (Fig 7a).
+func MSTrace(seed int64) (*Series, error) { return workload.SyntheticMS(seed) }
+
+// YahooTrace returns the 30-minute Yahoo-style trace with one injected
+// burst of the given degree and duration starting at minute 5 (Fig 7b).
+func YahooTrace(seed int64, degree float64, duration time.Duration) (*Series, error) {
+	return workload.SyntheticYahoo(seed, degree, duration)
+}
+
+// YahooServerTrace returns a volatile single-server CPU-utilization trace,
+// used by the hardware-testbed experiments.
+func YahooServerTrace(seed int64) (*Series, error) { return workload.SyntheticYahooServer(seed) }
+
+// DayTrace returns a 24-hour Fig-1-style data-center traffic trace (GB/s).
+func DayTrace(seed int64) (*Series, error) { return workload.SyntheticMSDay(seed) }
+
+// AnalyzeTrace summarizes a normalized trace's bursts.
+func AnalyzeTrace(s *Series) BurstStats { return workload.Analyze(s) }
+
+// SelfSimilarConfig parameterizes the b-model synthesizer; see
+// workload.SelfSimilarConfig.
+type SelfSimilarConfig = workload.SelfSimilarConfig
+
+// SelfSimilarTrace synthesizes a bursty demand trace with the b-model
+// multiplicative cascade (self-similar burstiness with one parameter).
+func SelfSimilarTrace(seed int64, cfg SelfSimilarConfig) (*Series, error) {
+	return workload.SelfSimilar(seed, cfg)
+}
+
+// BurstinessIndex measures a trace's burstiness (p99 over mean).
+func BurstinessIndex(s *Series) float64 { return workload.BurstinessIndex(s) }
+
+// Episode is one over-capacity excursion; see workload.Episode.
+type Episode = workload.Episode
+
+// Episodes extracts a normalized trace's over-capacity excursions.
+func Episodes(s *Series) []Episode { return workload.Episodes(s) }
+
+// Admission types re-exported from the queueing replay.
+type (
+	// AdmissionConfig bounds the request queue; see admission.Config.
+	AdmissionConfig = admission.Config
+	// AdmissionStats summarizes a queueing replay; see admission.Stats.
+	AdmissionStats = admission.Stats
+)
+
+// ReplayAdmission converts a run's throughput-level outcome into
+// request-level metrics (drop rate, queueing delay) by replaying its demand
+// against the serving capacity implied by the realized sprinting degree
+// through a bounded FIFO queue — the paper's §V-A "last resort" admission
+// control.
+func ReplayAdmission(res *Result, cfg AdmissionConfig) (AdmissionStats, error) {
+	srv := res.Scenario.Server
+	capacity := res.Telemetry.Degree.Clone().Map(func(degree float64) float64 {
+		return srv.Throughput(srv.CoresForDegree(degree))
+	})
+	return admission.Replay(res.Telemetry.Required, capacity, cfg)
+}
+
+// ReadTraceCSV parses a two-column (time-seconds, value) CSV into a Series,
+// the ingestion path for operators with real traces.
+func ReadTraceCSV(r io.Reader) (*Series, error) { return trace.ReadCSV(r) }
+
+// SupplyDip returns a utility-supply trace: full supply everywhere except a
+// dip to the given fraction over [start, start+duration) — for injecting
+// grid curtailments or renewable shortfalls via Scenario.Supply.
+func SupplyDip(length, step time.Duration, start, duration time.Duration, fraction float64) (*Series, error) {
+	return workload.SupplyDip(length, step, start, duration, fraction)
+}
+
+// DefaultEconomics returns the paper's §V-D economic parameters.
+func DefaultEconomics() EconomicModel { return economics.Default() }
+
+// TraceRevenue estimates the monthly sprinting revenue of serving a
+// repeating daily traffic trace (the §V-D Fig 1 example) with the default
+// chip ceiling and a 4x user base (Ut = 4 U0). capacity is the traffic the
+// facility serves without sprinting, in the trace's units.
+func TraceRevenue(m EconomicModel, day *Series, capacity float64) float64 {
+	ceiling := server.Default().MaxThroughput()
+	return economics.TraceRevenue(m, day, capacity, ceiling, 4)
+}
