@@ -1,16 +1,20 @@
 // Command dcsprintd serves the streaming control plane: many concurrent
 // simulated data centres behind the NDJSON-over-HTTP session API, with the
-// telemetry endpoints (/metrics, /healthz, /trace.jsonl, pprof) on the same
-// listener.
+// telemetry endpoints (/metrics, /healthz, /trace.jsonl, /debug/events,
+// /debug/ops.jsonl, pprof) on the same listener.
 //
 // Examples:
 //
 //	dcsprintd
 //	dcsprintd -listen :9090 -max-sessions 512 -idle-ttl 5m
+//	dcsprintd -span-out server-spans.jsonl   # write server spans on exit
 //	curl -s localhost:8080/metrics | grep dcsprint_service
+//	curl -s localhost:8080/debug/events | jq .   # flight recorder
 //
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight requests
-// finish, and every live session goroutine is stopped before exit.
+// finish, and every live session goroutine is stopped before exit. SIGQUIT
+// dumps the flight recorder — the last few hundred control-plane incidents
+// per shard — to stderr without stopping the daemon.
 package main
 
 import (
@@ -43,6 +47,10 @@ func run(args []string) error {
 		idleTTL     = fs.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<=0 disables)")
 		queueDepth  = fs.Int("queue-depth", 64, "per-session request queue depth before 429s")
 		drain       = fs.Duration("drain", 10*time.Second, "shutdown grace for in-flight requests")
+		events      = fs.Int("events", 256, "flight-recorder events retained per shard (<=0 disables)")
+		slowStep    = fs.Duration("slow-step", 25*time.Millisecond, "step latency above which a slow-step flight event is recorded")
+		spanOut     = fs.String("span-out", "", "write server-side spans as JSONL to this file on shutdown (merge with traces -merge)")
+		spanCap     = fs.Int("span-cap", 1<<20, "max server-side spans retained in memory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,16 +61,35 @@ func run(args []string) error {
 
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer()
+	telemetry.RegisterRuntimeMetrics(reg)
+
+	var flight *telemetry.FlightRecorder
+	if *events > 0 {
+		flight = telemetry.NewFlightRecorder(service.NumShards, *events)
+	}
+	var ops *telemetry.OpLog
+	if *spanOut != "" {
+		ops = telemetry.NewOpLog(*spanCap)
+	}
+
 	mgr := service.NewManager(service.Config{
 		MaxSessions: *maxSessions,
 		IdleTTL:     *idleTTL,
 		QueueDepth:  *queueDepth,
 		Registry:    reg,
+		Ops:         ops,
+		Flight:      flight,
+		SlowStep:    *slowStep,
 	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", mgr.Handler())
-	mux.Handle("/", telemetry.Handler(reg, tracer))
+	mux.Handle("/", telemetry.HandlerWith(telemetry.HandlerOpts{
+		Registry: reg,
+		Tracer:   tracer,
+		Flight:   flight,
+		Ops:      ops,
+	}))
 	srv := &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -76,6 +103,18 @@ func run(args []string) error {
 	}
 	fmt.Printf("dcsprintd listening on http://%s (sessions<=%d, idle-ttl %v)\n",
 		ln.Addr(), *maxSessions, *idleTTL)
+
+	// SIGQUIT dumps the flight recorder and keeps serving — the moral
+	// equivalent of the Go runtime's goroutine dump, for the control plane.
+	if flight != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				flight.WriteText(os.Stderr) //nolint:errcheck
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -96,5 +135,24 @@ func run(args []string) error {
 		srv.Close()
 	}
 	mgr.Close()
+	if ops != nil {
+		if err := writeSpans(*spanOut, ops); err != nil {
+			return fmt.Errorf("writing %s: %w", *spanOut, err)
+		}
+		fmt.Printf("dcsprintd: wrote %d server spans to %s (%d dropped)\n",
+			ops.Len(), *spanOut, ops.Dropped())
+	}
 	return nil
+}
+
+func writeSpans(path string, ops *telemetry.OpLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ops.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,9 +6,14 @@
 //
 //	dcsprintload -addr http://127.0.0.1:8080 -sessions 32
 //	dcsprintload -sessions 8 -degree 3.0 -duration 5m -snapshot
+//	dcsprintload -sessions 4 -span-out client-spans.jsonl
 //
-// Busy replies (HTTP 429 backpressure) are retried with a short backoff and
-// counted separately; any other error fails the run and the exit status.
+// Each session runs under its own trace id; every request carries a request
+// id the daemon echoes and tags its own spans with, so the slowest request
+// printed at the end can be looked up in the daemon's flight recorder and in
+// the merged timeline (traces -merge). Busy replies (HTTP 429 backpressure)
+// are retried with a short backoff and counted; any other error fails the
+// run and the exit status.
 package main
 
 import (
@@ -17,12 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcsprint/internal/service"
+	"dcsprint/internal/telemetry"
 )
 
 func main() {
@@ -32,12 +37,41 @@ func main() {
 	}
 }
 
+// latencyBuckets spans 10µs..5s: HTTP lockstep round trips land in the
+// hundreds of microseconds on loopback, seconds under backpressure.
+func latencyBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5,
+	}
+}
+
+// slowest tracks the worst observed request across all workers.
+type slowest struct {
+	mu    sync.Mutex
+	dur   time.Duration
+	rid   string
+	trace string
+}
+
+func (s *slowest) note(d time.Duration, rid, trace string) {
+	s.mu.Lock()
+	if d > s.dur {
+		s.dur, s.rid, s.trace = d, rid, trace
+	}
+	s.mu.Unlock()
+}
+
 // worker is one session's life: create, stream every sample, optionally
-// checkpoint+restore halfway, finish. It returns its per-step latencies.
+// checkpoint+restore halfway, finish. Each worker owns a Client so it gets
+// its own trace id; they share the registry, histogram and span log.
 type worker struct {
-	id      int
-	lat     []time.Duration
-	retries int64
+	id    int
+	c     *service.Client
+	hist  *telemetry.Histogram
+	slow  *slowest
+	steps int64
 }
 
 func run(args []string) error {
@@ -50,6 +84,7 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration (simulated)")
 		snapshot = fs.Bool("snapshot", false, "checkpoint and restore each session halfway through")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "overall wall-clock budget")
+		spanOut  = fs.String("span-out", "", "write client-side spans as JSONL to this file (merge with traces -merge)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,15 +95,21 @@ func run(args []string) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := &service.Client{Base: *addr}
+
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("dcsprintload_step_seconds",
+		"Client-observed lockstep round-trip latency", latencyBuckets())
+	var ops *telemetry.OpLog
+	if *spanOut != "" {
+		ops = telemetry.NewOpLog(0)
+	}
+	slow := &slowest{}
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		retries  atomic.Int64
 		steps    atomic.Int64
-		all      [][]time.Duration
 	)
 	fail := func(id int, err error) {
 		mu.Lock()
@@ -82,18 +123,19 @@ func run(args []string) error {
 	start := time.Now()
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
-		w := &worker{id: i}
+		w := &worker{
+			id:   i,
+			c:    &service.Client{Base: *addr, Ops: ops, Registry: reg},
+			hist: hist,
+			slow: slow,
+		}
 		go func() {
 			defer wg.Done()
-			if err := w.drive(ctx, c, *seed+int64(w.id), *degree, *duration, *snapshot); err != nil {
+			if err := w.drive(ctx, *seed+int64(w.id), *degree, *duration, *snapshot); err != nil {
 				fail(w.id, err)
 				return
 			}
-			steps.Add(int64(len(w.lat)))
-			retries.Add(w.retries)
-			mu.Lock()
-			all = append(all, w.lat)
-			mu.Unlock()
+			steps.Add(w.steps)
 		}()
 	}
 	wg.Wait()
@@ -102,29 +144,44 @@ func run(args []string) error {
 		return firstErr
 	}
 
-	var lat []time.Duration
-	for _, l := range all {
-		lat = append(lat, l...)
-	}
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	pct := func(p float64) time.Duration {
-		if len(lat) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lat)-1))
-		return lat[i]
-	}
+	retries := reg.Counter("dcsprint_client_retries_total",
+		"Step retries after HTTP 429 backpressure").Value()
 	n := steps.Load()
-	fmt.Printf("sessions: %d, steps: %d, errors: 0, busy retries: %d\n",
-		*sessions, n, retries.Load())
+	fmt.Printf("sessions: %d, steps: %d, errors: 0, busy retries: %.0f\n",
+		*sessions, n, retries)
 	fmt.Printf("wall: %v, throughput: %.0f steps/s\n",
 		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 	fmt.Printf("step latency p50: %v, p99: %v, max: %v\n",
-		pct(0.50), pct(0.99), pct(1.0))
+		time.Duration(hist.Quantile(0.50)*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(hist.Quantile(0.99)*float64(time.Second)).Round(time.Microsecond),
+		slow.dur.Round(time.Microsecond))
+	if slow.rid != "" {
+		fmt.Printf("slowest request: rid=%s trace=%s (%v) — grep it in the daemon's /debug/events and span JSONL\n",
+			slow.rid, slow.trace, slow.dur.Round(time.Microsecond))
+	}
+	if ops != nil {
+		if err := writeSpans(*spanOut, ops); err != nil {
+			return fmt.Errorf("writing %s: %w", *spanOut, err)
+		}
+		fmt.Printf("wrote %d client spans to %s (%d dropped)\n", ops.Len(), *spanOut, ops.Dropped())
+	}
 	return nil
 }
 
-func (w *worker) drive(ctx context.Context, c *service.Client, seed int64, degree float64, duration time.Duration, snapshot bool) error {
+func writeSpans(path string, ops *telemetry.OpLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ops.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration time.Duration, snapshot bool) error {
+	c := w.c
 	spec := service.ScenarioSpec{
 		Name: fmt.Sprintf("load-%d", w.id),
 		Trace: &service.TraceSpec{
@@ -180,18 +237,23 @@ func (w *worker) drive(ctx context.Context, c *service.Client, seed int64, degre
 	return nil
 }
 
-// step times one lockstep round trip, retrying 429 backpressure.
+// step times one lockstep round trip. StepContext already retries a first
+// 429 with jittered backoff (counted in dcsprint_client_retries_total); the
+// loop here absorbs sustained backpressure, which the client deliberately
+// leaves to callers.
 func (w *worker) step(ctx context.Context, st *service.Stream, demand float64) error {
 	for {
 		t0 := time.Now()
-		_, err := st.Step(demand)
+		_, err := st.StepContext(ctx, demand)
 		if err == nil {
-			w.lat = append(w.lat, time.Since(t0))
+			d := time.Since(t0)
+			w.hist.ObserveWithExemplar(d.Seconds(), st.LastReq())
+			w.slow.note(d, st.LastReq(), w.c.TraceID())
+			w.steps++
 			return nil
 		}
 		var apiErr *service.APIError
 		if errors.As(err, &apiErr) && apiErr.Status == 429 {
-			w.retries++
 			select {
 			case <-ctx.Done():
 				return ctx.Err()

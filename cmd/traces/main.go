@@ -1,8 +1,12 @@
 // Command traces generates the synthetic workload traces used by the
-// experiments (Figs 1 and 7) and writes them as CSV files.
+// experiments (Figs 1 and 7) and writes them as CSV files. With -merge it
+// instead joins client- and server-side span JSONL (from dcsprintload
+// -span-out and dcsprintd -span-out) into one Chrome trace_event file that
+// chrome://tracing and ui.perfetto.dev load directly.
 //
 //	traces -out ./data                 # all four traces
 //	traces -out ./data -only fig1      # just the 24-hour Fig 1 trace
+//	traces -merge -client client-spans.jsonl -server server-spans.jsonl -o timeline.json
 package main
 
 import (
@@ -32,9 +36,16 @@ func run(args []string) error {
 		degree   = fs.Float64("degree", 3.2, "yahoo burst degree")
 		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration")
 		only     = fs.String("only", "", "generate one trace: fig1 | ms | yahoo | yahoo-server")
+		merge    = fs.Bool("merge", false, "merge span JSONL files into a Chrome trace instead of generating workload traces")
+		client   = fs.String("client", "", "client-side span JSONL (dcsprintload -span-out)")
+		server   = fs.String("server", "", "server-side span JSONL (dcsprintd -span-out)")
+		mergeOut = fs.String("o", "timeline.json", "merged Chrome trace output path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		return runMerge(*client, *server, *mergeOut)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
@@ -84,6 +95,56 @@ func run(args []string) error {
 		return fmt.Errorf("unknown trace %q", *only)
 	}
 	return nil
+}
+
+// runMerge joins the two span streams into one Chrome trace_event file.
+// Either side may be absent: a client-only merge still yields a usable
+// timeline, and server spans without a matching client parent appear as
+// top-level slices.
+func runMerge(clientPath, serverPath, outPath string) error {
+	if clientPath == "" && serverPath == "" {
+		return fmt.Errorf("-merge needs -client and/or -server span files")
+	}
+	clientSpans, err := readSpans(clientPath)
+	if err != nil {
+		return err
+	}
+	serverSpans, err := readSpans(serverPath)
+	if err != nil {
+		return err
+	}
+	events := telemetry.MergeTraceEvents(clientSpans, serverSpans)
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d client + %d server spans into %d trace events: %s\n",
+		len(clientSpans), len(serverSpans), len(events), outPath)
+	fmt.Println("open in chrome://tracing or https://ui.perfetto.dev")
+	return nil
+}
+
+func readSpans(path string) ([]telemetry.OpSpan, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadOpJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spans, nil
 }
 
 func writeSeries(path, unit string, s *dcsprint.Series) error {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsprint/internal/telemetry"
+)
+
+func writeSpanFile(t *testing.T, path string, spans []telemetry.OpSpan) {
+	t.Helper()
+	l := telemetry.NewOpLog(0)
+	for _, s := range spans {
+		l.Record(s)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMerge is the end-to-end acceptance check for the merge tool: two
+// span JSONL files in, one Chrome trace JSON out, with every server span
+// nested inside the client span sharing its request id.
+func TestRunMerge(t *testing.T) {
+	dir := t.TempDir()
+	clientPath := filepath.Join(dir, "client.jsonl")
+	serverPath := filepath.Join(dir, "server.jsonl")
+	outPath := filepath.Join(dir, "timeline.json")
+
+	writeSpanFile(t, clientPath, []telemetry.OpSpan{
+		{Trace: "t1", Req: "t1.1", Name: "create", Side: telemetry.SideClient, Session: "s-1", StartUs: 1000, DurUs: 800},
+		{Trace: "t1", Req: "t1.2", Name: "step", Side: telemetry.SideClient, Session: "s-1", StartUs: 2000, DurUs: 400},
+	})
+	writeSpanFile(t, serverPath, []telemetry.OpSpan{
+		{Trace: "t1", Req: "t1.1", Name: "admission", Side: telemetry.SideServer, Session: "s-1", StartUs: 1100, DurUs: 300},
+		// Clock-skewed past its parent: the merge must clamp it inside.
+		{Trace: "t1", Req: "t1.2", Name: "step", Side: telemetry.SideServer, Session: "s-1", StartUs: 1900, DurUs: 5000},
+	})
+
+	if err := run([]string{"-merge", "-client", clientPath, "-server", serverPath, "-o", outPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parents := map[string][2]int64{}
+	slices, meta := 0, 0
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if e.Cat == telemetry.SideClient {
+				parents[e.Args["rid"]] = [2]int64{e.Ts, e.Ts + e.Dur}
+			}
+		default:
+			t.Fatalf("unexpected phase %q in %+v", e.Ph, e)
+		}
+	}
+	if slices != 4 {
+		t.Fatalf("%d slices, want 4", slices)
+	}
+	if meta == 0 {
+		t.Fatal("no process/thread metadata events")
+	}
+	checked := 0
+	for _, e := range events {
+		if e.Ph != "X" || e.Cat != telemetry.SideServer {
+			continue
+		}
+		p, ok := parents[e.Args["rid"]]
+		if !ok {
+			t.Fatalf("server slice %q has no parent", e.Name)
+		}
+		if e.Ts < p[0] || e.Ts+e.Dur > p[1] {
+			t.Fatalf("server slice %q [%d,%d] escapes parent [%d,%d]",
+				e.Name, e.Ts, e.Ts+e.Dur, p[0], p[1])
+		}
+		checked++
+	}
+	if checked != 2 {
+		t.Fatalf("checked %d server slices, want 2", checked)
+	}
+}
+
+func TestRunMergeClientOnly(t *testing.T) {
+	dir := t.TempDir()
+	clientPath := filepath.Join(dir, "client.jsonl")
+	outPath := filepath.Join(dir, "timeline.json")
+	writeSpanFile(t, clientPath, []telemetry.OpSpan{
+		{Trace: "t1", Req: "t1.1", Name: "step", Side: telemetry.SideClient, Session: "s-1", StartUs: 10, DurUs: 5},
+	})
+	if err := run([]string{"-merge", "-client", clientPath, "-o", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMergeNeedsInputs(t *testing.T) {
+	if err := run([]string{"-merge"}); err == nil {
+		t.Fatal("merge with no inputs succeeded")
+	}
+}

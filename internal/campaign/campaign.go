@@ -37,6 +37,13 @@ type Options struct {
 	// Cache memoizes oracle-search outcomes across campaigns and, via its
 	// codec, across processes. Nil disables memoization.
 	Cache *Cache
+	// Ops receives one wall-clock span per executed shard (Side "campaign",
+	// all sharing one per-sweep trace id), so a sweep drops into the same
+	// merged timeline as the service spans. Nil disables span recording.
+	Ops *telemetry.OpLog
+	// Flight receives shard-done and item-error events into its rings. Nil
+	// disables them.
+	Flight *telemetry.FlightRecorder
 	// Prune makes OracleSearch find the bound by monotonicity-aware
 	// bisection (O(log n) candidate runs) instead of the exhaustive scan.
 	// The answer is identical to the scan whenever the bound-performance
@@ -151,6 +158,12 @@ func Sweep[T, R any](ctx context.Context, opts Options, items []T, fn func(conte
 	if prog != nil {
 		prog.sweeps.Inc()
 	}
+	// One trace id per sweep: every shard span and flight event it emits
+	// shares it, so a whole campaign groups as one track in a merged view.
+	var sweepTrace string
+	if opts.Ops != nil || opts.Flight != nil {
+		sweepTrace = telemetry.NewTraceID()
+	}
 
 	out := make([]R, n)
 	errs := make([]error, n)
@@ -180,10 +193,15 @@ func Sweep[T, R any](ctx context.Context, opts Options, items []T, fn func(conte
 				if prog != nil {
 					prog.active.Add(1)
 				}
+				var shardStart time.Time
+				if opts.Ops != nil {
+					shardStart = time.Now()
+				}
 				lo, hi := s*shard, (s+1)*shard
 				if hi > n {
 					hi = n
 				}
+				nerr := 0
 				for i := lo; i < hi; i++ {
 					if cctx.Err() != nil {
 						break
@@ -193,8 +211,16 @@ func Sweep[T, R any](ctx context.Context, opts Options, items []T, fn func(conte
 						errs[i] = err
 						failed.Store(true)
 						cancel()
+						nerr++
 						if prog != nil {
 							prog.errs.Inc()
+						}
+						if opts.Flight != nil {
+							opts.Flight.Record(s, telemetry.FlightEvent{
+								Kind:   telemetry.EventItemError,
+								Trace:  sweepTrace,
+								Detail: fmt.Sprintf("item %d: %v", i, err),
+							})
 						}
 					} else {
 						out[i] = r
@@ -202,6 +228,24 @@ func Sweep[T, R any](ctx context.Context, opts Options, items []T, fn func(conte
 					if prog != nil {
 						prog.items.Inc()
 					}
+				}
+				if opts.Ops != nil {
+					opts.Ops.Record(telemetry.OpSpan{
+						Trace:   sweepTrace,
+						Req:     fmt.Sprintf("%s.s%d", sweepTrace, s),
+						Name:    "shard",
+						Side:    telemetry.SideCampaign,
+						StartUs: shardStart.UnixMicro(),
+						DurUs:   time.Since(shardStart).Microseconds(),
+						Detail:  fmt.Sprintf("items [%d,%d)", lo, hi),
+					})
+				}
+				if opts.Flight != nil {
+					opts.Flight.Record(s, telemetry.FlightEvent{
+						Kind:   telemetry.EventShardDone,
+						Trace:  sweepTrace,
+						Detail: fmt.Sprintf("items [%d,%d), %d errors", lo, hi, nerr),
+					})
 				}
 				if prog != nil {
 					prog.active.Add(-1)

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dcsprint/internal/telemetry"
+)
+
+// TestSweepShardSpans checks a sweep emits one campaign-side span per shard,
+// all under one sweep trace, with item coverage adding up to the grid.
+func TestSweepShardSpans(t *testing.T) {
+	ops := telemetry.NewOpLog(0)
+	flight := telemetry.NewFlightRecorder(4, 16)
+	items := make([]int, 10)
+	for i := range items {
+		items[i] = i
+	}
+	out, rep, err := Sweep(context.Background(), Options{
+		Workers: 2, ShardSize: 3, Ops: ops, Flight: flight,
+	}, items, func(_ context.Context, v int) (int, error) {
+		return v * v, nil
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+
+	spans := ops.Spans()
+	if len(spans) != rep.Shards {
+		t.Fatalf("%d shard spans, want %d", len(spans), rep.Shards)
+	}
+	trace := spans[0].Trace
+	covered := 0
+	for _, sp := range spans {
+		if sp.Name != "shard" || sp.Side != telemetry.SideCampaign {
+			t.Fatalf("unexpected span %+v", sp)
+		}
+		if sp.Trace != trace {
+			t.Fatalf("shard spans span multiple traces: %q vs %q", sp.Trace, trace)
+		}
+		var lo, hi int
+		if _, err := fmt.Sscanf(sp.Detail, "items [%d,%d)", &lo, &hi); err != nil {
+			t.Fatalf("span detail %q: %v", sp.Detail, err)
+		}
+		covered += hi - lo
+	}
+	if covered != len(items) {
+		t.Fatalf("shard spans cover %d items, want %d", covered, len(items))
+	}
+
+	done := 0
+	for _, ev := range flight.Events() {
+		if ev.Kind != telemetry.EventShardDone {
+			t.Fatalf("unexpected flight event %+v", ev)
+		}
+		if ev.Trace != trace {
+			t.Fatalf("flight event trace %q, want %q", ev.Trace, trace)
+		}
+		done++
+	}
+	if done != rep.Shards {
+		t.Fatalf("%d shard-done events, want %d", done, rep.Shards)
+	}
+}
+
+// TestSweepItemErrorEvents checks a failing item leaves an item-error event
+// carrying the sweep trace.
+func TestSweepItemErrorEvents(t *testing.T) {
+	flight := telemetry.NewFlightRecorder(1, 16)
+	boom := errors.New("boom")
+	_, _, err := Sweep(context.Background(), Options{
+		Workers: 1, ShardSize: 2, Flight: flight,
+	}, []int{0, 1, 2}, func(_ context.Context, v int) (int, error) {
+		if v == 1 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Sweep err = %v, want boom", err)
+	}
+	found := false
+	for _, ev := range flight.Events() {
+		if ev.Kind == telemetry.EventItemError {
+			if ev.Trace == "" || ev.Detail == "" {
+				t.Fatalf("item-error event missing context: %+v", ev)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no item-error flight event")
+	}
+}

@@ -4,17 +4,39 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
+	"time"
+
+	"dcsprint/internal/telemetry"
 )
 
-// Client talks to a dcsprintd control plane.
+// Client talks to a dcsprintd control plane. Every request is stamped with
+// the client's trace id and a fresh request id (echoed by the daemon), and
+// when Ops is set each round trip is recorded as a client-side span — the
+// other half of the merged timeline `traces -merge` builds.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Trace is the trace id stamped on every request. Empty generates one
+	// on first use; read it back with TraceID.
+	Trace string
+	// Ops receives client-side wall-clock spans (create, step, snapshot,
+	// restore, finish). Nil disables span recording.
+	Ops *telemetry.OpLog
+	// Registry receives client metrics (dcsprint_client_retries_total).
+	// Nil means the process-wide telemetry.Default() registry.
+	Registry *telemetry.Registry
+
+	mu      sync.Mutex
+	seq     int64
+	retries *telemetry.Counter
 }
 
 func (c *Client) http() *http.Client {
@@ -22,6 +44,58 @@ func (c *Client) http() *http.Client {
 		return c.HTTP
 	}
 	return http.DefaultClient
+}
+
+// TraceID returns the client's trace id, generating it on first use.
+func (c *Client) TraceID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Trace == "" {
+		c.Trace = telemetry.NewTraceID()
+	}
+	return c.Trace
+}
+
+// nextReq returns a fresh request id: the trace id plus an ordinal.
+func (c *Client) nextReq() string {
+	trace := c.TraceID()
+	c.mu.Lock()
+	c.seq++
+	n := c.seq
+	c.mu.Unlock()
+	return fmt.Sprintf("%s.%d", trace, n)
+}
+
+// retryCounter returns the client-retries counter, registering it lazily.
+func (c *Client) retryCounter() *telemetry.Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.retries == nil {
+		reg := c.Registry
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		c.retries = reg.Counter("dcsprint_client_retries_total",
+			"Step retries after HTTP 429 backpressure")
+	}
+	return c.retries
+}
+
+// span records one client-side op span when Ops is set.
+func (c *Client) span(name, session, rid string, start time.Time, detail string) {
+	if c.Ops == nil {
+		return
+	}
+	c.Ops.Record(telemetry.OpSpan{
+		Trace:   c.TraceID(),
+		Req:     rid,
+		Name:    name,
+		Side:    telemetry.SideClient,
+		Session: session,
+		StartUs: start.UnixMicro(),
+		DurUs:   time.Since(start).Microseconds(),
+		Detail:  detail,
+	})
 }
 
 // APIError is a non-2xx response from the control plane.
@@ -34,7 +108,13 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+// stamp attaches the trace headers for one request.
+func (c *Client) stamp(req *http.Request, rid string) {
+	req.Header.Set(HeaderTrace, c.TraceID())
+	req.Header.Set(HeaderReq, rid)
+}
+
+func (c *Client) postJSON(ctx context.Context, path, rid string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -44,6 +124,7 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.stamp(req, rid)
 	return c.doJSON(req, http.StatusCreated, out)
 }
 
@@ -68,45 +149,59 @@ func (c *Client) doJSON(req *http.Request, want int, out any) error {
 
 // Create opens a session.
 func (c *Client) Create(ctx context.Context, spec ScenarioSpec) (*Session, error) {
+	rid, start := c.nextReq(), time.Now()
 	var s Session
-	if err := c.postJSON(ctx, "/v1/sessions", spec, &s); err != nil {
+	if err := c.postJSON(ctx, "/v1/sessions", rid, spec, &s); err != nil {
+		c.span("create", "", rid, start, err.Error())
 		return nil, err
 	}
+	c.span("create", s.ID, rid, start, "")
 	return &s, nil
 }
 
 // Restore opens a session from a snapshot document.
 func (c *Client) Restore(ctx context.Context, doc SnapshotDoc) (*Session, error) {
+	rid, start := c.nextReq(), time.Now()
 	var s Session
-	if err := c.postJSON(ctx, "/v1/sessions/restore", doc, &s); err != nil {
+	if err := c.postJSON(ctx, "/v1/sessions/restore", rid, doc, &s); err != nil {
+		c.span("restore", "", rid, start, err.Error())
 		return nil, err
 	}
+	c.span("restore", s.ID, rid, start, "")
 	return &s, nil
 }
 
 // Snapshot checkpoints a session.
 func (c *Client) Snapshot(ctx context.Context, id string) (SnapshotDoc, error) {
+	rid, start := c.nextReq(), time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/sessions/"+id+"/snapshot", nil)
 	if err != nil {
 		return SnapshotDoc{}, err
 	}
+	c.stamp(req, rid)
 	var doc SnapshotDoc
 	if err := c.doJSON(req, http.StatusOK, &doc); err != nil {
+		c.span("snapshot", id, rid, start, err.Error())
 		return SnapshotDoc{}, err
 	}
+	c.span("snapshot", id, rid, start, "")
 	return doc, nil
 }
 
 // Finish seals a session and returns its result view.
 func (c *Client) Finish(ctx context.Context, id string) (ResultView, error) {
+	rid, start := c.nextReq(), time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/sessions/"+id, nil)
 	if err != nil {
 		return ResultView{}, err
 	}
+	c.stamp(req, rid)
 	var v ResultView
 	if err := c.doJSON(req, http.StatusOK, &v); err != nil {
+		c.span("finish", id, rid, start, err.Error())
 		return ResultView{}, err
 	}
+	c.span("finish", id, rid, start, "")
 	return v, nil
 }
 
@@ -116,6 +211,7 @@ func (c *Client) List(ctx context.Context) ([]SessionInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.stamp(req, c.nextReq())
 	var infos []SessionInfo
 	if err := c.doJSON(req, http.StatusOK, &infos); err != nil {
 		return nil, err
@@ -124,12 +220,17 @@ func (c *Client) List(ctx context.Context) ([]SessionInfo, error) {
 }
 
 // Stream is an open steps stream: Step writes one demand line and reads one
-// decision line, in lockstep with the server's per-line flushes.
+// decision line, in lockstep with the server's per-line flushes. Every line
+// carries a fresh request id, so the server can tag its spans, exemplars and
+// flight events with it.
 type Stream struct {
-	pw   *io.PipeWriter
-	resp *http.Response
-	enc  *json.Encoder
-	dec  *json.Decoder
+	pw      *io.PipeWriter
+	resp    *http.Response
+	enc     *json.Encoder
+	dec     *json.Decoder
+	c       *Client
+	session string
+	lastRID string
 }
 
 // Stream opens the NDJSON steps stream for a session.
@@ -141,6 +242,7 @@ func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	c.stamp(req, c.nextReq())
 	// The server commits its headers before the first input line, so Do
 	// returns while the request body pipe stays open for streaming.
 	resp, err := c.http().Do(req)
@@ -157,16 +259,38 @@ func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) //nolint:errcheck
 		return nil, &APIError{Status: resp.StatusCode, Message: apiErr.Error}
 	}
-	return &Stream{pw: pw, resp: resp, enc: json.NewEncoder(pw), dec: json.NewDecoder(resp.Body)}, nil
+	return &Stream{
+		pw: pw, resp: resp,
+		enc: json.NewEncoder(pw), dec: json.NewDecoder(resp.Body),
+		c: c, session: id,
+	}, nil
 }
+
+// LastReq returns the request id of the most recent Step attempt — the
+// breadcrumb to print next to a slow request so it can be found again in
+// the merged timeline and the daemon's flight recorder.
+func (s *Stream) LastReq() string { return s.lastRID }
 
 // Step sends one demand sample and waits for the tick's decision. A server
 // error line is returned as an *APIError with the line's code.
 //
 // Deprecated: use StepContext, which can abandon a stuck stream when its
-// context is canceled. This form remains for compatibility.
+// context is canceled and retries 429 backpressure once. This form remains
+// for compatibility.
 func (s *Stream) Step(demand float64) (Decision, error) {
-	if err := s.enc.Encode(StepRequest{Demand: demand}); err != nil {
+	rid, start := s.c.nextReq(), time.Now()
+	s.lastRID = rid
+	d, err := s.stepRaw(demand, rid)
+	if err != nil {
+		s.c.span("step", s.session, rid, start, err.Error())
+		return Decision{}, err
+	}
+	s.c.span("step", s.session, rid, start, "")
+	return d, nil
+}
+
+func (s *Stream) stepRaw(demand float64, rid string) (Decision, error) {
+	if err := s.enc.Encode(StepRequest{Demand: demand, RID: rid}); err != nil {
 		return Decision{}, err
 	}
 	var line StepLine
@@ -182,12 +306,12 @@ func (s *Stream) Step(demand float64) (Decision, error) {
 	return *line.Decision, nil
 }
 
-// StepContext is Step with cancellation. The stream protocol is a blocking
-// lockstep over one connection, so cancellation mid-step tears the stream
-// down (that is the only way to unblock the read) and returns the context's
-// error; the stream is unusable afterwards, but the session survives for a
-// new Stream, Snapshot or Finish.
-func (s *Stream) StepContext(ctx context.Context, demand float64) (Decision, error) {
+// stepOnce is one cancellable lockstep round trip. The stream protocol is a
+// blocking lockstep over one connection, so cancellation mid-step tears the
+// stream down (that is the only way to unblock the read) and returns the
+// context's error; the stream is unusable afterwards, but the session
+// survives for a new Stream, Snapshot or Finish.
+func (s *Stream) stepOnce(ctx context.Context, demand float64) (Decision, error) {
 	if err := ctx.Err(); err != nil {
 		return Decision{}, err
 	}
@@ -201,6 +325,29 @@ func (s *Stream) StepContext(ctx context.Context, demand float64) (Decision, err
 		return Decision{}, cerr
 	}
 	return d, err
+}
+
+// StepContext is Step with cancellation and bounded backpressure retry: a
+// 429 reply (full session mailbox) is retried once after a jittered backoff
+// — counted in dcsprint_client_retries_total — since a single full-mailbox
+// collision under load is transient almost by definition. A second 429 is
+// returned to the caller, whose loop owns the long-term policy.
+func (s *Stream) StepContext(ctx context.Context, demand float64) (Decision, error) {
+	d, err := s.stepOnce(ctx, demand)
+	var apiErr *APIError
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		return d, err
+	}
+	s.c.retryCounter().Inc()
+	backoff := time.Millisecond + time.Duration(rand.Int63n(int64(2*time.Millisecond)))
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return Decision{}, ctx.Err()
+	case <-t.C:
+	}
+	return s.stepOnce(ctx, demand)
 }
 
 // Close ends the stream. The session stays alive for snapshots, further

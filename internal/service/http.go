@@ -11,14 +11,36 @@ import (
 type StepRequest struct {
 	// Demand is the normalized demand for the next tick.
 	Demand float64 `json:"demand"`
+	// RID is the client-stamped request id for this line; the server echoes
+	// it on the matching StepLine and tags its spans, flight events and
+	// latency exemplars with it.
+	RID string `json:"rid,omitempty"`
 }
 
 // StepLine is one NDJSON output line: a Decision on success, otherwise an
 // error with the HTTP status it would have carried as its own response.
 type StepLine struct {
 	*Decision
+	// RID echoes the request id of the StepRequest this line answers.
+	RID  string `json:"rid,omitempty"`
 	Err  string `json:"error,omitempty"`
 	Code int    `json:"code,omitempty"`
+}
+
+// traceFrom extracts the wire trace context from request headers and echoes
+// the trace id back so the client can confirm propagation.
+func traceFrom(w http.ResponseWriter, r *http.Request) TraceContext {
+	tc := TraceContext{
+		Trace: r.Header.Get(HeaderTrace),
+		Req:   r.Header.Get(HeaderReq),
+	}.sanitize()
+	if tc.Trace != "" {
+		w.Header().Set(HeaderTrace, tc.Trace)
+	}
+	if tc.Req != "" {
+		w.Header().Set(HeaderReq, tc.Req)
+	}
+	return tc
 }
 
 // statusOf maps service errors to HTTP statuses.
@@ -73,12 +95,13 @@ func (m *Manager) Handler() http.Handler {
 }
 
 func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	tc := traceFrom(w, r)
 	var spec ScenarioSpec
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&spec); err != nil {
 		writeError(w, err)
 		return
 	}
-	s, err := m.Create(spec)
+	s, err := m.CreateTraced(spec, tc)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -87,12 +110,13 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (m *Manager) handleRestore(w http.ResponseWriter, r *http.Request) {
+	tc := traceFrom(w, r)
 	var doc SnapshotDoc
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&doc); err != nil {
 		writeError(w, err)
 		return
 	}
-	s, err := m.Restore(doc)
+	s, err := m.RestoreTraced(doc, tc)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -109,7 +133,7 @@ func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (m *Manager) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	doc, err := m.Snapshot(r.PathValue("id"))
+	doc, err := m.SnapshotTraced(r.PathValue("id"), traceFrom(w, r))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -118,7 +142,7 @@ func (m *Manager) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (m *Manager) handleFinish(w http.ResponseWriter, r *http.Request) {
-	res, err := m.Finish(r.PathValue("id"))
+	res, err := m.FinishTraced(r.PathValue("id"), traceFrom(w, r))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -133,6 +157,7 @@ func (m *Manager) handleFinish(w http.ResponseWriter, r *http.Request) {
 // session ends it.
 func (m *Manager) handleSteps(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	tc := traceFrom(w, r)
 	if _, err := m.lookup(id); err != nil {
 		writeError(w, err)
 		return
@@ -155,7 +180,9 @@ func (m *Manager) handleSteps(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var line StepLine
-		d, err := m.Step(id, in.Demand)
+		lineTC := TraceContext{Trace: tc.Trace, Req: sanitizeID(in.RID)}
+		d, err := m.StepTraced(id, in.Demand, lineTC)
+		line.RID = lineTC.Req
 		if err != nil {
 			line.Err = err.Error()
 			line.Code = statusOf(err)

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -39,6 +40,18 @@ type Config struct {
 	QueueDepth int
 	// Registry receives the service metrics. Nil creates a private one.
 	Registry *telemetry.Registry
+	// Ops receives server-side wall-clock spans (admission, queue wait,
+	// step, snapshot, eviction, drain) tagged with wire trace context. Nil
+	// disables span recording entirely — the step hot path then does no
+	// extra clock reads.
+	Ops *telemetry.OpLog
+	// Flight receives control-plane incidents (429s, capacity rejections,
+	// idle evictions, restore failures, slow steps) into its per-shard
+	// rings. Nil disables the flight recorder.
+	Flight *telemetry.FlightRecorder
+	// SlowStep is the step-service latency above which a slow-step flight
+	// event is recorded. Zero means 25ms; it is ignored without Flight.
+	SlowStep time.Duration
 }
 
 func (c *Config) fill() {
@@ -54,11 +67,19 @@ func (c *Config) fill() {
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
+	if c.SlowStep == 0 {
+		c.SlowStep = 25 * time.Millisecond
+	}
 }
 
 // nShards fixes the session-map shard count; 16 keeps contention negligible
 // at hundreds of sessions without complicating iteration.
 const nShards = 16
+
+// NumShards exposes the session-map shard count so callers can size a
+// telemetry.FlightRecorder to match: one event ring per shard keeps the
+// recorder's locking as fine-grained as the map it observes.
+const NumShards = nShards
 
 type shard struct {
 	mu sync.Mutex
@@ -111,6 +132,28 @@ func NewManager(cfg Config) *Manager {
 		m.shards[i].m = make(map[string]*session)
 	}
 	reg := cfg.Registry
+	// Per-shard queue-depth gauges refresh on scrape: the mailbox lengths
+	// are only interesting at observation time, and walking 16 shard maps
+	// per scrape is far cheaper than bumping gauges on every enqueue.
+	for i := 0; i < nShards; i++ {
+		reg.GaugeWith("dcsprint_service_queue_depth",
+			"Queued requests across the shard's session mailboxes",
+			telemetry.Labels{"shard": strconv.Itoa(i)})
+	}
+	reg.OnScrape(func() {
+		for i := range m.shards {
+			sh := &m.shards[i]
+			depth := 0
+			sh.mu.Lock()
+			for _, s := range sh.m {
+				depth += len(s.mail)
+			}
+			sh.mu.Unlock()
+			reg.GaugeWith("dcsprint_service_queue_depth",
+				"Queued requests across the shard's session mailboxes",
+				telemetry.Labels{"shard": strconv.Itoa(i)}).Set(float64(depth))
+		}
+	})
 	m.metrics = managerMetrics{
 		active:       reg.Gauge("dcsprint_service_sessions_active", "Live sessions"),
 		created:      reg.Counter("dcsprint_service_sessions_created_total", "Sessions opened"),
@@ -132,12 +175,50 @@ func NewManager(cfg Config) *Manager {
 // Registry returns the registry holding the service metrics.
 func (m *Manager) Registry() *telemetry.Registry { return m.cfg.Registry }
 
-func (m *Manager) shardOf(id string) *shard {
+func (m *Manager) shardIdx(id string) int {
 	var h uint32
 	for i := 0; i < len(id); i++ {
 		h = h*31 + uint32(id[i])
 	}
-	return &m.shards[h%nShards]
+	return int(h % nShards)
+}
+
+func (m *Manager) shardOf(id string) *shard {
+	return &m.shards[m.shardIdx(id)]
+}
+
+// flight records a control-plane incident for the session id (which may be
+// empty for pre-admission failures) when the flight recorder is enabled.
+func (m *Manager) flight(kind, id string, tc TraceContext, detail string) {
+	f := m.cfg.Flight
+	if f == nil {
+		return
+	}
+	shard := -1
+	if id != "" {
+		shard = m.shardIdx(id)
+	}
+	f.Record(shard, telemetry.FlightEvent{
+		Kind: kind, Session: id, Trace: tc.Trace, Req: tc.Req, Detail: detail,
+	})
+}
+
+// opSpan records one server-side wall-clock span when the op log is enabled.
+func (m *Manager) opSpan(name, id string, tc TraceContext, start time.Time, detail string) {
+	ops := m.cfg.Ops
+	if ops == nil {
+		return
+	}
+	ops.Record(telemetry.OpSpan{
+		Trace:   tc.Trace,
+		Req:     tc.Req,
+		Name:    name,
+		Side:    telemetry.SideServer,
+		Session: id,
+		StartUs: start.UnixMicro(),
+		DurUs:   time.Since(start).Microseconds(),
+		Detail:  detail,
+	})
 }
 
 func newSessionID() string {
@@ -197,11 +278,22 @@ func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine) *session {
 
 // Create opens a session from a scenario spec and returns its id.
 func (m *Manager) Create(spec ScenarioSpec) (*Session, error) {
+	return m.CreateTraced(spec, TraceContext{})
+}
+
+// CreateTraced is Create carrying wire trace context: the admission work is
+// recorded as a server span and a capacity rejection as a flight event, both
+// tagged with the caller's ids.
+func (m *Manager) CreateTraced(spec ScenarioSpec, tc TraceContext) (*Session, error) {
+	start := time.Now()
 	sc, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
 	if err := m.reserve(); err != nil {
+		if errors.Is(err, ErrAtCapacity) {
+			m.flight(telemetry.EventCapReject, "", tc, "create")
+		}
 		return nil, err
 	}
 	eng, err := sim.New(sc)
@@ -210,6 +302,7 @@ func (m *Manager) Create(spec ScenarioSpec) (*Session, error) {
 		return nil, err
 	}
 	s := m.install(spec, eng)
+	m.opSpan("admission", s.id, tc, start, "create")
 	return s.public(), nil
 }
 
@@ -217,19 +310,35 @@ func (m *Manager) Create(spec ScenarioSpec) (*Session, error) {
 // Snapshot: the spec rebuilds the plant, the snapshot bytes restore its
 // dynamic state.
 func (m *Manager) Restore(doc SnapshotDoc) (*Session, error) {
+	return m.RestoreTraced(doc, TraceContext{})
+}
+
+// RestoreTraced is Restore carrying wire trace context. Any restore failure
+// — a spec that no longer builds, a corrupt snapshot, the capacity cap — is
+// recorded as a flight event, since restore failures are what soak
+// post-mortems go looking for first.
+func (m *Manager) RestoreTraced(doc SnapshotDoc, tc TraceContext) (*Session, error) {
+	start := time.Now()
 	sc, err := doc.Spec.Build()
 	if err != nil {
+		m.flight(telemetry.EventRestoreFail, "", tc, err.Error())
 		return nil, err
 	}
 	if err := m.reserve(); err != nil {
+		if errors.Is(err, ErrAtCapacity) {
+			m.flight(telemetry.EventCapReject, "", tc, "restore")
+		}
+		m.flight(telemetry.EventRestoreFail, "", tc, err.Error())
 		return nil, err
 	}
 	eng, err := sim.Restore(sc, doc.Snapshot)
 	if err != nil {
 		m.release()
+		m.flight(telemetry.EventRestoreFail, "", tc, err.Error())
 		return nil, err
 	}
 	s := m.install(doc.Spec, eng)
+	m.opSpan("admission", s.id, tc, start, "restore")
 	return s.public(), nil
 }
 
@@ -247,32 +356,51 @@ func (m *Manager) lookup(id string) (*session, error) {
 
 // Step advances a session one tick.
 func (m *Manager) Step(id string, demand float64) (Decision, error) {
+	return m.StepTraced(id, demand, TraceContext{})
+}
+
+// StepTraced is Step carrying wire trace context: the queue wait and engine
+// step are recorded as server spans, the step latency gains the request id
+// as an exemplar, and backpressure/slow steps land in the flight recorder.
+func (m *Manager) StepTraced(id string, demand float64, tc TraceContext) (Decision, error) {
 	s, err := m.lookup(id)
 	if err != nil {
 		return Decision{}, err
 	}
-	return s.step(demand)
+	return s.step(demand, tc)
 }
 
 // Snapshot checkpoints a session into a portable document.
 func (m *Manager) Snapshot(id string) (SnapshotDoc, error) {
+	return m.SnapshotTraced(id, TraceContext{})
+}
+
+// SnapshotTraced is Snapshot carrying wire trace context.
+func (m *Manager) SnapshotTraced(id string, tc TraceContext) (SnapshotDoc, error) {
 	s, err := m.lookup(id)
 	if err != nil {
 		return SnapshotDoc{}, err
 	}
-	return s.snapshot()
+	return s.snapshot(tc)
 }
 
 // Finish seals a session, removes it, and returns its Result.
 func (m *Manager) Finish(id string) (*sim.Result, error) {
+	return m.FinishTraced(id, TraceContext{})
+}
+
+// FinishTraced is Finish carrying wire trace context.
+func (m *Manager) FinishTraced(id string, tc TraceContext) (*sim.Result, error) {
 	s, err := m.lookup(id)
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res, err := s.finish()
 	if err != nil {
 		return nil, err
 	}
+	m.opSpan("finish", id, tc, start, "")
 	m.metrics.finished.Inc()
 	return res, nil
 }
@@ -351,6 +479,9 @@ func (m *Manager) janitor() {
 				for _, s := range idle {
 					if s.close() {
 						m.metrics.evicted.Inc()
+						m.flight(telemetry.EventEvict, s.id, TraceContext{},
+							fmt.Sprintf("idle > %v", m.cfg.IdleTTL))
+						m.opSpan("evict", s.id, TraceContext{}, time.Now(), "idle eviction")
 					}
 				}
 			}
@@ -370,6 +501,7 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
+	drainStart := time.Now()
 	if m.cfg.IdleTTL > 0 {
 		close(m.janitorQ)
 	}
@@ -386,4 +518,5 @@ func (m *Manager) Close() {
 		}
 	}
 	m.wg.Wait()
+	m.opSpan("drain", "", TraceContext{}, drainStart, "manager close")
 }

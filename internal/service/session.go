@@ -1,11 +1,13 @@
 package service
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcsprint/internal/sim"
+	"dcsprint/internal/telemetry"
 )
 
 // Session is the public description of a freshly opened session.
@@ -38,7 +40,12 @@ const (
 type request struct {
 	op     opKind
 	demand float64
-	reply  chan response
+	tc     TraceContext
+	// enq is when the request entered the mailbox; stamped only when the
+	// manager records op spans, so the untraced hot path skips the clock
+	// read.
+	enq   time.Time
+	reply chan response
 }
 
 type response struct {
@@ -78,10 +85,15 @@ func (s *session) progress() (tick, traceLen int) {
 // do submits a request without blocking; a full mailbox is ErrBusy, which
 // the HTTP layer maps to 429.
 func (s *session) do(req request) (response, error) {
+	if s.mgr.cfg.Ops != nil {
+		req.enq = time.Now()
+	}
 	select {
 	case s.mail <- req:
 	default:
 		s.mgr.metrics.backpressure.Inc()
+		s.mgr.flight(telemetry.EventBackpressure, s.id, req.tc,
+			fmt.Sprintf("mailbox full (depth %d)", cap(s.mail)))
 		return response{}, ErrBusy
 	}
 	select {
@@ -99,13 +111,13 @@ func (s *session) do(req request) (response, error) {
 	}
 }
 
-func (s *session) step(demand float64) (Decision, error) {
-	resp, err := s.do(request{op: opStep, demand: demand, reply: make(chan response, 1)})
+func (s *session) step(demand float64, tc TraceContext) (Decision, error) {
+	resp, err := s.do(request{op: opStep, demand: demand, tc: tc, reply: make(chan response, 1)})
 	return resp.dec, err
 }
 
-func (s *session) snapshot() (SnapshotDoc, error) {
-	resp, err := s.do(request{op: opSnapshot, reply: make(chan response, 1)})
+func (s *session) snapshot(tc TraceContext) (SnapshotDoc, error) {
+	resp, err := s.do(request{op: opSnapshot, tc: tc, reply: make(chan response, 1)})
 	return resp.doc, err
 }
 
@@ -166,6 +178,11 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 	switch req.op {
 	case opStep:
 		start := time.Now()
+		if !req.enq.IsZero() {
+			// The queue-wait span covers enqueue to dequeue — the part of a
+			// 429 storm or a stalled stream that is invisible to the client.
+			s.mgr.opSpan("queue-wait", s.id, req.tc, req.enq, "")
+		}
 		if s.traceLen > 0 && eng.Tick() >= s.traceLen {
 			req.reply <- response{err: ErrTraceExhausted}
 			return false
@@ -178,14 +195,30 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 		}
 		s.tick.Store(int64(eng.Tick()))
 		s.mgr.metrics.steps.Inc()
-		s.mgr.metrics.stepLatency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		if req.tc.Req != "" {
+			s.mgr.metrics.stepLatency.ObserveWithExemplar(elapsed.Seconds(), req.tc.Req)
+		} else {
+			s.mgr.metrics.stepLatency.Observe(elapsed.Seconds())
+		}
+		if s.mgr.cfg.Flight != nil && elapsed > s.mgr.cfg.SlowStep {
+			s.mgr.flight(telemetry.EventSlowStep, s.id, req.tc,
+				fmt.Sprintf("tick %d took %v", tick, elapsed))
+		}
+		if !req.enq.IsZero() {
+			s.mgr.opSpan("step", s.id, req.tc, start, fmt.Sprintf("tick %d", tick))
+		}
 		req.reply <- response{dec: decisionOf(tick, dec)}
 		return false
 	case opSnapshot:
+		start := time.Now()
 		snap, err := eng.Snapshot()
 		if err != nil {
 			req.reply <- response{err: err}
 			return false
+		}
+		if !req.enq.IsZero() {
+			s.mgr.opSpan("snapshot", s.id, req.tc, start, fmt.Sprintf("%d bytes", len(snap)))
 		}
 		req.reply <- response{doc: SnapshotDoc{Spec: s.spec, Snapshot: snap}}
 		return false

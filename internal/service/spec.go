@@ -15,6 +15,56 @@ import (
 	"dcsprint/internal/workload"
 )
 
+// Wire headers carrying trace context. The client stamps both on every
+// request; the daemon echoes them back and tags its server-side spans and
+// flight-recorder events with them, so one id joins the client's view of a
+// request with the work it caused.
+const (
+	// HeaderTrace carries the trace id (one per client interaction).
+	HeaderTrace = "X-Dcsprint-Trace"
+	// HeaderReq carries the request id (one per wire request). NDJSON step
+	// lines carry theirs inline as "rid" instead, since one stream multiplexes
+	// many requests.
+	HeaderReq = "X-Dcsprint-Req"
+)
+
+// TraceContext is the wire-propagated identity of one request: which client
+// interaction it belongs to and which request within it this is. The zero
+// value means "untraced" and disables all per-request span recording.
+type TraceContext struct {
+	Trace string
+	Req   string
+}
+
+// maxIDLen bounds client-supplied trace/request ids: long enough for a
+// trace id plus a step ordinal, short enough that a hostile client cannot
+// bloat span logs or exposition lines.
+const maxIDLen = 64
+
+// sanitizeID keeps ids safe to embed in JSONL, exposition exemplars and
+// stderr dumps: only [A-Za-z0-9._-], truncated to maxIDLen; anything else
+// is dropped entirely.
+func sanitizeID(s string) string {
+	if len(s) > maxIDLen {
+		s = s[:maxIDLen]
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// sanitize returns the context with both ids sanitized.
+func (tc TraceContext) sanitize() TraceContext {
+	return TraceContext{Trace: sanitizeID(tc.Trace), Req: sanitizeID(tc.Req)}
+}
+
 // Limits on client-supplied scenarios, so one request cannot make the
 // manager allocate an absurd facility or trace.
 const (

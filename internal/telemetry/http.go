@@ -11,16 +11,30 @@ import (
 	"time"
 )
 
-// exposition serves a registry (and optionally a tracer) over HTTP:
+// exposition serves a registry (and optionally a tracer, flight recorder
+// and op log) over HTTP:
 //
-//	/metrics       Prometheus text exposition
-//	/healthz       JSON liveness (status, uptime, spans/points so far)
-//	/trace.jsonl   the tracer's closed spans and points as JSONL
-//	/debug/pprof/  the standard Go profiler endpoints
+//	/metrics          Prometheus text exposition
+//	/healthz          JSON liveness (status, uptime, spans/points so far)
+//	/trace.jsonl      the tracer's closed spans and points as JSONL
+//	/debug/events     the flight recorder's retained events as JSON
+//	/debug/ops.jsonl  the op log's wall-clock wire spans as JSONL
+//	/debug/pprof/     the standard Go profiler endpoints
 type exposition struct {
 	reg    *Registry
 	tracer *Tracer
+	flight *FlightRecorder
+	ops    *OpLog
 	start  time.Time
+}
+
+// HandlerOpts selects what HandlerWith exposes. Registry is required; every
+// other sink is optional and its route 404s when absent.
+type HandlerOpts struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Flight   *FlightRecorder
+	Ops      *OpLog
 }
 
 // Handler returns an http.Handler exposing the registry's /metrics, a
@@ -28,11 +42,26 @@ type exposition struct {
 // nil) and /debug/pprof/. Daemons embedding their own http.Server mount this
 // next to their API routes; StartServer wraps it for standalone use.
 func Handler(reg *Registry, tracer *Tracer) http.Handler {
-	e := &exposition{reg: reg, tracer: tracer, start: time.Now()}
+	return HandlerWith(HandlerOpts{Registry: reg, Tracer: tracer})
+}
+
+// HandlerWith is Handler plus the distributed-observability sinks: the
+// flight recorder at /debug/events and the server-side op spans at
+// /debug/ops.jsonl.
+func HandlerWith(opts HandlerOpts) http.Handler {
+	e := &exposition{
+		reg:    opts.Registry,
+		tracer: opts.Tracer,
+		flight: opts.Flight,
+		ops:    opts.Ops,
+		start:  time.Now(),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", e.handleMetrics)
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.HandleFunc("/trace.jsonl", e.handleTrace)
+	mux.HandleFunc("/debug/events", e.handleEvents)
+	mux.HandleFunc("/debug/ops.jsonl", e.handleOps)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -121,6 +150,40 @@ func (e *exposition) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	e.reg.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort liveness
+}
+
+// handleEvents serves the flight recorder's retained events as one JSON
+// document, newest last — the post-mortem a soak harness scrapes after a
+// run, and what SIGQUIT dumps to stderr.
+func (e *exposition) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	if e.flight == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	events := e.flight.Events()
+	if events == nil {
+		events = []FlightEvent{}
+	}
+	doc := struct {
+		Total    uint64        `json:"total"`
+		Retained int           `json:"retained"`
+		Events   []FlightEvent `json:"events"`
+	}{Total: e.flight.Total(), Retained: len(events), Events: events}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc) //nolint:errcheck // best-effort debug dump
+}
+
+// handleOps streams the server-side wall-clock op spans as JSONL — one half
+// of the input to `traces -merge`.
+func (e *exposition) handleOps(w http.ResponseWriter, _ *http.Request) {
+	if e.ops == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := e.ops.WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (e *exposition) handleTrace(w http.ResponseWriter, _ *http.Request) {

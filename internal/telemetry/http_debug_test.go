@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerDebugEvents(t *testing.T) {
+	flight := NewFlightRecorder(2, 8)
+	flight.Record(1, FlightEvent{Kind: EventBackpressure, Session: "s-1", Req: "t.4", Detail: "mailbox full"})
+	flight.Record(0, FlightEvent{Kind: EventRestoreFail, Detail: "bad snapshot"})
+	ops := NewOpLog(8)
+	ops.Record(OpSpan{Trace: "t", Req: "t.4", Name: "step", Side: SideServer, StartUs: 1, DurUs: 2})
+
+	srv := httptest.NewServer(HandlerWith(HandlerOpts{
+		Registry: NewRegistry(), Flight: flight, Ops: ops,
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events status = %d", resp.StatusCode)
+	}
+	var doc struct {
+		Total    uint64        `json:"total"`
+		Retained int           `json:"retained"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 2 || doc.Retained != 2 || len(doc.Events) != 2 {
+		t.Fatalf("events doc = %+v", doc)
+	}
+	if doc.Events[0].Kind != EventBackpressure || doc.Events[1].Kind != EventRestoreFail {
+		t.Fatalf("events out of order: %+v", doc.Events)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/ops.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	spans, err := ReadOpJSONL(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Req != "t.4" {
+		t.Fatalf("/debug/ops.jsonl spans = %+v", spans)
+	}
+}
+
+func TestHandlerDebugEventsAbsent(t *testing.T) {
+	srv := httptest.NewServer(HandlerWith(HandlerOpts{Registry: NewRegistry()}))
+	defer srv.Close()
+	for _, path := range []string{"/debug/events", "/debug/ops.jsonl"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without sink: status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

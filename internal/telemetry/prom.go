@@ -15,6 +15,7 @@ import (
 // family, children sorted by label signature, histograms expanded into
 // cumulative _bucket/_sum/_count samples.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.families))
@@ -43,13 +44,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(bw, f.name, labels, "", "", c.Value())
 			case *Histogram:
 				uppers, counts := c.Buckets()
+				exemplars := c.Exemplars()
 				var cum uint64
 				for i, ub := range uppers {
 					cum += counts[i]
-					writeSample(bw, f.name+"_bucket", labels, "le", formatFloat(ub), float64(cum))
+					writeBucket(bw, f.name+"_bucket", labels, formatFloat(ub), float64(cum), exemplars[i])
 				}
 				cum += counts[len(uppers)]
-				writeSample(bw, f.name+"_bucket", labels, "le", "+Inf", float64(cum))
+				writeBucket(bw, f.name+"_bucket", labels, "+Inf", float64(cum), exemplars[len(uppers)])
 				writeSample(bw, f.name+"_sum", labels, "", "", c.Sum())
 				writeSample(bw, f.name+"_count", labels, "", "", float64(c.Count()))
 			}
@@ -58,15 +60,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
+// writeBucket writes one histogram bucket line, appending the bucket's
+// exemplar in the OpenMetrics `# {rid="..."} value` form when one exists.
+// The suffix is ignored by ParsePrometheus and by Prometheus text parsers
+// that take the first value field, so plain scrapes keep working.
+func writeBucket(w io.Writer, name string, labels Labels, upper string, v float64, ex *Exemplar) {
+	if ex == nil {
+		writeSample(w, name, labels, "le", upper, v)
+		return
+	}
+	var b strings.Builder
+	sampleText(&b, name, labels, "le", upper, v)
+	fmt.Fprintf(w, "%s # {rid=%q} %s\n", b.String(), ex.RID, formatFloat(ex.Value))
+}
+
 // writeSample writes one exposition line, merging an extra label (le) into
 // the label set when given.
 func writeSample(w io.Writer, name string, labels Labels, extraKey, extraVal string, v float64) {
+	var b strings.Builder
+	sampleText(&b, name, labels, extraKey, extraVal, v)
+	fmt.Fprintf(w, "%s\n", b.String())
+}
+
+// sampleText renders one `name{labels} value` sample without a newline.
+func sampleText(b *strings.Builder, name string, labels Labels, extraKey, extraVal string, v float64) {
 	keys := make([]string, 0, len(labels)+1)
 	for k := range labels {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var b strings.Builder
 	b.WriteString(name)
 	if len(keys) > 0 || extraKey != "" {
 		b.WriteByte('{')
@@ -75,18 +97,19 @@ func writeSample(w io.Writer, name string, labels Labels, extraKey, extraVal str
 			if !first {
 				b.WriteByte(',')
 			}
-			fmt.Fprintf(&b, "%s=%q", k, labels[k])
+			fmt.Fprintf(b, "%s=%q", k, labels[k])
 			first = false
 		}
 		if extraKey != "" {
 			if !first {
 				b.WriteByte(',')
 			}
-			fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+			fmt.Fprintf(b, "%s=%q", extraKey, extraVal)
 		}
 		b.WriteByte('}')
 	}
-	fmt.Fprintf(w, "%s %s\n", b.String(), formatFloat(v))
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
 }
 
 // formatFloat renders a sample value the way Prometheus clients do.

@@ -80,28 +80,97 @@ func (g *Gauge) Value() float64 { return g.val.Load() }
 // Histogram is a fixed-bucket cumulative histogram. Buckets are upper
 // bounds; an implicit +Inf bucket always exists.
 type Histogram struct {
-	uppers []float64
-	counts []atomic.Uint64 // one per upper, plus +Inf last
-	sum    atomicFloat
-	total  atomic.Uint64
+	uppers    []float64
+	counts    []atomic.Uint64 // one per upper, plus +Inf last
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomicFloat
+	total     atomic.Uint64
+}
+
+// Exemplar links one bucket back to the request that landed there most
+// recently — the breadcrumb that lets a p99 spike in /metrics be joined to a
+// flight-recorder entry or a wire trace by request id.
+type Exemplar struct {
+	// RID is the request id of the observation.
+	RID string
+	// Value is the observed value.
+	Value float64
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, nil) }
+
+// ObserveWithExemplar records one value and remembers rid as the bucket's
+// exemplar (a no-op exemplar-wise when rid is empty).
+func (h *Histogram) ObserveWithExemplar(v float64, rid string) {
+	if rid == "" {
+		h.observe(v, nil)
+		return
+	}
+	h.observe(v, &Exemplar{RID: rid, Value: v})
+}
+
+func (h *Histogram) observe(v float64, ex *Exemplar) {
 	if math.IsNaN(v) {
 		return
 	}
+	bucket := len(h.uppers)
 	for i, ub := range h.uppers {
 		if v <= ub {
-			h.counts[i].Add(1)
-			h.sum.Add(v)
-			h.total.Add(1)
-			return
+			bucket = i
+			break
 		}
 	}
-	h.counts[len(h.uppers)].Add(1)
+	h.counts[bucket].Add(1)
 	h.sum.Add(v)
 	h.total.Add(1)
+	if ex != nil {
+		h.exemplars[bucket].Store(ex)
+	}
+}
+
+// Exemplars returns the per-bucket exemplars (nil entries for buckets that
+// never saw an exemplar-carrying observation); the last entry is the +Inf
+// bucket, matching Buckets.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation inside the target bucket, assuming non-negative
+// observations. Observations in the +Inf bucket are attributed to the
+// highest finite upper bound — the best a fixed-bucket histogram can do.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || len(h.uppers) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, ub := range h.uppers {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.uppers[i-1]
+			}
+			frac := (rank - cum) / n
+			return lower + (ub-lower)*frac
+		}
+		cum += n
+	}
+	return h.uppers[len(h.uppers)-1]
 }
 
 // Sum returns the sum of observed values.
@@ -175,6 +244,31 @@ func (l Labels) signature() string {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus call,
+// before any family is read. Probes whose values are cheapest to compute on
+// demand (runtime stats, queue depths) update their gauges here instead of
+// polling. Hooks must not call WritePrometheus.
+func (r *Registry) OnScrape(fn func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// runScrapeHooks runs the registered hooks outside the family lock, so a
+// hook may freely register or update metrics.
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -300,7 +394,11 @@ func (r *Registry) HistogramWith(name, help string, buckets []float64, l Labels)
 	return f.child(l, func() any {
 		uppers := make([]float64, len(buckets))
 		copy(uppers, buckets)
-		return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+		return &Histogram{
+			uppers:    uppers,
+			counts:    make([]atomic.Uint64, len(uppers)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(uppers)+1),
+		}
 	}).(*Histogram)
 }
 

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeMetrics wires Go runtime health into the registry:
+// goroutine count, heap size and object count, and cumulative GC pause time
+// and cycle counters. The values refresh lazily on every /metrics scrape via
+// an OnScrape hook, so an idle daemon pays nothing between scrapes.
+// Registering twice on the same registry is a no-op for the second call's
+// hook only in effect (the gauges are shared), so call it once per process.
+func RegisterRuntimeMetrics(reg *Registry) {
+	goroutines := reg.Gauge("dcsprint_runtime_goroutines",
+		"Live goroutines.")
+	heapAlloc := reg.Gauge("dcsprint_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects.")
+	heapObjects := reg.Gauge("dcsprint_runtime_heap_objects",
+		"Number of allocated heap objects.")
+	gcPause := reg.Counter("dcsprint_runtime_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.")
+	gcCycles := reg.Counter("dcsprint_runtime_gc_cycles_total",
+		"Completed GC cycles.")
+
+	// Counters only go up; remember the last absolute runtime totals so each
+	// scrape adds only the delta.
+	var (
+		mu        sync.Mutex
+		lastPause uint64
+		lastNumGC uint32
+	)
+	reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		mu.Lock()
+		if ms.PauseTotalNs > lastPause {
+			gcPause.Add(float64(ms.PauseTotalNs-lastPause) / 1e9)
+			lastPause = ms.PauseTotalNs
+		}
+		if ms.NumGC > lastNumGC {
+			gcCycles.Add(float64(ms.NumGC - lastNumGC))
+			lastNumGC = ms.NumGC
+		}
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"dcsprint_runtime_goroutines",
+		"dcsprint_runtime_heap_alloc_bytes",
+		"dcsprint_runtime_heap_objects",
+		"dcsprint_runtime_gc_pause_seconds_total",
+		"dcsprint_runtime_gc_cycles_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	samples, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if byKey["dcsprint_runtime_goroutines"] < 1 {
+		t.Errorf("goroutines = %v, want >= 1", byKey["dcsprint_runtime_goroutines"])
+	}
+	if byKey["dcsprint_runtime_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap_alloc = %v, want > 0", byKey["dcsprint_runtime_heap_alloc_bytes"])
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dcsprint_test_latency_seconds", "latency", []float64{0.1, 1})
+	h.ObserveWithExemplar(0.05, "abc.1")
+	h.ObserveWithExemplar(0.5, "abc.2")
+	h.ObserveWithExemplar(0.06, "abc.3") // replaces abc.1 in the first bucket
+	h.Observe(5)                         // +Inf bucket, no exemplar
+
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("Exemplars len = %d, want buckets+1 = 3", len(ex))
+	}
+	if ex[0] == nil || ex[0].RID != "abc.3" {
+		t.Errorf("bucket 0 exemplar = %+v, want rid abc.3", ex[0])
+	}
+	if ex[1] == nil || ex[1].RID != "abc.2" {
+		t.Errorf("bucket 1 exemplar = %+v, want rid abc.2", ex[1])
+	}
+	if ex[2] != nil {
+		t.Errorf("+Inf exemplar = %+v, want nil", ex[2])
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# {rid="abc.3"} 0.06`) {
+		t.Errorf("exposition missing exemplar suffix:\n%s", out)
+	}
+	// The repo's own parser must still accept exemplar-suffixed lines.
+	if _, err := ParsePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("parse with exemplars: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dcsprint_test_q_seconds", "q", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	// 100 observations uniform in (0,1]: p50 interpolates inside [0,1].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); got < 0.4 || got > 0.6 {
+		t.Errorf("p50 = %v, want ~0.5", got)
+	}
+	if got := h.Quantile(1.0); got != 1 {
+		t.Errorf("p100 = %v, want upper bound 1", got)
+	}
+	h.Observe(100) // lands in +Inf: quantiles there report the highest finite bound
+	if got := h.Quantile(0.999); got != 4 {
+		t.Errorf("+Inf-bucket quantile = %v, want 4", got)
+	}
+	if math.IsNaN(h.Quantile(0.25)) {
+		t.Error("quantile returned NaN")
+	}
+}
+
+// TestConcurrentScrapeAndWrites is the satellite -race coverage: scrapes,
+// metric writes, lazy registrations and scrape hooks all racing.
+func TestConcurrentScrapeAndWrites(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	h := r.Histogram("dcsprint_test_scrape_seconds", "s", []float64{0.001, 0.1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.CounterWith("dcsprint_test_scrape_total", "c", Labels{"w": string(rune('a' + w))}).Inc()
+				h.ObserveWithExemplar(0.01, "rid")
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParsePrometheus(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("scrape %d unparseable: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
