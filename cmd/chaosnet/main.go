@@ -1,0 +1,75 @@
+// Command chaosnet runs the deterministic fault-injecting TCP proxy from
+// internal/chaosnet as a standalone tool: put it between a client and
+// dcsprintd to rehearse drops, resets, latency and partial writes against a
+// live control plane, the same way the chaos-soak CI job does.
+//
+// Examples:
+//
+//	chaosnet -target 127.0.0.1:8080                     # clean pass-through
+//	chaosnet -listen :7070 -target 127.0.0.1:8080 \
+//	         -seed 42 -drop 0.01 -reset 0.005 -chunk 64  # a bad day
+//
+// The seed makes two runs with the same traffic shape inject the same
+// faults. SIGINT/SIGTERM prints the fault counters and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dcsprint/internal/chaosnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chaosnet", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:0", "proxy listen address")
+		target  = fs.String("target", "", "upstream address to forward to (required)")
+		seed    = fs.Int64("seed", 1, "fault PRNG seed; same seed + traffic = same faults")
+		latency = fs.Duration("latency", 0, "max uniform per-chunk delay (0 disables)")
+		drop    = fs.Float64("drop", 0, "per-chunk probability of silently severing the connection")
+		reset   = fs.Float64("reset", 0, "per-chunk probability of an RST-style close")
+		chunk   = fs.Int("chunk", 0, "max bytes forwarded per write, splitting frames (0 forwards whole reads)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+
+	p, err := chaosnet.Start(chaosnet.Config{
+		Listen:     *listen,
+		Target:     *target,
+		Seed:       *seed,
+		LatencyMax: *latency,
+		DropProb:   *drop,
+		ResetProb:  *reset,
+		ChunkMax:   *chunk,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaosnet %s -> %s (seed %d, drop %g, reset %g, latency %v, chunk %d)\n",
+		p.Addr(), *target, *seed, *drop, *reset, *latency, *chunk)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	p.Close() // waits for every forwarding goroutine, so the counters are final
+	st := p.Stats()
+	fmt.Printf("chaosnet: conns=%d rejected=%d drops=%d resets=%d chunks=%d bytes=%d\n",
+		st.Conns, st.Rejected, st.Drops, st.Resets, st.Chunks, st.Bytes)
+	return nil
+}

@@ -7,6 +7,7 @@
 //
 //	dcsprintd
 //	dcsprintd -listen :9090 -max-sessions 512 -idle-ttl 5m
+//	dcsprintd -state-dir /var/lib/dcsprint   # journal sessions, recover on restart
 //	dcsprintd -span-out server-spans.jsonl   # write server spans on exit
 //	curl -s localhost:8080/metrics | grep dcsprint_service
 //	curl -s localhost:8080/debug/events | jq .   # flight recorder
@@ -51,6 +52,8 @@ func run(args []string) error {
 		slowStep    = fs.Duration("slow-step", 25*time.Millisecond, "step latency above which a slow-step flight event is recorded")
 		spanOut     = fs.String("span-out", "", "write server-side spans as JSONL to this file on shutdown (merge with traces -merge)")
 		spanCap     = fs.Int("span-cap", 1<<20, "max server-side spans retained in memory")
+		stateDir    = fs.String("state-dir", "", "journal live sessions here and recover them on restart (empty disables durability)")
+		snapEvery   = fs.Int("snapshot-every", 256, "ticks between journal checkpoints when -state-dir is set")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,14 +76,31 @@ func run(args []string) error {
 	}
 
 	mgr := service.NewManager(service.Config{
-		MaxSessions: *maxSessions,
-		IdleTTL:     *idleTTL,
-		QueueDepth:  *queueDepth,
-		Registry:    reg,
-		Ops:         ops,
-		Flight:      flight,
-		SlowStep:    *slowStep,
+		MaxSessions:   *maxSessions,
+		IdleTTL:       *idleTTL,
+		QueueDepth:    *queueDepth,
+		Registry:      reg,
+		Ops:           ops,
+		Flight:        flight,
+		SlowStep:      *slowStep,
+		StateDir:      *stateDir,
+		SnapshotEvery: *snapEvery,
 	})
+
+	// Recover journaled sessions before the listener opens so a resuming
+	// client never races the replay: by the time a connection is accepted,
+	// every recoverable session is live at its last acked tick. A corrupt
+	// journal is quarantined and reported, not fatal — the healthy sessions
+	// still come back.
+	if *stateDir != "" {
+		recovered, err := mgr.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsprintd: recovery: %v\n", err)
+		}
+		if recovered > 0 || err != nil {
+			fmt.Printf("dcsprintd: recovered %d session(s) from %s\n", recovered, *stateDir)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", mgr.Handler())

@@ -7,13 +7,21 @@
 //	dcsprintload -addr http://127.0.0.1:8080 -sessions 32
 //	dcsprintload -sessions 8 -degree 3.0 -duration 5m -snapshot
 //	dcsprintload -sessions 4 -span-out client-spans.jsonl
+//	dcsprintload -addr http://127.0.0.1:7070 -ctl-addr http://127.0.0.1:8080 -verify
 //
 // Each session runs under its own trace id; every request carries a request
 // id the daemon echoes and tags its own spans with, so the slowest request
 // printed at the end can be looked up in the daemon's flight recorder and in
 // the merged timeline (traces -merge). Busy replies (HTTP 429 backpressure)
-// are retried with a short backoff and counted; any other error fails the
-// run and the exit status.
+// are retried with a short backoff and counted; a broken steps stream is
+// healed with Resume (counted as a reconnect, with any acked-but-unseen
+// ticks counted as replay-skipped); any other error fails the run and the
+// exit status.
+//
+// The last example is the chaos shape: steps flow through a fault-injecting
+// proxy (-addr) while create/finish go straight to the daemon (-ctl-addr),
+// and -verify re-simulates every session locally and requires the daemon's
+// Result to be bit-identical — the end-to-end exactly-once check.
 package main
 
 import (
@@ -22,11 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcsprint/internal/service"
+	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
 )
 
@@ -63,26 +73,33 @@ func (s *slowest) note(d time.Duration, rid, trace string) {
 	s.mu.Unlock()
 }
 
-// worker is one session's life: create, stream every sample, optionally
-// checkpoint+restore halfway, finish. Each worker owns a Client so it gets
-// its own trace id; they share the registry, histogram and span log.
+// worker is one session's life: create, stream every sample, heal stream
+// breaks with Resume, optionally checkpoint+restore halfway, finish. Each
+// worker owns a data-plane Client so it gets its own trace id; unary ops go
+// through ctl, which bypasses any chaos proxy sitting on the step path.
 type worker struct {
-	id    int
-	c     *service.Client
-	hist  *telemetry.Histogram
-	slow  *slowest
-	steps int64
+	id      int
+	c       *service.Client // steps (possibly via a chaos proxy)
+	ctl     *service.Client // create/snapshot/restore/finish
+	hist    *telemetry.Histogram
+	slow    *slowest
+	verify  bool
+	steps   int64
+	heals   int64 // successful Resumes after an unplanned stream break
+	skipped int64 // ticks applied+journaled server-side whose acks we never saw
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dcsprintload", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "http://127.0.0.1:8080", "dcsprintd base URL")
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "dcsprintd base URL for the steps stream")
+		ctlAddr  = fs.String("ctl-addr", "", "base URL for unary ops (create/finish); default -addr — set it to bypass a chaos proxy")
 		sessions = fs.Int("sessions", 8, "concurrent sessions")
 		seed     = fs.Int64("seed", 1, "base trace seed; session i uses seed+i")
 		degree   = fs.Float64("degree", 3.2, "yahoo burst degree")
 		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration (simulated)")
 		snapshot = fs.Bool("snapshot", false, "checkpoint and restore each session halfway through")
+		verify   = fs.Bool("verify", false, "re-simulate each session locally and require a bit-identical Result")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "overall wall-clock budget")
 		spanOut  = fs.String("span-out", "", "write client-side spans as JSONL to this file (merge with traces -merge)")
 	)
@@ -91,6 +108,9 @@ func run(args []string) error {
 	}
 	if *sessions < 1 {
 		return fmt.Errorf("-sessions must be >= 1")
+	}
+	if *ctlAddr == "" {
+		*ctlAddr = *addr
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -104,12 +124,19 @@ func run(args []string) error {
 		ops = telemetry.NewOpLog(0)
 	}
 	slow := &slowest{}
+	// Generous reconnect budget: a daemon restart takes seconds, and giving
+	// up mid-soak turns a survivable blip into a failed run.
+	retry := service.RetryPolicy{MaxAttempts: 40, MaxBackoff: 500 * time.Millisecond,
+		OpTimeout: 5 * time.Second}
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 		steps    atomic.Int64
+		heals    atomic.Int64
+		skipped  atomic.Int64
+		verified atomic.Int64
 	)
 	fail := func(id int, err error) {
 		mu.Lock()
@@ -124,10 +151,15 @@ func run(args []string) error {
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
 		w := &worker{
-			id:   i,
-			c:    &service.Client{Base: *addr, Ops: ops, Registry: reg},
-			hist: hist,
-			slow: slow,
+			id:     i,
+			c:      &service.Client{Base: *addr, Ops: ops, Registry: reg, Retry: retry},
+			hist:   hist,
+			slow:   slow,
+			verify: *verify,
+		}
+		w.ctl = w.c
+		if *ctlAddr != *addr {
+			w.ctl = &service.Client{Base: *ctlAddr, Ops: ops, Registry: reg, Retry: retry}
 		}
 		go func() {
 			defer wg.Done()
@@ -136,6 +168,11 @@ func run(args []string) error {
 				return
 			}
 			steps.Add(w.steps)
+			heals.Add(w.heals)
+			skipped.Add(w.skipped)
+			if w.verify {
+				verified.Add(1)
+			}
 		}()
 	}
 	wg.Wait()
@@ -149,6 +186,11 @@ func run(args []string) error {
 	n := steps.Load()
 	fmt.Printf("sessions: %d, steps: %d, errors: 0, busy retries: %.0f\n",
 		*sessions, n, retries)
+	fmt.Printf("reconnects: %d, replay-skipped ticks: %d\n", heals.Load(), skipped.Load())
+	if *verify {
+		fmt.Printf("verified: %d/%d results bit-identical to local re-simulation\n",
+			verified.Load(), *sessions)
+	}
 	fmt.Printf("wall: %v, throughput: %.0f steps/s\n",
 		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 	fmt.Printf("step latency p50: %v, p99: %v, max: %v\n",
@@ -181,7 +223,6 @@ func writeSpans(path string, ops *telemetry.OpLog) error {
 }
 
 func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration time.Duration, snapshot bool) error {
-	c := w.c
 	spec := service.ScenarioSpec{
 		Name: fmt.Sprintf("load-%d", w.id),
 		Trace: &service.TraceSpec{
@@ -191,56 +232,105 @@ func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration
 			DurationSeconds: duration.Seconds(),
 		},
 	}
-	s, err := c.Create(ctx, spec)
+	s, err := w.ctl.Create(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
 	id := s.ID
 	half := s.TraceLen / 2
-	st, err := c.Stream(ctx, id)
+	snapped := !snapshot
+	st, err := w.c.Resume(ctx, id, -1)
 	if err != nil {
 		return fmt.Errorf("stream: %w", err)
 	}
 	// The load shape does not affect service latency; a constant demand above
 	// capacity keeps the controller in its sprinting phases all run long.
-	for tick := 0; tick < s.TraceLen; tick++ {
-		if snapshot && tick == half {
+	for tick := int(st.Tick()); tick < s.TraceLen; {
+		if !snapped && tick >= half {
+			snapped = true
 			if err := st.Close(); err != nil {
 				return fmt.Errorf("close for snapshot: %w", err)
 			}
-			doc, err := c.Snapshot(ctx, id)
+			doc, err := w.ctl.Snapshot(ctx, id)
 			if err != nil {
 				return fmt.Errorf("snapshot: %w", err)
 			}
-			if _, err := c.Finish(ctx, id); err != nil {
+			if _, err := w.ctl.Finish(ctx, id); err != nil {
 				return fmt.Errorf("finish pre-restore: %w", err)
 			}
-			restored, err := c.Restore(ctx, doc)
+			restored, err := w.ctl.Restore(ctx, doc)
 			if err != nil {
 				return fmt.Errorf("restore: %w", err)
 			}
 			id = restored.ID
-			if st, err = c.Stream(ctx, id); err != nil {
+			if st, err = w.c.Resume(ctx, id, int64(tick)-1); err != nil {
 				return fmt.Errorf("stream restored: %w", err)
 			}
 		}
-		if err := w.step(ctx, st, degree); err != nil {
+		err := w.step(ctx, st, degree)
+		if err == nil {
+			tick++
+			continue
+		}
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) || ctx.Err() != nil {
+			// Server-side errors and cancellation are real failures; only
+			// transport breaks are healed below.
 			return fmt.Errorf("step %d: %w", tick, err)
 		}
+		// The stream died under us — re-attach at the last acked tick. The
+		// server may greet from further ahead: those ticks were applied and
+		// journaled but their acks died on the wire.
+		st.Close() //nolint:errcheck // the conn is already dead
+		lastAcked := st.LastAcked()
+		if st, err = w.c.Resume(ctx, id, lastAcked); err != nil {
+			return fmt.Errorf("resume at tick %d: %w", tick, err)
+		}
+		w.heals++
+		w.skipped += st.Tick() - (lastAcked + 1)
+		tick = int(st.Tick())
 	}
 	if err := st.Close(); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}
-	if _, err := c.Finish(ctx, id); err != nil {
+	got, err := w.ctl.Finish(ctx, id)
+	if err != nil {
 		return fmt.Errorf("finish: %w", err)
+	}
+	if w.verify {
+		// Re-simulate locally with the exact demand sequence the workers
+		// sent (constant degree, not the scenario's own trace) — the server
+		// Result must match bit for bit no matter how many times the stream
+		// broke, the daemon restarted, or ticks were replayed from journal.
+		sc, err := spec.Build()
+		if err != nil {
+			return fmt.Errorf("verify build: %w", err)
+		}
+		eng, err := sim.New(sc)
+		if err != nil {
+			return fmt.Errorf("verify engine: %w", err)
+		}
+		for tick := 0; tick < s.TraceLen; tick++ {
+			if _, err := eng.Step(degree); err != nil {
+				return fmt.Errorf("verify step %d: %w", tick, err)
+			}
+		}
+		want, err := eng.Finish()
+		if err != nil {
+			return fmt.Errorf("verify finish: %w", err)
+		}
+		if !reflect.DeepEqual(got, service.NewResultView(want)) {
+			return fmt.Errorf("verify: server Result differs from local re-simulation")
+		}
 	}
 	return nil
 }
 
-// step times one lockstep round trip. StepContext already retries a first
-// 429 with jittered backoff (counted in dcsprint_client_retries_total); the
-// loop here absorbs sustained backpressure, which the client deliberately
-// leaves to callers.
+// step times one lockstep round trip. StepContext already retries 429s with
+// jittered backoff under the client's policy (counted in
+// dcsprint_client_retries_total); the loop here absorbs backpressure that
+// outlives the whole budget, which the client deliberately leaves to
+// callers. Transport errors return to drive, which owns failover.
 func (w *worker) step(ctx context.Context, st *service.Stream, demand float64) error {
 	for {
 		t0 := time.Now()

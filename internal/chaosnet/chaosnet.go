@@ -1,0 +1,289 @@
+// Package chaosnet is a deterministic, seeded TCP chaos proxy for torturing
+// the control plane's client/daemon wire. It sits between a client and an
+// upstream, forwarding bytes while injecting the failures real networks
+// produce: added latency, severed connections, abrupt RST resets, and partial
+// writes that fragment protocol frames at arbitrary byte boundaries.
+//
+// Every decision is drawn from a per-connection, per-direction PRNG seeded
+// from the proxy seed and the connection ordinal, so a failing test names a
+// seed that replays the same fault decisions. (Exact byte-level timing still
+// depends on the kernel's read coalescing; determinism is of the decision
+// sequence, not of wall-clock interleaving.)
+package chaosnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes the injected chaos. The zero value (plus Target) forwards
+// faithfully with no faults — useful as a transparent baseline.
+type Config struct {
+	// Listen is the proxy's listen address; empty means "127.0.0.1:0".
+	Listen string
+	// Target is the upstream address ("host:port") every accepted connection
+	// is forwarded to.
+	Target string
+	// Seed seeds the fault PRNGs. Two proxies with the same seed and the
+	// same traffic shape make the same decisions.
+	Seed int64
+	// LatencyMax adds a uniform [0, LatencyMax) delay before each forwarded
+	// chunk. Zero disables.
+	LatencyMax time.Duration
+	// DropProb is the per-chunk probability of silently severing the
+	// connection (both directions), as a broken network path would.
+	DropProb float64
+	// ResetProb is the per-chunk probability of an abrupt RST-style close
+	// (SO_LINGER 0), the failure mode of a crashed peer.
+	ResetProb float64
+	// ChunkMax caps the bytes forwarded per write, forcing partial writes
+	// that split protocol frames. Zero forwards reads whole.
+	ChunkMax int
+}
+
+// Stats counts what the proxy did to the traffic.
+type Stats struct {
+	Conns    uint64 // connections accepted
+	Rejected uint64 // connections refused while partitioned
+	Drops    uint64 // connections silently severed
+	Resets   uint64 // connections RST-closed
+	Chunks   uint64 // chunks forwarded
+	Bytes    uint64 // payload bytes forwarded
+}
+
+// Proxy is a running chaos proxy. Close it to stop listening and sever every
+// live connection.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	connSeq     atomic.Uint64
+	partitioned atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	stats struct {
+		conns, rejected, drops, resets, chunks, bytes atomic.Uint64
+	}
+}
+
+// Start listens and begins proxying. The returned proxy is live until Close.
+func Start(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("chaosnet: empty target")
+	}
+	if cfg.DropProb < 0 || cfg.DropProb > 1 || cfg.ResetProb < 0 || cfg.ResetProb > 1 {
+		return nil, fmt.Errorf("chaosnet: probabilities must be in [0,1]")
+	}
+	addr := cfg.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, e.g. to hand to a client.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition simulates a network partition: while on, new connections are
+// refused immediately and every live connection is severed.
+func (p *Proxy) Partition(on bool) {
+	p.partitioned.Store(on)
+	if on {
+		p.closeAll()
+	}
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:    p.stats.conns.Load(),
+		Rejected: p.stats.rejected.Load(),
+		Drops:    p.stats.drops.Load(),
+		Resets:   p.stats.resets.Load(),
+		Chunks:   p.stats.chunks.Load(),
+		Bytes:    p.stats.bytes.Load(),
+	}
+}
+
+// Close stops the listener, severs every connection, and waits for the
+// forwarding goroutines.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.closeAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) closeAll() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.partitioned.Load() {
+			p.stats.rejected.Add(1)
+			down.Close()
+			continue
+		}
+		n := p.connSeq.Add(1)
+		p.stats.conns.Add(1)
+		p.wg.Add(1)
+		go p.serve(down, n)
+	}
+}
+
+// pairCloser severs both halves of a proxied connection exactly once.
+type pairCloser struct {
+	once     sync.Once
+	down, up net.Conn
+	downTCP  *net.TCPConn
+}
+
+func (pc *pairCloser) sever(reset bool) {
+	pc.once.Do(func() {
+		if reset && pc.downTCP != nil {
+			pc.downTCP.SetLinger(0) //nolint:errcheck // best-effort RST
+		}
+		pc.down.Close()
+		pc.up.Close()
+	})
+}
+
+func (p *Proxy) serve(down net.Conn, ordinal uint64) {
+	defer p.wg.Done()
+	up, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		down.Close()
+		return
+	}
+	p.track(down)
+	p.track(up)
+	defer p.untrack(down)
+	defer p.untrack(up)
+
+	pc := &pairCloser{down: down, up: up}
+	if tc, ok := down.(*net.TCPConn); ok {
+		pc.downTCP = tc
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pump(down, up, pc, p.dirRand(ordinal, 0))
+	}()
+	go func() {
+		defer wg.Done()
+		p.pump(up, down, pc, p.dirRand(ordinal, 1))
+	}()
+	wg.Wait()
+	pc.sever(false)
+}
+
+// dirRand returns the fault PRNG for one direction of one connection —
+// deterministic in (Seed, ordinal, dir), independent of goroutine schedule.
+func (p *Proxy) dirRand(ordinal, dir uint64) *rand.Rand {
+	// splitmix64 over the tuple gives well-separated streams from small seeds.
+	x := uint64(p.cfg.Seed)*0x9e3779b97f4a7c15 + ordinal*0xbf58476d1ce4e5b9 + dir + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// pump forwards src→dst in chunks, consulting the PRNG before each chunk for
+// latency, drop, and reset faults.
+func (p *Proxy) pump(src, dst net.Conn, pc *pairCloser, rng *rand.Rand) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !p.forward(dst, buf[:n], pc, rng) {
+				return
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				// Half-close politely so in-flight replies still drain; the
+				// pair is fully severed once both pumps exit.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite() //nolint:errcheck
+					return
+				}
+			}
+			pc.sever(false)
+			return
+		}
+	}
+}
+
+// forward writes one read's worth of bytes, split into chunks, injecting
+// faults per chunk. Returns false once the connection is gone.
+func (p *Proxy) forward(dst net.Conn, b []byte, pc *pairCloser, rng *rand.Rand) bool {
+	chunk := len(b)
+	if p.cfg.ChunkMax > 0 && p.cfg.ChunkMax < chunk {
+		chunk = p.cfg.ChunkMax
+	}
+	for off := 0; off < len(b); off += chunk {
+		end := off + chunk
+		if end > len(b) {
+			end = len(b)
+		}
+		if d := p.cfg.LatencyMax; d > 0 {
+			time.Sleep(time.Duration(rng.Int63n(int64(d))))
+		}
+		if f := rng.Float64(); f < p.cfg.DropProb {
+			p.stats.drops.Add(1)
+			pc.sever(false)
+			return false
+		} else if f < p.cfg.DropProb+p.cfg.ResetProb {
+			p.stats.resets.Add(1)
+			pc.sever(true)
+			return false
+		}
+		if _, err := dst.Write(b[off:end]); err != nil {
+			return false
+		}
+		p.stats.chunks.Add(1)
+		p.stats.bytes.Add(uint64(end - off))
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package chaosnet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c) //nolint:errcheck
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// TestTransparentForwarding checks a chaos-free proxy is byte-faithful in
+// both directions, even when forced to fragment into tiny partial writes.
+func TestTransparentForwarding(t *testing.T) {
+	upstream, stop := echoServer(t)
+	defer stop()
+	p, err := Start(Config{Target: upstream, Seed: 1, ChunkMax: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("the quick brown fox "), 500)
+	go func() {
+		c.Write(payload) //nolint:errcheck
+		c.(*net.TCPConn).CloseWrite()
+	}()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if sha256.Sum256(got) != sha256.Sum256(payload) {
+		t.Fatalf("echoed %d bytes differ from %d sent", len(got), len(payload))
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Drops != 0 || st.Resets != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Chunks < uint64(2*len(payload)/3) {
+		t.Fatalf("chunking not applied: %d chunks for %d bytes each way", st.Chunks, len(payload))
+	}
+}
+
+// TestDropSeversConnection checks a certain-drop proxy kills the connection
+// instead of forwarding.
+func TestDropSeversConnection(t *testing.T) {
+	upstream, stop := echoServer(t)
+	defer stop()
+	p, err := Start(Config{Target: upstream, Seed: 42, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [16]byte
+	if _, err := c.Read(buf[:]); err == nil {
+		t.Fatal("read succeeded through an always-drop proxy")
+	}
+	if st := p.Stats(); st.Drops == 0 {
+		t.Fatalf("no drop counted: %+v", st)
+	}
+}
+
+// TestPartition checks partitions refuse new connections and sever live ones,
+// and that healing the partition restores service.
+func TestPartition(t *testing.T) {
+	upstream, stop := echoServer(t)
+	defer stop()
+	p, err := Start(Config{Target: upstream, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(c1, buf[:]); err != nil {
+		t.Fatalf("pre-partition echo: %v", err)
+	}
+
+	p.Partition(true)
+	c1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c1.Read(buf[:]); err == nil {
+		t.Fatal("severed connection still readable")
+	}
+	// New connections die immediately (accept then close, or dial refused).
+	if c2, err := net.Dial("tcp", p.Addr()); err == nil {
+		c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c2.Read(buf[:]); err == nil {
+			t.Fatal("partitioned proxy served a new connection")
+		}
+		c2.Close()
+	}
+
+	p.Partition(false)
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c3.Close()
+	if _, err := c3.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c3, buf[:]); err != nil {
+		t.Fatalf("post-heal echo: %v", err)
+	}
+}
+
+// TestDeterministicDecisions pins the per-connection fault streams: the same
+// (seed, ordinal, direction) must always yield the same decision sequence,
+// and different ordinals must diverge — that is what makes a chaos failure
+// replayable by seed.
+func TestDeterministicDecisions(t *testing.T) {
+	p1 := &Proxy{cfg: Config{Seed: 99}}
+	p2 := &Proxy{cfg: Config{Seed: 99}}
+	r1, r2 := p1.dirRand(3, 1), p2.dirRand(3, 1)
+	for i := 0; i < 1000; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatalf("decision %d diverged for identical seeds", i)
+		}
+	}
+	other := p1.dirRand(4, 1)
+	same := 0
+	r1 = p1.dirRand(3, 1)
+	for i := 0; i < 1000; i++ {
+		if r1.Float64() == other.Float64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("streams for different ordinals nearly identical (%d/1000 equal)", same)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("Start accepted an empty target")
+	}
+	if _, err := Start(Config{Target: "127.0.0.1:1", DropProb: 1.5}); err == nil {
+		t.Error("Start accepted DropProb > 1")
+	}
+}

@@ -7,13 +7,85 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"dcsprint/internal/telemetry"
 )
+
+// RetryPolicy budgets the client's retries: how many attempts an operation
+// gets, how the backoff between them grows, and how long any single attempt
+// may run. The zero value takes defaults (4 attempts, 2ms base doubling to a
+// 250ms cap, 50% jitter, no per-attempt deadline).
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per operation (first try included).
+	// Zero means 4; 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry. Zero means 2ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the grown backoff. Zero means 250ms.
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff per retry. Zero means 2.
+	Multiplier float64
+	// Jitter spreads each backoff uniformly over ±Jitter/2 of itself, so a
+	// fleet of clients rejected together does not retry together. Zero
+	// means 0.5; negative disables jitter.
+	Jitter float64
+	// OpTimeout bounds one attempt's wall clock. Zero means no per-attempt
+	// deadline (the operation context still applies). A timed-out stream
+	// attempt tears the stream down — resume with Client.Resume.
+	OpTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// backoff computes the delay before retry number `retry` (0-based), growing
+// exponentially and never below the server's own Retry-After hint.
+func (p RetryPolicy) backoff(retry int, hint time.Duration, jitter func(time.Duration) time.Duration) time.Duration {
+	d := time.Duration(float64(p.BaseBackoff) * math.Pow(p.Multiplier, float64(retry)))
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	d = jitter(d)
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// sleepCtx waits for d or the context, whichever first, without leaking the
+// timer on early cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
 
 // Client talks to a dcsprintd control plane. Every request is stamped with
 // the client's trace id and a fresh request id (echoed by the daemon), and
@@ -30,13 +102,36 @@ type Client struct {
 	// Ops receives client-side wall-clock spans (create, step, snapshot,
 	// restore, finish). Nil disables span recording.
 	Ops *telemetry.OpLog
-	// Registry receives client metrics (dcsprint_client_retries_total).
-	// Nil means the process-wide telemetry.Default() registry.
+	// Registry receives client metrics (dcsprint_client_retries_total,
+	// dcsprint_client_reconnects_total). Nil means the process-wide
+	// telemetry.Default() registry.
 	Registry *telemetry.Registry
+	// Retry budgets step retries and Resume reconnect attempts. The zero
+	// value takes the RetryPolicy defaults.
+	Retry RetryPolicy
 
-	mu      sync.Mutex
-	seq     int64
-	retries *telemetry.Counter
+	mu         sync.Mutex
+	seq        int64
+	retries    *telemetry.Counter
+	reconnects *telemetry.Counter
+	rng        *rand.Rand
+}
+
+// jitter spreads d uniformly over [d·(1−j/2), d·(1+j/2)] using the client's
+// own PRNG — the process-global math/rand source would correlate backoffs
+// across clients that share it.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	j := c.Retry.withDefaults().Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	f := 1 + j*(c.rng.Float64()-0.5)
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 func (c *Client) http() *http.Client {
@@ -81,6 +176,22 @@ func (c *Client) retryCounter() *telemetry.Counter {
 	return c.retries
 }
 
+// reconnectCounter returns the stream-reconnects counter, registering it
+// lazily.
+func (c *Client) reconnectCounter() *telemetry.Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reconnects == nil {
+		reg := c.Registry
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		c.reconnects = reg.Counter("dcsprint_client_reconnects_total",
+			"Step streams re-attached by Resume after a broken connection")
+	}
+	return c.reconnects
+}
+
 // span records one client-side op span when Ops is set.
 func (c *Client) span(name, session, rid string, start time.Time, detail string) {
 	if c.Ops == nil {
@@ -102,10 +213,27 @@ func (c *Client) span(name, session, rid string, start time.Time, detail string)
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's suggested backoff (from the Retry-After
+	// header or an NDJSON line's retry_after_ms); zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// retryAfterHeader parses the Retry-After header as decimal seconds — the
+// form this control plane emits (sub-second backoffs matter at step cadence).
+func retryAfterHeader(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs <= 0 || secs > 3600 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // stamp attaches the trace headers for one request.
@@ -139,7 +267,8 @@ func (c *Client) doJSON(req *http.Request, want int, out any) error {
 			Error string `json:"error"`
 		}
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) //nolint:errcheck
-		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error,
+			RetryAfter: retryAfterHeader(resp)}
 	}
 	if out == nil {
 		return nil
@@ -231,11 +360,31 @@ type Stream struct {
 	c       *Client
 	session string
 	lastRID string
+
+	hello     StreamHello
+	seq       int64 // the tick the next Step applies to
+	lastAcked int64 // tick of the last decision read; -1 before the first
 }
 
-// Stream opens the NDJSON steps stream for a session.
+// defaultStreamOpenTimeout bounds the stream open phase (dial, response
+// headers, hello line) when the retry policy sets no OpTimeout. Opening a
+// stream is a handful of small frames; anything this slow is a dead path.
+const defaultStreamOpenTimeout = 30 * time.Second
+
+// Stream opens the NDJSON steps stream for a session and reads the server's
+// hello line, which names the tick the next step will apply to. The open
+// phase is bounded by Retry.OpTimeout (defaultStreamOpenTimeout when unset):
+// if the connection dies before the response headers arrive, the transport
+// waits for its write loop and the write loop waits for request-body data
+// that will never come — only closing the body pipe breaks that cycle.
 func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
 	pr, pw := io.Pipe()
+	openT := c.Retry.withDefaults().OpTimeout
+	if openT <= 0 {
+		openT = defaultStreamOpenTimeout
+	}
+	octx, ocancel := context.WithTimeout(ctx, openT)
+	defer ocancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/sessions/"+id+"/steps", pr)
 	if err != nil {
 		pw.Close()
@@ -245,9 +394,14 @@ func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
 	c.stamp(req, c.nextReq())
 	// The server commits its headers before the first input line, so Do
 	// returns while the request body pipe stays open for streaming.
+	stop := context.AfterFunc(octx, func() { pw.CloseWithError(octx.Err()) })
 	resp, err := c.http().Do(req)
+	stop()
 	if err != nil {
 		pw.Close()
+		if octx.Err() != nil && ctx.Err() == nil {
+			return nil, fmt.Errorf("service: stream open timed out after %v: %w", openT, err)
+		}
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -257,13 +411,99 @@ func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
 			Error string `json:"error"`
 		}
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) //nolint:errcheck
-		return nil, &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		return nil, &APIError{Status: resp.StatusCode, Message: apiErr.Error,
+			RetryAfter: retryAfterHeader(resp)}
 	}
-	return &Stream{
+	s := &Stream{
 		pw: pw, resp: resp,
 		enc: json.NewEncoder(pw), dec: json.NewDecoder(resp.Body),
 		c: c, session: id,
-	}, nil
+	}
+	// Read the hello under the open context: tear the stream down on
+	// cancellation or open timeout, the only way to unblock the body read.
+	stop = context.AfterFunc(octx, func() {
+		pw.CloseWithError(octx.Err())
+		resp.Body.Close()
+	})
+	err = s.dec.Decode(&s.hello)
+	stop()
+	if cerr := ctx.Err(); cerr != nil {
+		err = cerr
+	} else if err != nil && octx.Err() != nil {
+		err = fmt.Errorf("service: stream open timed out after %v: %w", openT, err)
+	}
+	if err == nil && !s.hello.Hello {
+		err = fmt.Errorf("service: steps stream did not start with a hello line")
+	}
+	if err != nil {
+		pw.Close()
+		resp.Body.Close()
+		return nil, err
+	}
+	s.seq = s.hello.Tick
+	s.lastAcked = s.hello.Tick - 1
+	return s, nil
+}
+
+// Tick returns the tick the next Step will apply to.
+func (s *Stream) Tick() int64 { return s.seq }
+
+// LastAcked returns the tick of the last decision this stream has read, or
+// hello.Tick-1 right after attach — the value to pass to Resume if this
+// stream breaks.
+func (s *Stream) LastAcked() int64 { return s.lastAcked }
+
+// Resume re-attaches to a session after a broken steps stream: it reopens
+// the stream under the retry policy (transport errors, 429 and 503 are
+// retried with backoff; 404 is permanent) and verifies the server's hello
+// tick against lastAcked — the daemon journals a tick before acking it, so a
+// server that greets below lastAcked+1 has lost acked state and the resume
+// is refused rather than silently double-running ticks. A hello tick above
+// lastAcked+1 is legitimate: those steps were applied and journaled but
+// their acks were lost in the crash.
+//
+// lastAcked is Stream.LastAcked() from the broken stream (or -1 for a
+// session never stepped). Successful resumes are counted in
+// dcsprint_client_reconnects_total.
+func (c *Client) Resume(ctx context.Context, id string, lastAcked int64) (*Stream, error) {
+	p := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			hint := time.Duration(0)
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				hint = apiErr.RetryAfter
+			}
+			if err := sleepCtx(ctx, p.backoff(attempt-1, hint, c.jitter)); err != nil {
+				return nil, err
+			}
+		}
+		st, err := c.Stream(ctx, id)
+		if err == nil {
+			if st.hello.Tick < lastAcked+1 {
+				st.Close() //nolint:errcheck
+				return nil, fmt.Errorf("service: resume of %s: server at tick %d but tick %d was acked — journaled state lost",
+					id, st.hello.Tick, lastAcked)
+			}
+			st.lastAcked = lastAcked
+			c.reconnectCounter().Inc()
+			return st, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			switch apiErr.Status {
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// Capacity or a restart still draining/recovering: retryable.
+			default:
+				return nil, err
+			}
+		} else if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("service: resume of %s gave up after %d attempts: %w", id, p.MaxAttempts, lastErr)
 }
 
 // LastReq returns the request id of the most recent Step attempt — the
@@ -290,7 +530,8 @@ func (s *Stream) Step(demand float64) (Decision, error) {
 }
 
 func (s *Stream) stepRaw(demand float64, rid string) (Decision, error) {
-	if err := s.enc.Encode(StepRequest{Demand: demand, RID: rid}); err != nil {
+	seq := s.seq
+	if err := s.enc.Encode(StepRequest{Demand: demand, Seq: &seq, RID: rid}); err != nil {
 		return Decision{}, err
 	}
 	var line StepLine
@@ -298,11 +539,14 @@ func (s *Stream) stepRaw(demand float64, rid string) (Decision, error) {
 		return Decision{}, err
 	}
 	if line.Err != "" {
-		return Decision{}, &APIError{Status: line.Code, Message: line.Err}
+		return Decision{}, &APIError{Status: line.Code, Message: line.Err,
+			RetryAfter: time.Duration(line.RetryAfterMs) * time.Millisecond}
 	}
 	if line.Decision == nil {
 		return Decision{}, fmt.Errorf("service: stream line with neither decision nor error")
 	}
+	s.lastAcked = int64(line.Decision.Tick)
+	s.seq = s.lastAcked + 1
 	return *line.Decision, nil
 }
 
@@ -327,27 +571,36 @@ func (s *Stream) stepOnce(ctx context.Context, demand float64) (Decision, error)
 	return d, err
 }
 
-// StepContext is Step with cancellation and bounded backpressure retry: a
-// 429 reply (full session mailbox) is retried once after a jittered backoff
-// — counted in dcsprint_client_retries_total — since a single full-mailbox
-// collision under load is transient almost by definition. A second 429 is
-// returned to the caller, whose loop owns the long-term policy.
+// StepContext is Step with cancellation and budgeted backpressure retry
+// under the client's RetryPolicy: a 429 reply (full session mailbox) is
+// retried with exponential jittered backoff, honoring the server's
+// Retry-After hint, each retry counted in dcsprint_client_retries_total.
+// A 429 on the final attempt is returned to the caller, whose loop owns the
+// long-term policy. Other errors — including transport failures, which kill
+// the stream (Resume re-attaches) — return immediately. OpTimeout, when set,
+// bounds each attempt; a fired deadline also tears the stream down, since
+// abandoning a lockstep read means abandoning the connection.
 func (s *Stream) StepContext(ctx context.Context, demand float64) (Decision, error) {
-	d, err := s.stepOnce(ctx, demand)
-	var apiErr *APIError
-	if err == nil || !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
-		return d, err
+	p := s.c.Retry.withDefaults()
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if p.OpTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.OpTimeout)
+		}
+		d, err := s.stepOnce(actx, demand)
+		if cancel != nil {
+			cancel()
+		}
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests ||
+			attempt+1 >= p.MaxAttempts {
+			return d, err
+		}
+		s.c.retryCounter().Inc()
+		if serr := sleepCtx(ctx, p.backoff(attempt, apiErr.RetryAfter, s.c.jitter)); serr != nil {
+			return Decision{}, serr
+		}
 	}
-	s.c.retryCounter().Inc()
-	backoff := time.Millisecond + time.Duration(rand.Int63n(int64(2*time.Millisecond)))
-	t := time.NewTimer(backoff)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return Decision{}, ctx.Err()
-	case <-t.C:
-	}
-	return s.stepOnce(ctx, demand)
 }
 
 // Close ends the stream. The session stays alive for snapshots, further

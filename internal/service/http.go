@@ -5,12 +5,21 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // StepRequest is one NDJSON input line on the steps stream.
 type StepRequest struct {
 	// Demand is the normalized demand for the next tick.
 	Demand float64 `json:"demand"`
+	// Seq is the step's sequence number — the tick the client expects this
+	// demand to apply to. The server applies it only at that tick, replays
+	// the cached decision when the previous tick is re-sent (a reconnect
+	// that lost the ack), and rejects anything else with 409, which is what
+	// makes reconnects idempotent. Omitted means the legacy unsequenced
+	// protocol.
+	Seq *int64 `json:"seq,omitempty"`
 	// RID is the client-stamped request id for this line; the server echoes
 	// it on the matching StepLine and tags its spans, flight events and
 	// latency exemplars with it.
@@ -25,6 +34,20 @@ type StepLine struct {
 	RID  string `json:"rid,omitempty"`
 	Err  string `json:"error,omitempty"`
 	Code int    `json:"code,omitempty"`
+	// RetryAfterMs is the suggested backoff for retryable error lines —
+	// the stream's inline equivalent of the Retry-After header.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// StreamHello is the first NDJSON line of a steps stream: the session's
+// identity and the tick the next step will apply to, so a resuming client
+// can verify no acked tick was lost and number its steps from the right
+// place. It is a separate type from StepLine because the embedded Decision
+// already claims the "tick" JSON key.
+type StreamHello struct {
+	Hello bool   `json:"hello"`
+	ID    string `json:"id"`
+	Tick  int64  `json:"tick"`
 }
 
 // traceFrom extracts the wire trace context from request headers and echoes
@@ -52,15 +75,36 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrTraceExhausted):
+	case errors.Is(err, ErrTraceExhausted), errors.Is(err, ErrStepSeq):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}
 }
 
+// retryAfterOf suggests a backoff for retryable rejections: a beat for a
+// full mailbox, longer when the whole manager is at capacity or draining.
+// Zero means the error is not retryable.
+func retryAfterOf(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return 5 * time.Millisecond
+	case errors.Is(err, ErrAtCapacity):
+		return 100 * time.Millisecond
+	case errors.Is(err, ErrClosed):
+		return 500 * time.Millisecond
+	default:
+		return 0
+	}
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if ra := retryAfterOf(err); ra > 0 {
+		// Decimal seconds; RFC 9110 wants integers but our own client is the
+		// consumer and sub-second backoffs matter at step cadence.
+		w.Header().Set("Retry-After", strconv.FormatFloat(ra.Seconds(), 'f', -1, 64))
+	}
 	w.WriteHeader(statusOf(err))
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
 }
@@ -80,7 +124,8 @@ const maxBodyBytes = 64 << 20
 //	POST   /v1/sessions              open a session from a ScenarioSpec
 //	GET    /v1/sessions              list live sessions
 //	POST   /v1/sessions/restore      open a session from a SnapshotDoc
-//	POST   /v1/sessions/{id}/steps   NDJSON demand in, NDJSON decisions out
+//	GET    /v1/sessions/{id}         one session's info (tick, idle time)
+//	POST   /v1/sessions/{id}/steps   NDJSON hello, then demand in / decisions out
 //	GET    /v1/sessions/{id}/snapshot  checkpoint to a SnapshotDoc
 //	DELETE /v1/sessions/{id}         finish; returns the ResultView
 func (m *Manager) Handler() http.Handler {
@@ -88,6 +133,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", m.handleList)
 	mux.HandleFunc("POST /v1/sessions/restore", m.handleRestore)
+	mux.HandleFunc("GET /v1/sessions/{id}", m.handleInfo)
 	mux.HandleFunc("POST /v1/sessions/{id}/steps", m.handleSteps)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", m.handleSnapshot)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleFinish)
@@ -132,6 +178,16 @@ func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+func (m *Manager) handleInfo(w http.ResponseWriter, r *http.Request) {
+	traceFrom(w, r)
+	info, err := m.Info(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 func (m *Manager) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	doc, err := m.SnapshotTraced(r.PathValue("id"), traceFrom(w, r))
 	if err != nil {
@@ -158,7 +214,13 @@ func (m *Manager) handleFinish(w http.ResponseWriter, r *http.Request) {
 func (m *Manager) handleSteps(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tc := traceFrom(w, r)
-	if _, err := m.lookup(id); err != nil {
+	s, err := m.lookup(id)
+	if err != nil {
+		// The client streams its request body through a pipe that stays
+		// open until it sees a response; without Connection: close the
+		// server would drain the unread chunked body before committing
+		// the error headers and both sides would deadlock.
+		w.Header().Set("Connection", "close")
 		writeError(w, err)
 		return
 	}
@@ -168,10 +230,19 @@ func (m *Manager) handleSteps(w http.ResponseWriter, r *http.Request) {
 	rc.EnableFullDuplex() //nolint:errcheck // best-effort; lockstep still works
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	rc.Flush() //nolint:errcheck // commit headers before the first line
 
 	dec := json.NewDecoder(r.Body)
 	enc := json.NewEncoder(w)
+	// The greeting tells a resuming client where the session actually is.
+	// Because acks are sent only after the tick is journaled, this tick can
+	// never be behind lastAcked+1 — a client seeing otherwise knows state
+	// was lost and refuses the resume instead of silently skipping ticks.
+	if err := enc.Encode(StreamHello{Hello: true, ID: id, Tick: s.tick.Load()}); err != nil {
+		return
+	}
+	if err := rc.Flush(); err != nil {
+		return
+	}
 	for {
 		var in StepRequest
 		if err := dec.Decode(&in); err != nil {
@@ -181,11 +252,16 @@ func (m *Manager) handleSteps(w http.ResponseWriter, r *http.Request) {
 		}
 		var line StepLine
 		lineTC := TraceContext{Trace: tc.Trace, Req: sanitizeID(in.RID)}
-		d, err := m.StepTraced(id, in.Demand, lineTC)
+		seq := int64(-1)
+		if in.Seq != nil {
+			seq = *in.Seq
+		}
+		d, err := m.StepSeqTraced(id, seq, in.Demand, lineTC)
 		line.RID = lineTC.Req
 		if err != nil {
 			line.Err = err.Error()
 			line.Code = statusOf(err)
+			line.RetryAfterMs = retryAfterOf(err).Milliseconds()
 		} else {
 			line.Decision = &d
 		}

@@ -3,12 +3,14 @@ package service
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 	"time"
 
+	"dcsprint/internal/durability"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
 )
@@ -27,6 +29,10 @@ var (
 	// ErrTraceExhausted reports a step past the end of a trace-bound
 	// session's demand trace.
 	ErrTraceExhausted = errors.New("service: trace exhausted; finish the session")
+	// ErrStepSeq reports a step whose sequence number is neither the next
+	// tick nor the just-applied one — the client skipped or rewound, and
+	// applying the demand would desynchronize the replicated tick order.
+	ErrStepSeq = errors.New("service: step sequence out of order")
 )
 
 // Config sizes a Manager. Zero values take defaults.
@@ -52,6 +58,16 @@ type Config struct {
 	// SlowStep is the step-service latency above which a slow-step flight
 	// event is recorded. Zero means 25ms; it is ignored without Flight.
 	SlowStep time.Duration
+	// StateDir enables crash durability: each session keeps a write-ahead
+	// journal (snapshot + applied-tick log) under this directory, and
+	// Recover rebuilds the population from it after an unclean death.
+	// Empty disables journaling entirely — the in-memory hot path is
+	// untouched.
+	StateDir string
+	// SnapshotEvery is how many journaled steps accumulate before the
+	// session rewrites its snapshot and truncates the tick log. Zero means
+	// 256. Ignored without StateDir.
+	SnapshotEvery int
 }
 
 func (c *Config) fill() {
@@ -69,6 +85,9 @@ func (c *Config) fill() {
 	}
 	if c.SlowStep == 0 {
 		c.SlowStep = 25 * time.Millisecond
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
 	}
 }
 
@@ -104,14 +123,18 @@ type Manager struct {
 }
 
 type managerMetrics struct {
-	active       *telemetry.Gauge
-	created      *telemetry.Counter
-	finished     *telemetry.Counter
-	evicted      *telemetry.Counter
-	rejected     *telemetry.Counter
-	backpressure *telemetry.Counter
-	steps        *telemetry.Counter
-	stepLatency  *telemetry.Histogram
+	active        *telemetry.Gauge
+	created       *telemetry.Counter
+	finished      *telemetry.Counter
+	evicted       *telemetry.Counter
+	rejected      *telemetry.Counter
+	backpressure  *telemetry.Counter
+	steps         *telemetry.Counter
+	stepLatency   *telemetry.Histogram
+	recovered     *telemetry.Counter
+	recoveryFails *telemetry.Counter
+	replayedSteps *telemetry.Counter
+	journalErrors *telemetry.Counter
 }
 
 // stepLatencyBuckets spans 1µs..5s; engine steps land in the tens of
@@ -164,6 +187,14 @@ func NewManager(cfg Config) *Manager {
 		steps:        reg.Counter("dcsprint_service_steps_total", "Engine steps served"),
 		stepLatency: reg.Histogram("dcsprint_service_step_latency_seconds",
 			"Engine step service latency", stepLatencyBuckets()),
+		recovered: reg.Counter("dcsprint_service_sessions_recovered_total",
+			"Sessions rebuilt from their journals at startup"),
+		recoveryFails: reg.Counter("dcsprint_service_recovery_failures_total",
+			"Journals that could not be recovered (quarantined or rejected)"),
+		replayedSteps: reg.Counter("dcsprint_service_journal_replayed_steps_total",
+			"Journaled ticks replayed through recovered engines"),
+		journalErrors: reg.Counter("dcsprint_service_journal_errors_total",
+			"Journal write failures (session degraded to in-memory)"),
 	}
 	if cfg.IdleTTL > 0 {
 		m.wg.Add(1)
@@ -250,20 +281,40 @@ func (m *Manager) release() {
 	m.mu.Unlock()
 }
 
+// installOpts carries the optional pieces of a session install: recovery
+// reuses the journaled id and seeds the idempotency cache; journaled creates
+// attach the write-ahead journal.
+type installOpts struct {
+	id       string // empty generates a fresh id
+	jn       *durability.Journal
+	specJSON []byte
+	lastDec  Decision
+	haveLast bool
+}
+
 // install registers a freshly built engine as a live session.
-func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine) *session {
+func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine, opts installOpts) *session {
+	id := opts.id
+	if id == "" {
+		id = newSessionID()
+	}
 	s := &session{
-		id:       newSessionID(),
+		id:       id,
 		spec:     spec,
 		mgr:      m,
 		mail:     make(chan request, m.cfg.QueueDepth),
 		closing:  make(chan struct{}),
 		done:     make(chan struct{}),
 		interval: eng.Interval(),
+		jn:       opts.jn,
+		specJSON: opts.specJSON,
+		lastDec:  opts.lastDec,
+		haveLast: opts.haveLast,
 	}
 	if tr := eng.Scenario().Trace; tr != nil {
 		s.traceLen = tr.Len()
 	}
+	s.tick.Store(int64(eng.Tick()))
 	s.touch()
 	sh := m.shardOf(s.id)
 	sh.mu.Lock()
@@ -274,6 +325,34 @@ func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine) *session {
 	m.wg.Add(1)
 	go s.run(eng)
 	return s
+}
+
+// openJournal attaches a write-ahead journal to a new session and writes its
+// first checkpoint. Journal failures degrade the session to in-memory — a
+// full disk should not take the control plane down with it — but are counted
+// and land in the flight recorder.
+func (m *Manager) openJournal(id string, spec ScenarioSpec, eng *sim.Engine, tc TraceContext) (*durability.Journal, []byte) {
+	if m.cfg.StateDir == "" {
+		return nil, nil
+	}
+	specJSON, err := json.Marshal(spec)
+	if err == nil {
+		var jn *durability.Journal
+		jn, err = durability.Open(m.cfg.StateDir, id)
+		if err == nil {
+			var snap []byte
+			snap, err = eng.Snapshot()
+			if err == nil {
+				if err = jn.WriteSnapshot(specJSON, snap, uint64(eng.Tick())); err == nil {
+					return jn, specJSON
+				}
+			}
+			jn.Remove() //nolint:errcheck // best-effort cleanup of the half-open journal
+		}
+	}
+	m.metrics.journalErrors.Inc()
+	m.flight(telemetry.EventJournalFail, id, tc, err.Error())
+	return nil, nil
 }
 
 // Create opens a session from a scenario spec and returns its id.
@@ -301,7 +380,9 @@ func (m *Manager) CreateTraced(spec ScenarioSpec, tc TraceContext) (*Session, er
 		m.release()
 		return nil, err
 	}
-	s := m.install(spec, eng)
+	id := newSessionID()
+	jn, specJSON := m.openJournal(id, spec, eng, tc)
+	s := m.install(spec, eng, installOpts{id: id, jn: jn, specJSON: specJSON})
 	m.opSpan("admission", s.id, tc, start, "create")
 	return s.public(), nil
 }
@@ -337,9 +418,108 @@ func (m *Manager) RestoreTraced(doc SnapshotDoc, tc TraceContext) (*Session, err
 		m.flight(telemetry.EventRestoreFail, "", tc, err.Error())
 		return nil, err
 	}
-	s := m.install(doc.Spec, eng)
+	id := newSessionID()
+	jn, specJSON := m.openJournal(id, doc.Spec, eng, tc)
+	s := m.install(doc.Spec, eng, installOpts{id: id, jn: jn, specJSON: specJSON})
 	m.opSpan("admission", s.id, tc, start, "restore")
 	return s.public(), nil
+}
+
+// Recover rebuilds the session population from the journals under StateDir:
+// each snapshot restores its engine, the tick log replays through it, and the
+// session comes back under its original id — bit-identical to an
+// uninterrupted run, torn tail records already truncated by the journal
+// loader. Corrupt journals are quarantined; capacity and shutdown errors
+// leave the journal in place for a later attempt. Returns how many sessions
+// came back.
+func (m *Manager) Recover() (int, error) {
+	if m.cfg.StateDir == "" {
+		return 0, nil
+	}
+	ids, err := durability.List(m.cfg.StateDir)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		n    int
+		errs []error
+	)
+	for _, id := range ids {
+		if _, err := m.lookup(id); err == nil {
+			continue // already live (double Recover, or raced an install)
+		}
+		if err := m.recoverOne(id); err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", id, err))
+		} else {
+			n++
+		}
+	}
+	return n, errors.Join(errs...)
+}
+
+// recoverOne replays a single journal into a live session.
+func (m *Manager) recoverOne(id string) error {
+	st, err := durability.Load(m.cfg.StateDir, id)
+	if err != nil {
+		return m.recoveryDataError(id, err)
+	}
+	var spec ScenarioSpec
+	if err := json.Unmarshal(st.Spec, &spec); err != nil {
+		return m.recoveryDataError(id, err)
+	}
+	sc, err := spec.Build()
+	if err != nil {
+		return m.recoveryDataError(id, err)
+	}
+	eng, err := sim.Restore(sc, st.Snapshot)
+	if err != nil {
+		return m.recoveryDataError(id, err)
+	}
+	if got := uint64(eng.Tick()); got != st.Tick {
+		return m.recoveryDataError(id, fmt.Errorf("snapshot tick %d, checkpoint header says %d", got, st.Tick))
+	}
+	var (
+		lastDec  Decision
+		haveLast bool
+	)
+	for _, rec := range st.Steps {
+		tick := eng.Tick()
+		if rec.Seq != uint64(tick) {
+			return m.recoveryDataError(id, fmt.Errorf("journal seq %d at engine tick %d", rec.Seq, tick))
+		}
+		dec, err := eng.Step(rec.Demand)
+		if err != nil {
+			return m.recoveryDataError(id, fmt.Errorf("replaying tick %d: %w", tick, err))
+		}
+		lastDec, haveLast = decisionOf(tick, dec), true
+		m.metrics.replayedSteps.Inc()
+	}
+	if err := m.reserve(); err != nil {
+		// Capacity or shutdown: the journal is fine, keep it for next time.
+		m.metrics.recoveryFails.Inc()
+		m.flight(telemetry.EventRestoreFail, id, TraceContext{}, err.Error())
+		return err
+	}
+	// Re-checkpoint at the replayed tick so the next crash replays only new
+	// ticks, and so a torn tail already truncated by Load is not re-read.
+	jn, specJSON := m.openJournal(id, spec, eng, TraceContext{})
+	m.install(spec, eng, installOpts{
+		id: id, jn: jn, specJSON: specJSON, lastDec: lastDec, haveLast: haveLast,
+	})
+	m.metrics.recovered.Inc()
+	m.flight(telemetry.EventRestore, id, TraceContext{},
+		fmt.Sprintf("tick %d, %d replayed", eng.Tick(), len(st.Steps)))
+	return nil
+}
+
+// recoveryDataError quarantines an unrecoverable journal and records why.
+func (m *Manager) recoveryDataError(id string, err error) error {
+	m.metrics.recoveryFails.Inc()
+	m.flight(telemetry.EventRestoreFail, id, TraceContext{}, err.Error())
+	if qerr := durability.Quarantine(m.cfg.StateDir, id); qerr != nil {
+		return errors.Join(err, qerr)
+	}
+	return err
 }
 
 // lookup finds a live session.
@@ -363,11 +543,35 @@ func (m *Manager) Step(id string, demand float64) (Decision, error) {
 // step are recorded as server spans, the step latency gains the request id
 // as an exemplar, and backpressure/slow steps land in the flight recorder.
 func (m *Manager) StepTraced(id string, demand float64, tc TraceContext) (Decision, error) {
+	return m.StepSeqTraced(id, -1, demand, tc)
+}
+
+// StepSeqTraced is StepTraced with an idempotency sequence number: seq must
+// equal the session's next tick to apply, seq of the just-applied tick
+// returns its cached decision without re-stepping (the reconnect-after-lost-
+// ack case), and anything else is ErrStepSeq. seq < 0 skips the check — the
+// legacy unsequenced protocol.
+func (m *Manager) StepSeqTraced(id string, seq int64, demand float64, tc TraceContext) (Decision, error) {
 	s, err := m.lookup(id)
 	if err != nil {
 		return Decision{}, err
 	}
-	return s.step(demand, tc)
+	return s.step(seq, demand, tc)
+}
+
+// Info summarizes one live session, or ErrNotFound.
+func (m *Manager) Info(id string) (SessionInfo, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	info := SessionInfo{
+		ID:    s.id,
+		Name:  s.spec.Name,
+		IdleS: time.Duration(time.Now().UnixNano() - s.last.Load()).Seconds(),
+	}
+	info.Tick, info.TraceLen = s.progress()
+	return info, nil
 }
 
 // Snapshot checkpoints a session into a portable document.
@@ -477,6 +681,10 @@ func (m *Manager) janitor() {
 				}
 				sh.mu.Unlock()
 				for _, s := range idle {
+					// Eviction forgets the session on purpose; its journal
+					// goes too, or the state dir would accrete dead sessions
+					// that resurrect on every restart.
+					s.dropJournal.Store(true)
 					if s.close() {
 						m.metrics.evicted.Inc()
 						m.flight(telemetry.EventEvict, s.id, TraceContext{},

@@ -247,7 +247,7 @@ func TestBackpressure(t *testing.T) {
 	// hand so no consumer drains the queue out from under the test.
 	s := &session{id: "full", mgr: m, mail: make(chan request, 1), done: make(chan struct{})}
 	s.mail <- request{op: opStep}
-	if _, err := s.step(1.0, TraceContext{}); !errors.Is(err, ErrBusy) {
+	if _, err := s.step(-1, 1.0, TraceContext{}); !errors.Is(err, ErrBusy) {
 		t.Fatalf("step into full mailbox: err = %v, want ErrBusy", err)
 	}
 	if m.metrics.backpressure.Value() == 0 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcsprint/internal/durability"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
 )
@@ -40,7 +41,10 @@ const (
 type request struct {
 	op     opKind
 	demand float64
-	tc     TraceContext
+	// seq is the client's step sequence number (the tick it expects to
+	// apply); -1 means unsequenced legacy protocol.
+	seq int64
+	tc  TraceContext
 	// enq is when the request entered the mailbox; stamped only when the
 	// manager records op spans, so the untraced hot path skips the clock
 	// read.
@@ -70,6 +74,15 @@ type session struct {
 	traceLen int
 	tick     atomic.Int64
 	last     atomic.Int64 // unix nanos of last activity
+
+	// Durability state, owned by the session goroutine (except dropJournal,
+	// which the janitor sets before close). jn == nil means in-memory only.
+	jn          *durability.Journal
+	specJSON    []byte
+	sinceSnap   int
+	lastDec     Decision // decision of the most recently applied tick
+	haveLast    bool
+	dropJournal atomic.Bool
 }
 
 func (s *session) touch() { s.last.Store(time.Now().UnixNano()) }
@@ -111,8 +124,8 @@ func (s *session) do(req request) (response, error) {
 	}
 }
 
-func (s *session) step(demand float64, tc TraceContext) (Decision, error) {
-	resp, err := s.do(request{op: opStep, demand: demand, tc: tc, reply: make(chan response, 1)})
+func (s *session) step(seq int64, demand float64, tc TraceContext) (Decision, error) {
+	resp, err := s.do(request{op: opStep, seq: seq, demand: demand, tc: tc, reply: make(chan response, 1)})
 	return resp.dec, err
 }
 
@@ -155,10 +168,55 @@ func (s *session) run(eng *sim.Engine) {
 	}
 }
 
-// shutdown removes the session and fails everything still queued.
+// shutdown removes the session and fails everything still queued. The
+// journal survives unless the janitor marked the session for eviction — a
+// draining manager keeps journals so Recover can resurrect the population.
 func (s *session) shutdown() {
+	s.closeJournal()
 	s.mgr.drop(s)
 	s.drain(ErrClosed)
+}
+
+// closeJournal detaches the journal: removed when the session is gone for
+// good (finished or evicted), closed but kept on disk otherwise.
+func (s *session) closeJournal() {
+	if s.jn == nil {
+		return
+	}
+	if s.dropJournal.Load() {
+		s.jn.Remove() //nolint:errcheck // best-effort; List skips nothing fatal
+	} else {
+		s.jn.Close() //nolint:errcheck
+	}
+	s.jn = nil
+}
+
+// journalStep appends one applied tick, re-checkpointing every SnapshotEvery
+// appends. A write failure degrades the session to in-memory: counted,
+// flight-recorded, journal removed so a later Recover does not resurrect a
+// stale prefix.
+func (s *session) journalStep(eng *sim.Engine, tick int, demand float64) {
+	if s.jn == nil {
+		return
+	}
+	err := s.jn.Append(uint64(tick), demand)
+	if err == nil {
+		s.sinceSnap++
+		if s.sinceSnap < s.mgr.cfg.SnapshotEvery {
+			return
+		}
+		var snap []byte
+		if snap, err = eng.Snapshot(); err == nil {
+			if err = s.jn.WriteSnapshot(s.specJSON, snap, uint64(eng.Tick())); err == nil {
+				s.sinceSnap = 0
+				return
+			}
+		}
+	}
+	s.mgr.metrics.journalErrors.Inc()
+	s.mgr.flight(telemetry.EventJournalFail, s.id, TraceContext{}, err.Error())
+	s.jn.Remove() //nolint:errcheck
+	s.jn = nil
 }
 
 func (s *session) drain(err error) {
@@ -183,6 +241,21 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 			// 429 storm or a stalled stream that is invisible to the client.
 			s.mgr.opSpan("queue-wait", s.id, req.tc, req.enq, "")
 		}
+		if req.seq >= 0 {
+			// Idempotent application: the expected seq applies, the
+			// just-applied seq gets its cached decision again (a reconnect
+			// that lost the ack), anything else desynchronized.
+			cur := int64(eng.Tick())
+			switch {
+			case req.seq == cur:
+			case req.seq == cur-1 && s.haveLast:
+				req.reply <- response{dec: s.lastDec}
+				return false
+			default:
+				req.reply <- response{err: fmt.Errorf("%w: seq %d, next tick %d", ErrStepSeq, req.seq, cur)}
+				return false
+			}
+		}
 		if s.traceLen > 0 && eng.Tick() >= s.traceLen {
 			req.reply <- response{err: ErrTraceExhausted}
 			return false
@@ -193,6 +266,9 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 			req.reply <- response{err: err}
 			return false
 		}
+		// Journal before replying: once the client sees the ack, the tick is
+		// recoverable, so a resumed stream never starts before lastAcked+1.
+		s.journalStep(eng, tick, req.demand)
 		s.tick.Store(int64(eng.Tick()))
 		s.mgr.metrics.steps.Inc()
 		elapsed := time.Since(start)
@@ -208,7 +284,8 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 		if !req.enq.IsZero() {
 			s.mgr.opSpan("step", s.id, req.tc, start, fmt.Sprintf("tick %d", tick))
 		}
-		req.reply <- response{dec: decisionOf(tick, dec)}
+		s.lastDec, s.haveLast = decisionOf(tick, dec), true
+		req.reply <- response{dec: s.lastDec}
 		return false
 	case opSnapshot:
 		start := time.Now()
@@ -224,6 +301,9 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 		return false
 	case opFinish:
 		res, err := eng.Finish()
+		// Finished either way — the journal has nothing left to recover.
+		s.dropJournal.Store(true)
+		s.closeJournal()
 		if err != nil {
 			req.reply <- response{err: err}
 			// The engine is sealed after a Finish error only when it was

@@ -195,9 +195,10 @@ func TestStepContextRetriesBackpressure(t *testing.T) {
 		rc := http.NewResponseController(w)
 		rc.EnableFullDuplex() //nolint:errcheck
 		w.WriteHeader(http.StatusOK)
-		rc.Flush() //nolint:errcheck
 		dec := json.NewDecoder(r.Body)
 		enc := json.NewEncoder(w)
+		enc.Encode(StreamHello{Hello: true, ID: r.PathValue("id")}) //nolint:errcheck
+		rc.Flush()                                                  //nolint:errcheck
 		for {
 			var in StepRequest
 			if err := dec.Decode(&in); err != nil {
@@ -224,7 +225,9 @@ func TestStepContextRetriesBackpressure(t *testing.T) {
 	defer srv.Close()
 
 	reg := telemetry.NewRegistry()
-	c := &Client{Base: srv.URL, Registry: reg}
+	// Two attempts pins the historical semantics: one transparent retry,
+	// then the 429 surfaces.
+	c := &Client{Base: srv.URL, Registry: reg, Retry: RetryPolicy{MaxAttempts: 2}}
 	ctx := context.Background()
 	st, err := c.Stream(ctx, "fake")
 	if err != nil {
@@ -273,7 +276,7 @@ func TestFlightEventsRecorded(t *testing.T) {
 	// Backpressure against a hand-built full mailbox, as TestBackpressure does.
 	fake := &session{id: "full", mgr: m, mail: make(chan request, 1), done: make(chan struct{})}
 	fake.mail <- request{op: opStep}
-	if _, err := fake.step(1.0, TraceContext{Trace: "tr1", Req: "tr1.9"}); !errors.Is(err, ErrBusy) {
+	if _, err := fake.step(-1, 1.0, TraceContext{Trace: "tr1", Req: "tr1.9"}); !errors.Is(err, ErrBusy) {
 		t.Fatalf("full mailbox: %v", err)
 	}
 	if _, err := m.Finish(s.ID); err != nil {

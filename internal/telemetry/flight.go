@@ -38,7 +38,9 @@ const (
 	EventBackpressure = "429"          // full session mailbox
 	EventCapReject    = "cap-reject"   // session cap reached
 	EventEvict        = "evict"        // idle session evicted
+	EventRestore      = "restore"      // session recovered from its journal
 	EventRestoreFail  = "restore-fail" // snapshot restore failed
+	EventJournalFail  = "journal-fail" // journal write failed; session degraded to in-memory
 	EventSlowStep     = "slow-step"    // step over the slow threshold
 	EventShardDone    = "shard-done"   // campaign shard completed
 	EventItemError    = "item-error"   // campaign item returned an error
