@@ -14,6 +14,7 @@
 //	dcsprint -trace ms -events -events-format json
 //	dcsprint -trace yahoo -snapshot-out run.snap -snapshot-at 5m
 //	dcsprint -trace yahoo -resume run.snap
+//	dcsprint -trace yahoo -series-out plant.jsonl   # tiered plant time series
 //
 // A run that ends with the facility down (breaker trip or room overheat)
 // prints a one-line FAULT: summary to stderr and exits non-zero.
@@ -27,6 +28,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"dcsprint/internal/tsdb"
 
 	"dcsprint"
 )
@@ -65,6 +68,7 @@ func run(args []string) error {
 		resume    = fs.String("resume", "", "resume from this snapshot file (run with the same scenario flags that produced it)")
 		snapOut   = fs.String("snapshot-out", "", "checkpoint the run to this file at -snapshot-at, then keep running")
 		snapAt    = fs.Duration("snapshot-at", 0, "with -snapshot-out: trace time of the checkpoint (0 = halfway)")
+		seriesOut = fs.String("series-out", "", "write the per-tick plant time series (tiered min/max/sum/count JSONL) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,8 +165,8 @@ func run(args []string) error {
 	var res *dcsprint.Result
 	var err error
 	switch {
-	case *resume != "" || *snapOut != "":
-		res, err = runEngine(sc, inst, *resume, *snapOut, *snapAt)
+	case *resume != "" || *snapOut != "" || *seriesOut != "":
+		res, err = runEngine(sc, inst, *resume, *snapOut, *seriesOut, *snapAt)
 	case inst != nil:
 		res, err = dcsprint.RunObserved(sc, inst)
 	default:
@@ -205,9 +209,10 @@ func run(args []string) error {
 }
 
 // runEngine drives the scenario tick-at-a-time so the run can be restored
-// from a snapshot file, checkpointed to one mid-trace, or both. The Result
-// is bit-for-bit identical to the batch path.
-func runEngine(sc dcsprint.Scenario, inst *dcsprint.Instrument, resume, snapOut string, snapAt time.Duration) (*dcsprint.Result, error) {
+// from a snapshot file, checkpointed to one mid-trace, or dump the plant
+// time series — in any combination. The Result is bit-for-bit identical to
+// the batch path.
+func runEngine(sc dcsprint.Scenario, inst *dcsprint.Instrument, resume, snapOut, seriesOut string, snapAt time.Duration) (*dcsprint.Result, error) {
 	var eng *dcsprint.Engine
 	var err error
 	if resume != "" {
@@ -235,6 +240,13 @@ func runEngine(sc dcsprint.Scenario, inst *dcsprint.Instrument, resume, snapOut 
 		}
 	}
 	tr := eng.Scenario().Trace
+	// Offline runs size the raw ring to the whole trace so nothing ever
+	// downsamples away; timestamps are simulation time, not wall clock.
+	var store *tsdb.Store
+	if seriesOut != "" {
+		store = tsdb.New(tsdb.Options{RawCap: tr.Len() + 1})
+		eng.AttachPlantRecorder(tsdb.NewOfflineRecorder(store))
+	}
 	snapTick := -1
 	if snapOut != "" {
 		if snapAt <= 0 {
@@ -260,7 +272,17 @@ func runEngine(sc dcsprint.Scenario, inst *dcsprint.Instrument, resume, snapOut 
 			return nil, err
 		}
 	}
-	return eng.Finish()
+	res, err := eng.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if seriesOut != "" {
+		if err := writeFile(seriesOut, store.WriteJSONL); err != nil {
+			return nil, err
+		}
+		fmt.Printf("plant series written to %s (%d series)\n", seriesOut, len(store.Names()))
+	}
+	return res, nil
 }
 
 // printEvents renders the controller's transition log: the classic text

@@ -1,7 +1,11 @@
 // Command dcsprintd serves the streaming control plane: many concurrent
 // simulated data centres behind the NDJSON-over-HTTP session API, with the
 // telemetry endpoints (/metrics, /healthz, /trace.jsonl, /debug/events,
-// /debug/ops.jsonl, pprof) on the same listener.
+// /debug/ops.jsonl, pprof) on the same listener. Unless -tsdb-mem 0, every
+// session's engine feeds plant probes into a fixed-memory time-series
+// store with an SLO watchdog over the fleet folds, served at /debug/tsdb
+// (JSON range queries), /debug/slo (active alerts) and /debug/dash (a
+// self-contained live dashboard).
 //
 // Examples:
 //
@@ -9,8 +13,10 @@
 //	dcsprintd -listen :9090 -max-sessions 512 -idle-ttl 5m
 //	dcsprintd -state-dir /var/lib/dcsprint   # journal sessions, recover on restart
 //	dcsprintd -span-out server-spans.jsonl   # write server spans on exit
+//	dcsprintd -tsdb-mem 128 -slo-rules 'default; hot = max(fleet.worst_breaker_stress, 10s) > 0.8 for 2'
 //	curl -s localhost:8080/metrics | grep dcsprint_service
 //	curl -s localhost:8080/debug/events | jq .   # flight recorder
+//	curl -s 'localhost:8080/debug/tsdb?series=fleet.total_draw_watts&from=-300000&step=10000' | jq .
 //
 // SIGINT/SIGTERM drains: the listener stops accepting, in-flight requests
 // finish, and every live session goroutine is stopped before exit. SIGQUIT
@@ -31,6 +37,8 @@ import (
 
 	"dcsprint/internal/service"
 	"dcsprint/internal/telemetry"
+	"dcsprint/internal/tsdb"
+	"dcsprint/internal/version"
 )
 
 func main() {
@@ -54,9 +62,16 @@ func run(args []string) error {
 		spanCap     = fs.Int("span-cap", 1<<20, "max server-side spans retained in memory")
 		stateDir    = fs.String("state-dir", "", "journal live sessions here and recover them on restart (empty disables durability)")
 		snapEvery   = fs.Int("snapshot-every", 256, "ticks between journal checkpoints when -state-dir is set")
+		tsdbMem     = fs.Int("tsdb-mem", 64, "plant time-series store memory budget in MiB; 0 disables the store, /debug/dash and the SLO watchdog")
+		sloRules    = fs.String("slo-rules", "default", "SLO burn-rate rules over the plant store ('name = agg(series, window) op threshold for N', ';'-separated; 'default' expands to the stock rules; empty disables the watchdog)")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(version.String())
+		return nil
 	}
 	if *idleTTL <= 0 {
 		*idleTTL = -1 // Config treats negative as disabled, zero as default
@@ -75,6 +90,32 @@ func run(args []string) error {
 		ops = telemetry.NewOpLog(*spanCap)
 	}
 
+	// The plant observability stack: a fixed-memory time-series store fed
+	// by per-session engine probes, fleet-level folds, and the SLO
+	// watchdog over them. All nil-gated: -tsdb-mem 0 runs the daemon with
+	// bare engines.
+	var (
+		plant    *tsdb.PlantSink
+		watchdog *tsdb.Watchdog
+		debugger *tsdb.Handler
+	)
+	if *tsdbMem > 0 {
+		store := tsdb.New(tsdb.Sized(int64(*tsdbMem) << 20))
+		plant = tsdb.NewPlantSink(store, tsdb.SinkOptions{})
+		if *sloRules != "" {
+			rules, err := tsdb.ParseRules(*sloRules)
+			if err != nil {
+				return err
+			}
+			if len(rules) > 0 {
+				if watchdog, err = tsdb.NewWatchdog(store, rules, reg, flight); err != nil {
+					return err
+				}
+			}
+		}
+		debugger = tsdb.NewHandler(store, watchdog)
+	}
+
 	mgr := service.NewManager(service.Config{
 		MaxSessions:   *maxSessions,
 		IdleTTL:       *idleTTL,
@@ -85,6 +126,8 @@ func run(args []string) error {
 		SlowStep:      *slowStep,
 		StateDir:      *stateDir,
 		SnapshotEvery: *snapEvery,
+		Plant:         plant,
+		Watchdog:      watchdog,
 	})
 
 	// Recover journaled sessions before the listener opens so a resuming
@@ -104,6 +147,9 @@ func run(args []string) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", mgr.Handler())
+	if debugger != nil {
+		debugger.Register(mux)
+	}
 	mux.Handle("/", telemetry.HandlerWith(telemetry.HandlerOpts{
 		Registry: reg,
 		Tracer:   tracer,
@@ -123,6 +169,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("dcsprintd listening on http://%s (sessions<=%d, idle-ttl %v)\n",
 		ln.Addr(), *maxSessions, *idleTTL)
+	if debugger != nil {
+		fmt.Printf("dcsprintd plant dashboard on http://%s/debug/dash (tsdb %d MiB)\n",
+			ln.Addr(), *tsdbMem)
+	}
 
 	// SIGQUIT dumps the flight recorder and keeps serving — the moral
 	// equivalent of the Go runtime's goroutine dump, for the control plane.

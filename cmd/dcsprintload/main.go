@@ -38,6 +38,7 @@ import (
 	"dcsprint/internal/service"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
+	"dcsprint/internal/version"
 )
 
 func main() {
@@ -102,9 +103,14 @@ func run(args []string) error {
 		verify   = fs.Bool("verify", false, "re-simulate each session locally and require a bit-identical Result")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "overall wall-clock budget")
 		spanOut  = fs.String("span-out", "", "write client-side spans as JSONL to this file (merge with traces -merge)")
+		showVer  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Println(version.String())
+		return nil
 	}
 	if *sessions < 1 {
 		return fmt.Errorf("-sessions must be >= 1")

@@ -1002,15 +1002,17 @@ func MonteCarloContext(ctx context.Context, opts CampaignOptions, seeds int) (*M
 		return nil, err
 	}
 	st := &MonteCarloStats{Seeds: seeds, Trips: int(trips.Value()), Min: math.Inf(1), Max: math.Inf(-1)}
-	n := float64(imps.Count())
-	if n > 0 {
-		st.Mean = imps.Sum() / n
-	}
-	var sumSq float64
+	// Accumulate the moments from vals, which sweepCtx returns in seed
+	// order, not from the histogram: concurrent Observe calls sum floats
+	// in scheduler order, which breaks the bit-identical-at-any-worker-
+	// count contract in the last mantissa bits.
+	var n, sum, sumSq float64
 	for _, v := range vals {
 		if math.IsNaN(v) {
 			continue
 		}
+		n++
+		sum += v
 		sumSq += v * v
 		if v < st.Min {
 			st.Min = v
@@ -1020,6 +1022,7 @@ func MonteCarloContext(ctx context.Context, opts CampaignOptions, seeds int) (*M
 		}
 	}
 	if n > 0 {
+		st.Mean = sum / n
 		variance := sumSq/n - st.Mean*st.Mean
 		if variance > 0 {
 			st.StdDev = math.Sqrt(variance)

@@ -78,6 +78,8 @@ var facadeFor = map[string]map[string]string{
 		"NewInstrument":   "NewInstrument",
 		"NewObserved":     "NewObservedEngine",
 		"Observer":        "Observer",
+		"PlantRecorder":   "PlantRecorder",
+		"PlantSample":     "PlantSample",
 		"OracleResult":    "OracleResult",
 		"OracleSearch":    "OracleSearch",
 		"Parallel":        "Sweep",

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"dcsprint/internal/durability"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
+	"dcsprint/internal/tsdb"
 )
 
 // Errors the manager maps to specific HTTP statuses.
@@ -68,6 +71,17 @@ type Config struct {
 	// session rewrites its snapshot and truncates the tick log. Zero means
 	// 256. Ignored without StateDir.
 	SnapshotEvery int
+	// Plant receives per-tick engine plant samples: every session's engine
+	// gets a recorder at install, and a sampler goroutine folds the latest
+	// sample of each live session into fleet-level series on the PlantEvery
+	// cadence. Nil disables plant observability entirely — engines run with
+	// no recorder attached and the step hot path stays allocation-free.
+	Plant *tsdb.PlantSink
+	// Watchdog evaluates its SLO burn-rate rules right after each fleet
+	// fold, at the fold's timestamp. Ignored without Plant.
+	Watchdog *tsdb.Watchdog
+	// PlantEvery is the fleet sampling cadence. Zero means 1 second.
+	PlantEvery time.Duration
 }
 
 func (c *Config) fill() {
@@ -88,6 +102,9 @@ func (c *Config) fill() {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 256
+	}
+	if c.PlantEvery <= 0 {
+		c.PlantEvery = time.Second
 	}
 }
 
@@ -116,8 +133,9 @@ type Manager struct {
 	count  int
 	closed bool
 
-	wg       sync.WaitGroup // live session goroutines + janitor
+	wg       sync.WaitGroup // live session goroutines + janitor + plant sampler
 	janitorQ chan struct{}
+	plantQ   chan struct{}
 
 	metrics managerMetrics
 }
@@ -130,6 +148,7 @@ type managerMetrics struct {
 	rejected      *telemetry.Counter
 	backpressure  *telemetry.Counter
 	steps         *telemetry.Counter
+	slowSteps     *telemetry.Counter
 	stepLatency   *telemetry.Histogram
 	recovered     *telemetry.Counter
 	recoveryFails *telemetry.Counter
@@ -185,6 +204,8 @@ func NewManager(cfg Config) *Manager {
 		rejected:     reg.Counter("dcsprint_service_sessions_rejected_total", "Session opens rejected at capacity"),
 		backpressure: reg.Counter("dcsprint_service_backpressure_total", "Requests rejected by full session queues"),
 		steps:        reg.Counter("dcsprint_service_steps_total", "Engine steps served"),
+		slowSteps: reg.Counter("dcsprint_service_slow_steps_total",
+			"Steps served slower than the slow-step threshold"),
 		stepLatency: reg.Histogram("dcsprint_service_step_latency_seconds",
 			"Engine step service latency", stepLatencyBuckets()),
 		recovered: reg.Counter("dcsprint_service_sessions_recovered_total",
@@ -200,7 +221,51 @@ func NewManager(cfg Config) *Manager {
 		m.wg.Add(1)
 		go m.janitor()
 	}
+	if cfg.Plant != nil {
+		m.plantQ = make(chan struct{})
+		m.wg.Add(1)
+		go m.plantLoop()
+	}
 	return m
+}
+
+// plantLoop folds the live population into fleet series on the PlantEvery
+// cadence, derives the control-plane extras (step throughput, slow-step
+// ratio) from counter deltas, and hands the fold's timestamp to the SLO
+// watchdog.
+func (m *Manager) plantLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.PlantEvery)
+	defer t.Stop()
+	var lastSteps, lastSlow float64
+	last := time.Now()
+	for {
+		select {
+		case <-m.plantQ:
+			return
+		case now := <-t.C:
+			dt := now.Sub(last).Seconds()
+			last = now
+			steps := m.metrics.steps.Value()
+			slow := m.metrics.slowSteps.Value()
+			dSteps, dSlow := steps-lastSteps, slow-lastSlow
+			lastSteps, lastSlow = steps, slow
+			perSec, ratio := 0.0, 0.0
+			if dt > 0 {
+				perSec = dSteps / dt
+			}
+			if dSteps > 0 {
+				ratio = dSlow / dSteps
+			}
+			ts := m.cfg.Plant.SampleFleet(map[string]float64{
+				tsdb.SeriesFleetStepsPerSec:   perSec,
+				tsdb.SeriesFleetSlowStepRatio: ratio,
+			})
+			if m.cfg.Watchdog != nil {
+				m.cfg.Watchdog.Evaluate(ts)
+			}
+		}
+	}
 }
 
 // Registry returns the registry holding the service metrics.
@@ -322,8 +387,14 @@ func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine, opts installOpts) 
 	sh.mu.Unlock()
 	m.metrics.created.Inc()
 	m.metrics.active.Add(1)
+	if m.cfg.Plant != nil {
+		eng.AttachPlantRecorder(m.cfg.Plant.Session(s.id))
+	}
 	m.wg.Add(1)
-	go s.run(eng)
+	// pprof labels make /debug/pprof/profile attribute CPU to the hot
+	// session and its shard instead of one anonymous pile of s.run frames.
+	labels := pprof.Labels("session_id", s.id, "shard", strconv.Itoa(m.shardIdx(s.id)))
+	go pprof.Do(context.Background(), labels, func(context.Context) { s.run(eng) })
 	return s
 }
 
@@ -651,6 +722,9 @@ func (m *Manager) drop(s *session) bool {
 	if ok {
 		m.metrics.active.Add(-1)
 		m.release()
+		if m.cfg.Plant != nil {
+			m.cfg.Plant.Drop(s.id)
+		}
 	}
 	return ok
 }
@@ -712,6 +786,9 @@ func (m *Manager) Close() {
 	drainStart := time.Now()
 	if m.cfg.IdleTTL > 0 {
 		close(m.janitorQ)
+	}
+	if m.cfg.Plant != nil {
+		close(m.plantQ)
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]

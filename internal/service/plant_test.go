@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"dcsprint/internal/telemetry"
+	"dcsprint/internal/tsdb"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestManagerPlantPipeline drives the full observability path: sessions
+// get plant recorders at install, the sampler folds them into fleet
+// series, the watchdog fires on the sprinting fleet, and finishing the
+// sessions clears both the per-session series and the alert.
+func TestManagerPlantPipeline(t *testing.T) {
+	store := tsdb.New(tsdb.Options{})
+	sink := tsdb.NewPlantSink(store, tsdb.SinkOptions{})
+	reg := telemetry.NewRegistry()
+	flight := telemetry.NewFlightRecorder(NumShards, 64)
+	rules, err := tsdb.ParseRules("load-active = max(fleet.sessions_sprinting, 200ms) > 0 for 1")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	wd, err := tsdb.NewWatchdog(store, rules, reg, flight)
+	if err != nil {
+		t.Fatalf("NewWatchdog: %v", err)
+	}
+	m := NewManager(Config{
+		Registry:   reg,
+		Flight:     flight,
+		Plant:      sink,
+		Watchdog:   wd,
+		PlantEvery: 5 * time.Millisecond,
+	})
+	defer m.Close()
+
+	ids := make([]string, 2)
+	for i := range ids {
+		s, err := m.Create(ScenarioSpec{})
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		ids[i] = s.ID
+	}
+	// Sprint both sessions so degree > 1 reaches the fleet fold.
+	for tick := 0; tick < 40; tick++ {
+		for _, id := range ids {
+			if _, err := m.Step(id, 3.0); err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+		}
+	}
+	for _, id := range ids {
+		if store.Lookup(`plant.degree{session="`+id+`"}`) == nil {
+			t.Fatalf("session %s has no per-session degree series", id)
+		}
+	}
+	waitFor(t, "fleet fold of both sessions", func() bool {
+		v, ok := store.Lookup(tsdb.SeriesFleetSessions).Last()
+		return ok && v == 2
+	})
+	if v, ok := store.Lookup(tsdb.SeriesFleetTotalDraw).Last(); !ok || v <= 0 {
+		t.Fatalf("fleet draw = %v, %v", v, ok)
+	}
+	waitFor(t, "watchdog to fire on the sprinting fleet", func() bool {
+		return len(wd.Active()) == 1
+	})
+
+	for _, id := range ids {
+		if _, err := m.Finish(id); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	}
+	for _, id := range ids {
+		if store.Lookup(`plant.degree{session="`+id+`"}`) != nil {
+			t.Fatalf("session %s series survived Finish", id)
+		}
+	}
+	waitFor(t, "alert to clear once the fleet drains", func() bool {
+		return len(wd.Active()) == 0
+	})
+	// The lifecycle left its audit trail: one breach, one clear, both in
+	// the counters and the flight recorder.
+	if got := reg.CounterWith("dcsprint_slo_breaches_total", "",
+		telemetry.Labels{"rule": "load-active"}).Value(); got < 1 {
+		t.Fatalf("breach counter = %v", got)
+	}
+	var sawBreach, sawClear bool
+	for _, ev := range flight.Events() {
+		sawBreach = sawBreach || ev.Kind == telemetry.EventSLOBreach
+		sawClear = sawClear || ev.Kind == telemetry.EventSLOClear
+	}
+	if !sawBreach || !sawClear {
+		t.Fatalf("flight breach=%v clear=%v", sawBreach, sawClear)
+	}
+}
+
+// TestSessionGoroutineLabels checks the mailbox goroutine carries pprof
+// labels, so CPU profiles attribute work to sessions and shards.
+func TestSessionGoroutineLabels(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	s, err := m.Create(ScenarioSpec{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := m.Step(s.ID, 1.0); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte(`"session_id":"`+s.ID+`"`)) {
+		t.Fatalf("profile lacks session_id label for %s:\n%.2000s", s.ID, out)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"shard":`)) {
+		t.Fatal("profile lacks shard label")
+	}
+}

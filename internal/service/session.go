@@ -277,7 +277,8 @@ func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
 		} else {
 			s.mgr.metrics.stepLatency.Observe(elapsed.Seconds())
 		}
-		if s.mgr.cfg.Flight != nil && elapsed > s.mgr.cfg.SlowStep {
+		if elapsed > s.mgr.cfg.SlowStep {
+			s.mgr.metrics.slowSteps.Inc()
 			s.mgr.flight(telemetry.EventSlowStep, s.id, req.tc,
 				fmt.Sprintf("tick %d took %v", tick, elapsed))
 		}

@@ -136,6 +136,46 @@ func buildPlant(sc Scenario, obs Observer) (*plant, error) {
 	return p, nil
 }
 
+// PlantSample is one tick's physical-plant state: the headroom ledgers the
+// paper's whole argument rests on — breaker thermal accumulators, stored
+// UPS and TES energy, room and chip temperatures — alongside the power
+// flows and the realized sprint degree. A PlantRecorder receives one per
+// completed Step.
+type PlantSample struct {
+	// Tick is the completed tick index; Now its start time (Tick*step).
+	Tick int
+	Now  time.Duration
+	// Demand, Delivered and Degree are the tick's normalized workload
+	// numbers; Phase is 0 outside sprinting, then 1 (CB), 2 (UPS), 3 (TES).
+	Demand, Delivered, Degree float64
+	Phase                     int
+	// Power flows, in watts.
+	DCLoadW, PDULoadW, UPSPowerW, GenPowerW, CoolPowerW, TESRateW float64
+	// GridDrawW is the DC breaker load net of on-site generation.
+	GridDrawW float64
+	// RoomTempC is the room temperature; ThermalMarginC how far below the
+	// overheat threshold it sits (the paper's phase-3 budget).
+	RoomTempC, ThermalMarginC float64
+	// BreakerStress is the worst thermal-accumulator value across the DC
+	// and PDU breakers this tick (1.0 trips).
+	BreakerStress float64
+	// UPSSoC is the fleet battery state of charge in [0, 1].
+	UPSSoC float64
+	// TESSoC is the thermal-storage state of charge in [0, 1], or -1
+	// when the scenario has no TES tank.
+	TESSoC float64
+	// ChipHeadroomJ is the remaining chip PCM budget in joules, or -1
+	// when the scenario has no chip thermal model.
+	ChipHeadroomJ float64
+}
+
+// PlantRecorder receives one PlantSample per completed engine step. The
+// callback runs on the stepping goroutine; implementations must be fast
+// and must not call back into the engine.
+type PlantRecorder interface {
+	RecordPlant(PlantSample)
+}
+
 // Engine drives one scenario tick-at-a-time: the online form of Run, built
 // for streaming control planes that observe demand one sample at a time.
 // Construct with New or NewObserved, feed demand through Step, and call
@@ -145,6 +185,7 @@ type Engine struct {
 	sc   Scenario
 	p    *plant
 	obs  Observer
+	rec  PlantRecorder
 	step time.Duration
 	i    int
 
@@ -241,6 +282,13 @@ func (e *Engine) grow(n int) {
 	e.phase = make([]int, 0, n)
 }
 
+// AttachPlantRecorder attaches (or, with nil, detaches) a plant-state
+// probe. Exactly like journaling and tracing, the probe is nil-gated: a
+// detached engine's Step does no extra work and no allocations. Attach
+// before the first Step for a complete series; attaching mid-run simply
+// starts sampling from the next tick.
+func (e *Engine) AttachPlantRecorder(r PlantRecorder) { e.rec = r }
+
 // Scenario returns the engine's normalized scenario.
 func (e *Engine) Scenario() Scenario { return e.sc }
 
@@ -285,6 +333,7 @@ func (e *Engine) Step(demand float64) (TickDecision, error) {
 	if e.obs != nil {
 		e.obs.ObserveTick(time.Duration(i)*step, tick)
 	}
+	upsSoC := e.p.tree.UPSSoC()
 	e.required = append(e.required, demand)
 	e.achieved = append(e.achieved, tick.Delivered)
 	e.degree = append(e.degree, tick.Degree)
@@ -292,7 +341,7 @@ func (e *Engine) Step(demand float64) (TickDecision, error) {
 	e.pduLoad = append(e.pduLoad, float64(tick.PDULoad))
 	e.upsPower = append(e.upsPower, float64(tick.UPSPower))
 	e.genPower = append(e.genPower, float64(tick.GenPower))
-	e.upsSoC = append(e.upsSoC, e.p.tree.UPSSoC())
+	e.upsSoC = append(e.upsSoC, upsSoC)
 	e.coolPower = append(e.coolPower, float64(tick.CoolingPower))
 	e.tesRate = append(e.tesRate, float64(tick.TESHeatRate))
 	e.roomTemp = append(e.roomTemp, float64(tick.RoomTemp))
@@ -304,13 +353,14 @@ func (e *Engine) Step(demand float64) (TickDecision, error) {
 		e.sprintSustained += step
 		e.excessServed += (tick.Delivered - 1) * step.Seconds()
 	}
-	if acc := e.p.tree.DCBreaker.Accumulator(); acc > e.maxStress {
-		e.maxStress = acc
-	}
+	stress := e.p.tree.DCBreaker.Accumulator()
 	for _, pdu := range e.p.tree.PDUs {
-		if acc := pdu.Breaker.Accumulator(); acc > e.maxStress {
-			e.maxStress = acc
+		if acc := pdu.Breaker.Accumulator(); acc > stress {
+			stress = acc
 		}
+	}
+	if stress > e.maxStress {
+		e.maxStress = stress
 	}
 	if demand > 1 {
 		e.burstTicks++
@@ -319,7 +369,46 @@ func (e *Engine) Step(demand float64) (TickDecision, error) {
 		e.burstAchieved += tick.Delivered
 	}
 	e.i = i + 1
+	if e.rec != nil {
+		e.recordPlant(i, tick, stress, upsSoC)
+	}
 	return tick, nil
+}
+
+// recordPlant assembles and delivers one PlantSample. Kept out of Step so
+// the detached hot path pays only the nil check.
+func (e *Engine) recordPlant(i int, tick TickDecision, stress, upsSoC float64) {
+	s := PlantSample{
+		Tick:           i,
+		Now:            time.Duration(i) * e.step,
+		Demand:         tick.Demand,
+		Delivered:      tick.Delivered,
+		Degree:         tick.Degree,
+		Phase:          tick.Phase,
+		DCLoadW:        float64(tick.DCLoad),
+		PDULoadW:       float64(tick.PDULoad),
+		UPSPowerW:      float64(tick.UPSPower),
+		GenPowerW:      float64(tick.GenPower),
+		CoolPowerW:     float64(tick.CoolingPower),
+		TESRateW:       float64(tick.TESHeatRate),
+		GridDrawW:      float64(tick.DCLoad - tick.GenPower),
+		RoomTempC:      float64(tick.RoomTemp),
+		ThermalMarginC: e.p.room.Margin(),
+		BreakerStress:  stress,
+		UPSSoC:         upsSoC,
+		TESSoC:         -1,
+		ChipHeadroomJ:  -1,
+	}
+	if s.GridDrawW < 0 {
+		s.GridDrawW = 0
+	}
+	if e.p.tank != nil {
+		s.TESSoC = e.p.tank.SoC()
+	}
+	if e.p.chip != nil {
+		s.ChipHeadroomJ = float64(e.p.chip.Headroom())
+	}
+	e.rec.RecordPlant(s)
 }
 
 // Finish seals the engine and assembles the Result covering every step so

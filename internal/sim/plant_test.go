@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// samplePlant retains every PlantSample it receives.
+type samplePlant struct {
+	samples []PlantSample
+}
+
+func (p *samplePlant) RecordPlant(s PlantSample) { p.samples = append(p.samples, s) }
+
+// TestPlantProbeMatchesTelemetry drives one engine with a recorder and
+// checks the samples agree with the Result's telemetry series and carry
+// sane headroom ledgers.
+func TestPlantProbeMatchesTelemetry(t *testing.T) {
+	eng, err := New(Scenario{Name: "probe"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rec := &samplePlant{}
+	eng.AttachPlantRecorder(rec)
+	const n = 120
+	for i := 0; i < n; i++ {
+		demand := 1.0
+		if i >= 20 && i < 80 {
+			demand = 3.0
+		}
+		if _, err := eng.Step(demand); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if len(rec.samples) != n {
+		t.Fatalf("samples = %d, want %d", len(rec.samples), n)
+	}
+	sawSprint, sawStress := false, false
+	for i, s := range rec.samples {
+		if s.Tick != i || s.Now != time.Duration(i)*time.Second {
+			t.Fatalf("sample %d: tick %d now %v", i, s.Tick, s.Now)
+		}
+		if got := res.Telemetry.Degree.Samples[i]; s.Degree != got {
+			t.Fatalf("sample %d: degree %v, telemetry %v", i, s.Degree, got)
+		}
+		if got := res.Telemetry.DCLoad.Samples[i]; s.DCLoadW != got {
+			t.Fatalf("sample %d: dc load %v, telemetry %v", i, s.DCLoadW, got)
+		}
+		if got := res.Telemetry.UPSSoC.Samples[i]; s.UPSSoC != got {
+			t.Fatalf("sample %d: ups soc %v, telemetry %v", i, s.UPSSoC, got)
+		}
+		if got := res.Telemetry.RoomTemp.Samples[i]; s.RoomTempC != got {
+			t.Fatalf("sample %d: room temp %v, telemetry %v", i, s.RoomTempC, got)
+		}
+		if s.Phase != res.Telemetry.Phase[i] {
+			t.Fatalf("sample %d: phase %d, telemetry %d", i, s.Phase, res.Telemetry.Phase[i])
+		}
+		if s.BreakerStress < 0 || s.BreakerStress > 1 {
+			t.Fatalf("sample %d: breaker stress %v outside [0,1]", i, s.BreakerStress)
+		}
+		if s.TESSoC < 0 || s.TESSoC > 1 {
+			t.Fatalf("sample %d: TES SoC %v (default scenario has a tank)", i, s.TESSoC)
+		}
+		if s.ChipHeadroomJ != -1 {
+			t.Fatalf("sample %d: chip headroom %v, want -1 without a chip model", i, s.ChipHeadroomJ)
+		}
+		if s.GridDrawW < 0 {
+			t.Fatalf("sample %d: negative grid draw %v", i, s.GridDrawW)
+		}
+		if s.Degree > 1 {
+			sawSprint = true
+		}
+		if s.BreakerStress > 0 {
+			sawStress = true
+		}
+	}
+	if !sawSprint {
+		t.Fatal("burst never sprinted; probe saw no degree > 1")
+	}
+	if !sawStress {
+		t.Fatal("probe never saw breaker stress accumulate")
+	}
+	// The recorded worst stress must equal the Result's.
+	worst := 0.0
+	for _, s := range rec.samples {
+		if s.BreakerStress > worst {
+			worst = s.BreakerStress
+		}
+	}
+	if worst != res.MaxBreakerStress {
+		t.Fatalf("probe worst stress %v != result %v", worst, res.MaxBreakerStress)
+	}
+}
+
+// TestPlantProbeOptionalModels checks the -1 sentinels flip to live
+// values when the scenario carries the optional plant models.
+func TestPlantProbeOptionalModels(t *testing.T) {
+	eng, err := New(Scenario{Name: "probe", NoTES: true, ChipPCMMinutes: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rec := &samplePlant{}
+	eng.AttachPlantRecorder(rec)
+	if _, err := eng.Step(2.5); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	s := rec.samples[0]
+	if s.TESSoC != -1 {
+		t.Fatalf("TES SoC = %v, want -1 with NoTES", s.TESSoC)
+	}
+	if s.ChipHeadroomJ < 0 {
+		t.Fatalf("chip headroom = %v, want >= 0 with a PCM budget", s.ChipHeadroomJ)
+	}
+}
+
+// TestPlantProbeDetachedAllocs locks in the nil-gated contract: with no
+// recorder attached a steady-state step performs zero allocations, the
+// same bar BenchmarkEngineStep gates in CI.
+func TestPlantProbeDetachedAllocs(t *testing.T) {
+	eng, err := New(Scenario{Name: "alloc"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Step(1.5); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Step(1.5); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("detached Step allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPlantProbeIdenticalResults locks the observation-never-changes-
+// outcomes rule: a probed run's Result is bit-identical to a bare one.
+func TestPlantProbeIdenticalResults(t *testing.T) {
+	run := func(attach bool) *Result {
+		eng, err := New(Scenario{Name: "ident"})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if attach {
+			eng.AttachPlantRecorder(&samplePlant{})
+		}
+		for i := 0; i < 200; i++ {
+			d := 1.0 + float64(i%7)
+			if _, err := eng.Step(d); err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+		}
+		res, err := eng.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		return res
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("probed Result differs from bare Result")
+	}
+}

@@ -44,6 +44,8 @@ const (
 	EventSlowStep     = "slow-step"    // step over the slow threshold
 	EventShardDone    = "shard-done"   // campaign shard completed
 	EventItemError    = "item-error"   // campaign item returned an error
+	EventSLOBreach    = "slo-breach"   // SLO watchdog rule started firing
+	EventSLOClear     = "slo-clear"    // SLO watchdog rule stopped firing
 )
 
 // flightRing is one shard's bounded event ring.

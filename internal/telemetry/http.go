@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -152,36 +153,70 @@ func (e *exposition) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort liveness
 }
 
+// limitN parses the optional ?n= query parameter shared by the ring-dump
+// endpoints: the maximum number of newest entries to return. Absent means
+// everything (-1); a malformed or negative value writes a 400 and reports
+// not-ok.
+func limitN(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.URL.Query().Get("n")
+	if raw == "" {
+		return -1, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("bad n %q: want a non-negative integer", raw),
+			http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
 // handleEvents serves the flight recorder's retained events as one JSON
 // document, newest last — the post-mortem a soak harness scrapes after a
-// run, and what SIGQUIT dumps to stderr.
-func (e *exposition) handleEvents(w http.ResponseWriter, _ *http.Request) {
+// run, and what SIGQUIT dumps to stderr. ?n= trims the dump to the n newest
+// events; retained still reports the full ring so a trimmed read is
+// distinguishable from a short ring.
+func (e *exposition) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if e.flight == nil {
-		http.NotFound(w, nil)
+		http.NotFound(w, r)
+		return
+	}
+	n, ok := limitN(w, r)
+	if !ok {
 		return
 	}
 	events := e.flight.Events()
 	if events == nil {
 		events = []FlightEvent{}
 	}
+	retained := len(events)
+	if n >= 0 && n < len(events) {
+		events = events[len(events)-n:]
+	}
 	doc := struct {
 		Total    uint64        `json:"total"`
 		Retained int           `json:"retained"`
+		Returned int           `json:"returned"`
 		Events   []FlightEvent `json:"events"`
-	}{Total: e.flight.Total(), Retained: len(events), Events: events}
+	}{Total: e.flight.Total(), Retained: retained, Returned: len(events), Events: events}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(doc) //nolint:errcheck // best-effort debug dump
 }
 
 // handleOps streams the server-side wall-clock op spans as JSONL — one half
-// of the input to `traces -merge`.
-func (e *exposition) handleOps(w http.ResponseWriter, _ *http.Request) {
+// of the input to `traces -merge`. ?n= trims the stream to the n
+// latest-starting spans.
+func (e *exposition) handleOps(w http.ResponseWriter, r *http.Request) {
 	if e.ops == nil {
-		http.NotFound(w, nil)
+		http.NotFound(w, r)
+		return
+	}
+	n, ok := limitN(w, r)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
-	if err := e.ops.WriteJSONL(w); err != nil {
+	if err := e.ops.WriteLastJSONL(w, n); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -59,6 +59,97 @@ func TestHandlerDebugEvents(t *testing.T) {
 	}
 }
 
+// TestHandlerDebugLimit pins the ?n= contract on both ring dumps: the n
+// newest entries come back, retained still reports the full ring, the
+// Content-Type survives trimming, and junk n is a 400.
+func TestHandlerDebugLimit(t *testing.T) {
+	flight := NewFlightRecorder(1, 8)
+	for i := 0; i < 5; i++ {
+		flight.Record(0, FlightEvent{Kind: EventBackpressure, Session: "s", Detail: string(rune('a' + i))})
+	}
+	ops := NewOpLog(8)
+	for i := 0; i < 4; i++ {
+		ops.Record(OpSpan{Trace: "t", Req: "r", Name: "step", Side: SideServer, StartUs: int64(i + 1), DurUs: 1})
+	}
+	srv := httptest.NewServer(HandlerWith(HandlerOpts{
+		Registry: NewRegistry(), Flight: flight, Ops: ops,
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/events?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/debug/events Content-Type = %q", ct)
+	}
+	var doc struct {
+		Total    uint64        `json:"total"`
+		Retained int           `json:"retained"`
+		Returned int           `json:"returned"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 5 || doc.Retained != 5 || doc.Returned != 2 || len(doc.Events) != 2 {
+		t.Fatalf("limited events doc = %+v", doc)
+	}
+	if doc.Events[0].Detail != "d" || doc.Events[1].Detail != "e" {
+		t.Fatalf("?n=2 did not keep the newest events: %+v", doc.Events)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/ops.jsonl?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("/debug/ops.jsonl Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	spans, err := ReadOpJSONL(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 || spans[0].StartUs != 2 || spans[2].StartUs != 4 {
+		t.Fatalf("?n=3 spans = %+v", spans)
+	}
+
+	// n larger than the ring returns everything; n=0 returns none.
+	for path, want := range map[string]int{
+		"/debug/events?n=100": 5,
+		"/debug/events?n=0":   0,
+	} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d struct {
+			Events []FlightEvent `json:"events"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&d)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Events) != want {
+			t.Fatalf("%s returned %d events, want %d", path, len(d.Events), want)
+		}
+	}
+	for _, path := range []string{"/debug/events?n=junk", "/debug/events?n=-1", "/debug/ops.jsonl?n=1.5"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status = %d, want 400", path, r.StatusCode)
+		}
+	}
+}
+
 func TestHandlerDebugEventsAbsent(t *testing.T) {
 	srv := httptest.NewServer(HandlerWith(HandlerOpts{Registry: NewRegistry()}))
 	defer srv.Close()

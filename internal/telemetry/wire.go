@@ -127,9 +127,20 @@ func (l *OpLog) Spans() []OpSpan {
 
 // WriteJSONL exports the spans one JSON object per line, sorted by start.
 func (l *OpLog) WriteJSONL(w io.Writer) error {
+	return l.WriteLastJSONL(w, -1)
+}
+
+// WriteLastJSONL is WriteJSONL limited to the n latest-starting spans; a
+// negative n exports everything. A bounded dump keeps mid-soak scrapes of
+// /debug/ops.jsonl cheap when the log holds hundreds of thousands of spans.
+func (l *OpLog) WriteLastJSONL(w io.Writer, n int) error {
+	spans := l.Spans()
+	if n >= 0 && n < len(spans) {
+		spans = spans[len(spans)-n:]
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, s := range l.Spans() {
+	for _, s := range spans {
 		if err := enc.Encode(s); err != nil {
 			return err
 		}

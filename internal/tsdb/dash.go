@@ -1,0 +1,284 @@
+package tsdb
+
+// dashHTML is the /debug/dash page: a self-contained live dashboard (no
+// external assets) polling /debug/tsdb and /debug/slo. Four single-series
+// strip charts render the fleet headroom signals as a min/max band plus
+// mean line, so compaction-surviving peaks stay visible; the alert strip
+// mirrors the SLO watchdog. Palette and mark specs follow the validated
+// reference data-viz palette (light and dark are separately stepped and
+// chosen, not auto-inverted).
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>dcsprint · plant dashboard</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --page:      #f9f9f7;
+    --surface-1: #fcfcfb;
+    --text-primary:   #0b0b0b;
+    --text-secondary: #52514e;
+    --muted:     #898781;
+    --grid:      #e1e0d9;
+    --baseline:  #c3c2b7;
+    --border:    rgba(11,11,11,0.10);
+    --series-1:  #2a78d6;  /* blue: fleet draw */
+    --series-2:  #eb6834;  /* orange: breaker stress */
+    --series-3:  #1baf7a;  /* aqua: thermal margin */
+    --series-4:  #eda100;  /* yellow: sessions sprinting */
+    --status-good:     #0ca30c;
+    --status-critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --page:      #0d0d0d;
+      --surface-1: #1a1a19;
+      --text-primary:   #ffffff;
+      --text-secondary: #c3c2b7;
+      --muted:     #898781;
+      --grid:      #2c2c2a;
+      --baseline:  #383835;
+      --border:    rgba(255,255,255,0.10);
+      --series-1:  #3987e5;
+      --series-2:  #d95926;
+      --series-3:  #199e70;
+      --series-4:  #c98500;
+    }
+  }
+  * { box-sizing: border-box; }
+  body.viz-root {
+    margin: 0; padding: 16px; background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; margin-bottom: 12px; }
+  header h1 { font-size: 16px; margin: 0; font-weight: 600; }
+  header .sub { color: var(--text-secondary); font-size: 12px; }
+  .filters { display: flex; gap: 4px; margin-left: auto; }
+  .filters button {
+    font: inherit; font-size: 12px; color: var(--text-secondary);
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 3px 10px; cursor: pointer;
+  }
+  .filters button[aria-pressed="true"] { color: var(--text-primary); font-weight: 600; }
+  #alerts { display: flex; flex-direction: column; gap: 6px; margin-bottom: 12px; }
+  .alert {
+    display: flex; gap: 8px; align-items: baseline; font-size: 13px;
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-left: 3px solid var(--status-critical); border-radius: 6px; padding: 6px 10px;
+  }
+  .alert .icon { color: var(--status-critical); }
+  .alert.ok { border-left-color: var(--status-good); color: var(--text-secondary); }
+  .alert.ok .icon { color: var(--status-good); }
+  .alert code { font-size: 12px; color: var(--text-secondary); }
+  .grid2 { display: grid; grid-template-columns: repeat(auto-fit, minmax(320px, 1fr)); gap: 12px; }
+  .panel {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 10px 12px 6px;
+  }
+  .panel h2 { font-size: 12px; font-weight: 600; color: var(--text-secondary); margin: 0; }
+  .panel .head { display: flex; align-items: baseline; justify-content: space-between; }
+  .panel .now { font-size: 18px; font-weight: 600; color: var(--text-primary); }
+  .panel .now small { font-size: 11px; font-weight: 400; color: var(--muted); }
+  .panel svg { display: block; width: 100%; height: 140px; margin-top: 4px; }
+  .tip {
+    position: fixed; pointer-events: none; display: none; z-index: 10;
+    background: var(--surface-1); border: 1px solid var(--border); border-radius: 6px;
+    padding: 5px 8px; font-size: 12px; color: var(--text-secondary);
+    font-variant-numeric: tabular-nums; box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+  }
+  .tip b { color: var(--text-primary); font-weight: 600; }
+  details { margin-top: 14px; color: var(--text-secondary); font-size: 13px; }
+  details table { border-collapse: collapse; margin-top: 8px; font-variant-numeric: tabular-nums; }
+  details th, details td { text-align: right; padding: 2px 10px; border-bottom: 1px solid var(--grid); }
+  details th:first-child, details td:first-child { text-align: left; }
+  details th { color: var(--muted); font-weight: 500; }
+  .axis text { font: 10px system-ui, sans-serif; fill: var(--muted); }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>dcsprint plant</h1>
+  <span class="sub" id="meta">connecting…</span>
+  <nav class="filters" id="filters" aria-label="time window"></nav>
+</header>
+<div id="alerts"></div>
+<div class="grid2" id="panels"></div>
+<div class="tip" id="tip"></div>
+<details>
+  <summary>Data table (latest buckets)</summary>
+  <div id="table"></div>
+</details>
+<script>
+"use strict";
+const PANELS = [
+  { series: "fleet.total_draw_watts",       title: "Fleet power draw",      unit: "W",  color: "var(--series-1)", fmt: fmtSI },
+  { series: "fleet.worst_thermal_margin_c", title: "Worst thermal margin",  unit: "°C", color: "var(--series-3)", fmt: v => v.toFixed(2) },
+  { series: "fleet.worst_breaker_stress",   title: "Worst breaker stress",  unit: "",   color: "var(--series-2)", fmt: v => v.toFixed(3) },
+  { series: "fleet.sessions_sprinting",     title: "Sessions sprinting",    unit: "",   color: "var(--series-4)", fmt: v => v.toFixed(0) },
+];
+const WINDOWS = [ ["5m", 300e3], ["30m", 1800e3], ["2h", 7200e3] ];
+let winMs = WINDOWS[0][1];
+let lastData = null;
+
+function fmtSI(v) {
+  const a = Math.abs(v);
+  if (a >= 1e6) return (v/1e6).toFixed(2) + "M";
+  if (a >= 1e3) return (v/1e3).toFixed(1) + "k";
+  return v.toFixed(0);
+}
+function fmtTime(ms) {
+  return new Date(ms).toLocaleTimeString([], {hour12: false});
+}
+
+const filtersEl = document.getElementById("filters");
+for (const [label, ms] of WINDOWS) {
+  const b = document.createElement("button");
+  b.textContent = label;
+  b.setAttribute("aria-pressed", ms === winMs);
+  b.onclick = () => {
+    winMs = ms;
+    for (const x of filtersEl.children) x.setAttribute("aria-pressed", x === b);
+    poll();
+  };
+  filtersEl.appendChild(b);
+}
+
+const panelsEl = document.getElementById("panels");
+const panelDom = PANELS.map(p => {
+  const d = document.createElement("div");
+  d.className = "panel";
+  d.innerHTML = '<div class="head"><h2></h2><span class="now"></span></div><svg role="img"></svg>';
+  d.querySelector("h2").textContent = p.title + (p.unit ? " (" + p.unit + ")" : "");
+  d.querySelector("svg").setAttribute("aria-label", p.title);
+  panelsEl.appendChild(d);
+  return d;
+});
+
+function draw(dom, spec, buckets, from, to) {
+  const svg = dom.querySelector("svg");
+  const W = Math.max(svg.clientWidth, 200), H = 140;
+  const padL = 6, padR = 6, padT = 6, padB = 16;
+  svg.setAttribute("viewBox", "0 0 " + W + " " + H);
+  const nowEl = dom.querySelector(".now");
+  if (!buckets.length) {
+    svg.innerHTML = '<text x="' + (W/2) + '" y="' + (H/2) + '" text-anchor="middle" fill="var(--muted)" font-size="12">no data yet</text>';
+    nowEl.innerHTML = "–";
+    return;
+  }
+  let lo = Infinity, hi = -Infinity;
+  for (const b of buckets) { lo = Math.min(lo, b.min); hi = Math.max(hi, b.max); }
+  if (hi === lo) { hi += 1; lo -= lo === 0 ? 0 : 1; }
+  const span = hi - lo, pad = span * 0.08;
+  lo -= pad; hi += pad;
+  const x = ts => padL + (ts - from) / (to - from) * (W - padL - padR);
+  const y = v  => padT + (hi - v) / (hi - lo) * (H - padT - padB);
+  // recessive chrome: three hairlines + baseline, muted tick text
+  let g = "";
+  for (const f of [0.25, 0.5, 0.75]) {
+    const v = lo + (hi - lo) * f;
+    g += '<line x1="' + padL + '" x2="' + (W-padR) + '" y1="' + y(v) + '" y2="' + y(v) + '" stroke="var(--grid)" stroke-width="1"/>' +
+         '<text x="' + (padL+2) + '" y="' + (y(v)-3) + '" class="tick" font-size="10" fill="var(--muted)">' + spec.fmt(v) + '</text>';
+  }
+  g += '<line x1="' + padL + '" x2="' + (W-padR) + '" y1="' + (H-padB) + '" y2="' + (H-padB) + '" stroke="var(--baseline)" stroke-width="1"/>';
+  g += '<text x="' + padL + '" y="' + (H-4) + '" font-size="10" fill="var(--muted)">' + fmtTime(from) + '</text>';
+  g += '<text x="' + (W-padR) + '" y="' + (H-4) + '" text-anchor="end" font-size="10" fill="var(--muted)">' + fmtTime(to) + '</text>';
+  // min/max band then 2px mean line
+  const mid = b => b.count ? b.sum / b.count : 0;
+  let band = "", line = "";
+  for (let i = 0; i < buckets.length; i++) band += (i ? "L" : "M") + x(buckets[i].ts).toFixed(1) + " " + y(buckets[i].max).toFixed(1);
+  for (let i = buckets.length - 1; i >= 0; i--) band += "L" + x(buckets[i].ts).toFixed(1) + " " + y(buckets[i].min).toFixed(1);
+  for (let i = 0; i < buckets.length; i++) line += (i ? "L" : "M") + x(buckets[i].ts).toFixed(1) + " " + y(mid(buckets[i])).toFixed(1);
+  g += '<path d="' + band + 'Z" fill="' + spec.color + '" fill-opacity="0.18" stroke="none"/>';
+  g += '<path d="' + line + '" fill="none" stroke="' + spec.color + '" stroke-width="2" stroke-linejoin="round"/>';
+  g += '<line class="cross" x1="0" x2="0" y1="' + padT + '" y2="' + (H-padB) + '" stroke="var(--baseline)" stroke-width="1" visibility="hidden"/>';
+  svg.innerHTML = g;
+  const last = buckets[buckets.length - 1];
+  nowEl.innerHTML = spec.fmt(mid(last)) + (spec.unit ? " <small>" + spec.unit + "</small>" : "");
+  // crosshair + nearest-bucket tooltip (hit target: the whole plot)
+  const tip = document.getElementById("tip");
+  svg.onmousemove = ev => {
+    const r = svg.getBoundingClientRect();
+    const ts = from + (ev.clientX - r.left) / r.width * (to - from);
+    let best = buckets[0];
+    for (const b of buckets) if (Math.abs(b.ts - ts) < Math.abs(best.ts - ts)) best = b;
+    svg.querySelector(".cross").setAttribute("visibility", "visible");
+    svg.querySelector(".cross").setAttribute("x1", x(best.ts));
+    svg.querySelector(".cross").setAttribute("x2", x(best.ts));
+    tip.style.display = "block";
+    tip.style.left = Math.min(ev.clientX + 12, innerWidth - 170) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+    tip.innerHTML = "<b>" + spec.title + "</b><br>" + fmtTime(best.ts) +
+      "<br>avg <b>" + spec.fmt(mid(best)) + "</b> · min " + spec.fmt(best.min) +
+      " · max " + spec.fmt(best.max) + " · n=" + best.count;
+  };
+  svg.onmouseleave = () => {
+    tip.style.display = "none";
+    const c = svg.querySelector(".cross");
+    if (c) c.setAttribute("visibility", "hidden");
+  };
+}
+
+function drawAlerts(slo) {
+  const el = document.getElementById("alerts");
+  el.innerHTML = "";
+  if (!slo.active.length) {
+    const d = document.createElement("div");
+    d.className = "alert ok";
+    d.innerHTML = '<span class="icon">✓</span><span>No active SLO alerts</span><code></code>';
+    d.querySelector("code").textContent = slo.rules.length + " rule(s) armed";
+    el.appendChild(d);
+    return;
+  }
+  for (const a of slo.active) {
+    const d = document.createElement("div");
+    d.className = "alert";
+    d.innerHTML = '<span class="icon">▲</span><b></b><code></code><span class="since"></span>';
+    d.querySelector("b").textContent = "FIRING " + a.rule;
+    d.querySelector("code").textContent = a.expr + " (value " + a.value.toPrecision(4) + ")";
+    d.querySelector(".since").textContent = "since " + fmtTime(a.since_ms);
+    el.appendChild(d);
+  }
+}
+
+function drawTable(data) {
+  const rows = [];
+  for (const p of PANELS) {
+    const bs = (data.series[p.series] || []).slice(-8);
+    for (const b of bs) rows.push("<tr><td>" + p.series + "</td><td>" + fmtTime(b.ts) +
+      "</td><td>" + b.min.toPrecision(5) + "</td><td>" + (b.count ? b.sum/b.count : 0).toPrecision(5) +
+      "</td><td>" + b.max.toPrecision(5) + "</td><td>" + b.count + "</td></tr>");
+  }
+  document.getElementById("table").innerHTML =
+    "<table><thead><tr><th>series</th><th>time</th><th>min</th><th>avg</th><th>max</th><th>n</th></tr></thead><tbody>" +
+    rows.join("") + "</tbody></table>";
+}
+
+async function poll() {
+  try {
+    const names = PANELS.map(p => p.series).join(",");
+    const step = Math.max(1000, Math.round(winMs / 240));
+    const [data, slo] = await Promise.all([
+      fetch("/debug/tsdb?series=" + encodeURIComponent(names) + "&from=-" + winMs + "&step=" + step).then(r => r.json()),
+      fetch("/debug/slo").then(r => r.json()),
+    ]);
+    lastData = data;
+    document.getElementById("meta").textContent =
+      "window " + (winMs/60000) + "m · step " + (data.step/1000) + "s · " + fmtTime(data.now);
+    PANELS.forEach((p, i) => draw(panelDom[i], p, data.series[p.series] || [], data.from, data.to));
+    drawAlerts(slo);
+    drawTable(data);
+  } catch (err) {
+    document.getElementById("meta").textContent = "poll failed: " + err;
+  }
+}
+poll();
+setInterval(poll, 2000);
+addEventListener("resize", () => { if (lastData) PANELS.forEach((p, i) =>
+  draw(panelDom[i], p, lastData.series[p.series] || [], lastData.from, lastData.to)); });
+</script>
+</body>
+</html>
+`

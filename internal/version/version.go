@@ -1,0 +1,50 @@
+// Package version reports the binary's module version and VCS revision,
+// read from the build info the Go linker embeds — no ldflags stamping
+// required, so every `go build` and `go install` is self-describing.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String renders "module version (revision[ dirty]) goversion" from the
+// embedded build info. Missing pieces degrade to placeholders rather than
+// erroring: a test binary has no VCS stamp, a GOPATH build no module
+// version.
+func String() string {
+	return describe(debug.ReadBuildInfo())
+}
+
+// describe is String over explicit build info, for tests.
+func describe(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return "unknown (built without module support)"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	rev, dirty := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = " dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "no-vcs"
+	}
+	path := bi.Main.Path
+	if path == "" {
+		path = "dcsprint"
+	}
+	return fmt.Sprintf("%s %s (%s%s) %s", path, ver, rev, dirty, bi.GoVersion)
+}

@@ -1,0 +1,37 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	// The live path must never panic and always yield something.
+	if String() == "" {
+		t.Fatal("empty version string")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := describe(nil, false); !strings.Contains(got, "unknown") {
+		t.Fatalf("no build info: %q", got)
+	}
+	bi := &debug.BuildInfo{GoVersion: "go1.22"}
+	bi.Main.Path = "dcsprint"
+	bi.Main.Version = "(devel)"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got := describe(bi, true)
+	want := "dcsprint devel (0123456789ab dirty) go1.22"
+	if got != want {
+		t.Fatalf("describe = %q, want %q", got, want)
+	}
+	bi.Settings = nil
+	bi.Main.Version = "v1.2.3"
+	if got := describe(bi, true); got != "dcsprint v1.2.3 (no-vcs) go1.22" {
+		t.Fatalf("no-vcs form: %q", got)
+	}
+}

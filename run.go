@@ -63,6 +63,14 @@ type Engine = sim.Engine
 // TickDecision is the controller's output for one engine step.
 type TickDecision = sim.TickDecision
 
+// PlantSample is one per-tick snapshot of physical plant state — power
+// flows, thermal margins, storage ledgers; see sim.PlantSample.
+type PlantSample = sim.PlantSample
+
+// PlantRecorder receives one PlantSample per completed engine step;
+// attach one with Engine.AttachPlantRecorder. See sim.PlantRecorder.
+type PlantRecorder = sim.PlantRecorder
+
 // NewEngine builds an engine over a scenario without running it.
 func NewEngine(sc Scenario) (*Engine, error) { return sim.New(sc) }
 
