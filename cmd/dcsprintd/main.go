@@ -14,6 +14,7 @@
 //	dcsprintd -state-dir /var/lib/dcsprint   # journal sessions, recover on restart
 //	dcsprintd -span-out server-spans.jsonl   # write server spans on exit
 //	dcsprintd -tsdb-mem 128 -slo-rules 'default; hot = max(fleet.worst_breaker_stress, 10s) > 0.8 for 2'
+//	dcsprintd -fleet 'dcs=64,replicas=1,hot=0,cap=8'   # geo-fleet mode: route sessions across 64 DCs
 //	curl -s localhost:8080/metrics | grep dcsprint_service
 //	curl -s localhost:8080/debug/events | jq .   # flight recorder
 //	curl -s 'localhost:8080/debug/tsdb?series=fleet.total_draw_watts&from=-300000&step=10000' | jq .
@@ -35,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"dcsprint/internal/fleet"
 	"dcsprint/internal/service"
 	"dcsprint/internal/telemetry"
 	"dcsprint/internal/tsdb"
@@ -64,6 +66,7 @@ func run(args []string) error {
 		snapEvery   = fs.Int("snapshot-every", 256, "ticks between journal checkpoints when -state-dir is set")
 		tsdbMem     = fs.Int("tsdb-mem", 64, "plant time-series store memory budget in MiB; 0 disables the store, /debug/dash and the SLO watchdog")
 		sloRules    = fs.String("slo-rules", "default", "SLO burn-rate rules over the plant store ('name = agg(series, window) op threshold for N', ';'-separated; 'default' expands to the stock rules; empty disables the watchdog)")
+		fleetSpec   = fs.String("fleet", "", "geo-fleet mode: host N heterogeneous DC profiles and route sessions across them ('dcs=64,replicas=1,hot=0,cap=8,seed=1'; empty disables)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,12 +98,13 @@ func run(args []string) error {
 	// watchdog over them. All nil-gated: -tsdb-mem 0 runs the daemon with
 	// bare engines.
 	var (
+		store    *tsdb.Store
 		plant    *tsdb.PlantSink
 		watchdog *tsdb.Watchdog
 		debugger *tsdb.Handler
 	)
 	if *tsdbMem > 0 {
-		store := tsdb.New(tsdb.Sized(int64(*tsdbMem) << 20))
+		store = tsdb.New(tsdb.Sized(int64(*tsdbMem) << 20))
 		plant = tsdb.NewPlantSink(store, tsdb.SinkOptions{})
 		if *sloRules != "" {
 			rules, err := tsdb.ParseRules(*sloRules)
@@ -116,7 +120,26 @@ func run(args []string) error {
 		debugger = tsdb.NewHandler(store, watchdog)
 	}
 
-	mgr := service.NewManager(service.Config{
+	// Geo-fleet mode: the host implements the manager's plant tap, so it is
+	// built first and handed the manager right after.
+	var host *fleet.Host
+	if *fleetSpec != "" {
+		spec, err := fleet.ParseSpec(*fleetSpec)
+		if err != nil {
+			return err
+		}
+		host, err = fleet.NewHost(fleet.HostConfig{
+			Spec:     spec,
+			Registry: reg,
+			Flight:   flight,
+			Store:    store,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := service.Config{
 		MaxSessions:   *maxSessions,
 		IdleTTL:       *idleTTL,
 		QueueDepth:    *queueDepth,
@@ -128,7 +151,14 @@ func run(args []string) error {
 		SnapshotEvery: *snapEvery,
 		Plant:         plant,
 		Watchdog:      watchdog,
-	})
+	}
+	if host != nil {
+		cfg.Tap = host
+	}
+	mgr := service.NewManager(cfg)
+	if host != nil {
+		host.AttachManager(mgr)
+	}
 
 	// Recover journaled sessions before the listener opens so a resuming
 	// client never races the replay: by the time a connection is accepted,
@@ -147,6 +177,11 @@ func run(args []string) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", mgr.Handler())
+	if host != nil {
+		// More specific patterns win over the manager's /v1/ prefix.
+		mux.Handle("/v1/fleet", host.Handler())
+		mux.Handle("/v1/fleet/", host.Handler())
+	}
 	if debugger != nil {
 		debugger.Register(mux)
 	}
@@ -169,6 +204,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("dcsprintd listening on http://%s (sessions<=%d, idle-ttl %v)\n",
 		ln.Addr(), *maxSessions, *idleTTL)
+	if host != nil {
+		fmt.Printf("dcsprintd fleet mode: %d DCs behind /v1/fleet (spec %q)\n",
+			len(host.Profiles()), *fleetSpec)
+	}
 	if debugger != nil {
 		fmt.Printf("dcsprintd plant dashboard on http://%s/debug/dash (tsdb %d MiB)\n",
 			ln.Addr(), *tsdbMem)
@@ -196,6 +235,9 @@ func run(args []string) error {
 		fmt.Printf("dcsprintd: %v, draining\n", s)
 	case err := <-errc:
 		mgr.Close()
+		if host != nil {
+			host.Close()
+		}
 		return err
 	}
 
@@ -205,6 +247,9 @@ func run(args []string) error {
 		srv.Close()
 	}
 	mgr.Close()
+	if host != nil {
+		host.Close()
+	}
 	if ops != nil {
 		if err := writeSpans(*spanOut, ops); err != nil {
 			return fmt.Errorf("writing %s: %w", *spanOut, err)

@@ -8,6 +8,12 @@
 //	dcsprintload -sessions 8 -degree 3.0 -duration 5m -snapshot
 //	dcsprintload -sessions 4 -span-out client-spans.jsonl
 //	dcsprintload -addr http://127.0.0.1:7070 -ctl-addr http://127.0.0.1:8080 -verify
+//	dcsprintload -dcs 64 -sessions 256   # fleet mode against dcsprintd -fleet
+//
+// With -dcs N the daemon is expected to run in -fleet mode: sessions are
+// created through the fleet router (POST /v1/fleet/sessions), which spreads
+// them across DC profiles and spills off exhausted ledgers, and the summary
+// breaks step latency down per DC (p50/p99) with spill counts.
 //
 // Each session runs under its own trace id; every request carries a request
 // id the daemon echoes and tags its own spans with, so the slowest request
@@ -31,10 +37,12 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dcsprint/internal/fleet"
 	"dcsprint/internal/service"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
@@ -82,12 +90,17 @@ type worker struct {
 	id      int
 	c       *service.Client // steps (possibly via a chaos proxy)
 	ctl     *service.Client // create/snapshot/restore/finish
+	fc      *fleet.Client   // fleet-routed create (-dcs); nil in direct mode
 	hist    *telemetry.Histogram
 	slow    *slowest
 	verify  bool
 	steps   int64
 	heals   int64 // successful Resumes after an unplanned stream break
 	skipped int64 // ticks applied+journaled server-side whose acks we never saw
+
+	dc      string    // serving DC in fleet mode
+	spilled bool      // routed off the round-robin home DC
+	lats    []float64 // per-step latencies (seconds), kept only in fleet mode
 }
 
 func run(args []string) error {
@@ -100,6 +113,7 @@ func run(args []string) error {
 		degree   = fs.Float64("degree", 3.2, "yahoo burst degree")
 		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration (simulated)")
 		snapshot = fs.Bool("snapshot", false, "checkpoint and restore each session halfway through")
+		dcs      = fs.Int("dcs", 0, "fleet mode: create sessions through the fleet router of a dcsprintd -fleet daemon and report per-DC latency (0 disables)")
 		verify   = fs.Bool("verify", false, "re-simulate each session locally and require a bit-identical Result")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "overall wall-clock budget")
 		spanOut  = fs.String("span-out", "", "write client-side spans as JSONL to this file (merge with traces -merge)")
@@ -154,6 +168,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
+	workers := make([]*worker, 0, *sessions)
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
 		w := &worker{
@@ -167,6 +182,10 @@ func run(args []string) error {
 		if *ctlAddr != *addr {
 			w.ctl = &service.Client{Base: *ctlAddr, Ops: ops, Registry: reg, Retry: retry}
 		}
+		if *dcs > 0 {
+			w.fc = &fleet.Client{Base: *ctlAddr}
+		}
+		workers = append(workers, w)
 		go func() {
 			defer wg.Done()
 			if err := w.drive(ctx, *seed+int64(w.id), *degree, *duration, *snapshot); err != nil {
@@ -207,6 +226,9 @@ func run(args []string) error {
 		fmt.Printf("slowest request: rid=%s trace=%s (%v) — grep it in the daemon's /debug/events and span JSONL\n",
 			slow.rid, slow.trace, slow.dur.Round(time.Microsecond))
 	}
+	if *dcs > 0 {
+		printFleetSummary(ctx, workers, *ctlAddr)
+	}
 	if ops != nil {
 		if err := writeSpans(*spanOut, ops); err != nil {
 			return fmt.Errorf("writing %s: %w", *spanOut, err)
@@ -214,6 +236,65 @@ func run(args []string) error {
 		fmt.Printf("wrote %d client spans to %s (%d dropped)\n", ops.Len(), *spanOut, ops.Dropped())
 	}
 	return nil
+}
+
+// quantile returns the q-quantile of sorted (exact, nearest-rank).
+func quantile(sorted []float64, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return time.Duration(sorted[i] * float64(time.Second))
+}
+
+// printFleetSummary breaks the run down per DC: sessions served, sessions
+// spilled in by the router, and exact step-latency percentiles from the
+// workers' own samples. The daemon's /v1/fleet totals follow, so a run can
+// be cross-checked against the router's accounting.
+func printFleetSummary(ctx context.Context, workers []*worker, ctlAddr string) {
+	type dcAgg struct {
+		sessions int
+		spilled  int
+		lats     []float64
+	}
+	agg := map[string]*dcAgg{}
+	for _, w := range workers {
+		if w.dc == "" {
+			continue
+		}
+		a := agg[w.dc]
+		if a == nil {
+			a = &dcAgg{}
+			agg[w.dc] = a
+		}
+		a.sessions++
+		if w.spilled {
+			a.spilled++
+		}
+		a.lats = append(a.lats, w.lats...)
+	}
+	names := make([]string, 0, len(agg))
+	for dc := range agg {
+		names = append(names, dc)
+	}
+	sort.Strings(names)
+	fmt.Printf("fleet: %d DCs served sessions\n", len(names))
+	for _, dc := range names {
+		a := agg[dc]
+		sort.Float64s(a.lats)
+		fmt.Printf("  %s: sessions=%d spilled-in=%d steps=%d p50=%v p99=%v\n",
+			dc, a.sessions, a.spilled, len(a.lats),
+			quantile(a.lats, 0.50).Round(time.Microsecond),
+			quantile(a.lats, 0.99).Round(time.Microsecond))
+	}
+	fc := &fleet.Client{Base: ctlAddr}
+	st, err := fc.Status(ctx)
+	if err != nil {
+		fmt.Printf("fleet status: unavailable (%v)\n", err)
+		return
+	}
+	fmt.Printf("fleet router: routed=%d spilled=%d rejected=%d across %d DCs\n",
+		st.Routed, st.Spilled, st.Rejected, len(st.DCs))
 }
 
 func writeSpans(path string, ops *telemetry.OpLog) error {
@@ -238,9 +319,19 @@ func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration
 			DurationSeconds: duration.Seconds(),
 		},
 	}
-	s, err := w.ctl.Create(ctx, spec)
-	if err != nil {
-		return fmt.Errorf("create: %w", err)
+	var s *service.Session
+	if w.fc != nil {
+		rs, err := w.fc.Create(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("fleet create: %w", err)
+		}
+		w.dc, w.spilled = rs.DC, rs.Spilled
+		s = &rs.Session
+	} else {
+		var err error
+		if s, err = w.ctl.Create(ctx, spec); err != nil {
+			return fmt.Errorf("create: %w", err)
+		}
 	}
 	id := s.ID
 	half := s.TraceLen / 2
@@ -345,6 +436,9 @@ func (w *worker) step(ctx context.Context, st *service.Stream, demand float64) e
 			d := time.Since(t0)
 			w.hist.ObserveWithExemplar(d.Seconds(), st.LastReq())
 			w.slow.note(d, st.LastReq(), w.c.TraceID())
+			if w.fc != nil {
+				w.lats = append(w.lats, d.Seconds())
+			}
 			w.steps++
 			return nil
 		}

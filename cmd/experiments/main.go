@@ -37,7 +37,7 @@ var sweepReserves = []time.Duration{
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which    = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos")
+		which    = fs.String("run", "all", "comma-separated subset of: fig2,fig4,fig5,fig8,fig9,fig10,fig11,headroom,pue,notes,reserve,skew,capping,adaptive,outage,endurance,chippcm,day,burstiness,montecarlo,plan,chaos,fleet")
 		seed     = fs.Int64("seed", 1, "trace generator seed")
 		metrics  = fs.String("metrics", "", "write the campaign's Prometheus metrics snapshot (run/tick/trip totals) to this file")
 		parallel = fs.Int("parallel", 0, "campaign worker count for the sweep fan-outs (0 = all cores, 1 = serial)")
@@ -75,9 +75,10 @@ func run(args []string) error {
 		"plan":       plan,
 		"capping":    capping,
 		"chaos":      chaos,
+		"fleet":      fleetExp,
 	}
 	order := []string{"fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11",
-		"headroom", "pue", "notes", "reserve", "skew", "capping", "adaptive", "outage", "endurance", "chippcm", "day", "burstiness", "montecarlo", "plan", "chaos"}
+		"headroom", "pue", "notes", "reserve", "skew", "capping", "adaptive", "outage", "endurance", "chippcm", "day", "burstiness", "montecarlo", "plan", "chaos", "fleet"}
 
 	selected := order
 	if *which != "all" {
@@ -476,5 +477,28 @@ func chaos(seed int64) error {
 			r.Strategy, r.Campaigns, r.Trips, r.Overheats, r.Aborts, r.Deaths,
 			r.HealthyExcess, r.MeanDegradedExcess, r.WorstDegradedExcess, r.MinTripMargin)
 	}
+	return nil
+}
+
+func fleetExp(int64) error {
+	header("E16 — fleet coordination: routed vs independent sprinting (8 DCs, hot DC 0, 6 seeds)")
+	cmp, err := dcsprint.FleetContext(context.Background(), campaignOpts, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %8s %9s %9s %8s %13s %13s %8s\n",
+		"policy", "bursts", "survived", "rejected", "spilled", "worst stress", "min margin C", "served")
+	for _, row := range []struct {
+		name string
+		m    dcsprint.FleetModeResult
+	}{
+		{"coordinated", cmp.Coordinated},
+		{"independent", cmp.Independent},
+	} {
+		fmt.Printf("%12s %8d %9d %9d %8d %13.4f %13.3f %8.3f\n",
+			row.name, row.m.Bursts, row.m.Survived, row.m.Rejected, row.m.Spilled,
+			row.m.WorstBreakerStress, row.m.WorstThermalMarginC, row.m.MeanServedRatio)
+	}
+	fmt.Printf("dominates: %v\n", cmp.Dominates)
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"dcsprint/internal/core"
 	"dcsprint/internal/economics"
 	"dcsprint/internal/faults"
+	"dcsprint/internal/fleet"
 	"dcsprint/internal/sim"
 	"dcsprint/internal/telemetry"
 	"dcsprint/internal/testbed"
@@ -1287,6 +1288,120 @@ func ChaosContext(ctx context.Context, opts CampaignOptions, seed int64, campaig
 // TestbedPolicies returns the three testbed policies for iteration.
 func TestbedPolicies() []TestbedPolicy {
 	return []TestbedPolicy{testbed.PolicyOurs, testbed.PolicyCBFirst, testbed.PolicyCBOnly}
+}
+
+// fleetE16Spec is the E16 workload: eight heterogeneous DCs where DC 0 is
+// hot (tight headroom, two-minute tank, admission cap 1) and draws ~60% of
+// the bursts. Independent sprinting piles those bursts onto the hot DC;
+// coordinated routing spreads one burst per DC across the fleet.
+var fleetE16Spec = fleet.Spec{
+	DCs:         8,
+	Replicas:    1,
+	HotDC:       0,
+	AdmitCap:    1,
+	Ticks:       600,
+	Bursts:      8,
+	BurstDegree: 1.8,
+	BurstTicks:  150,
+}
+
+// FleetModeResult aggregates one routing policy's fleet runs across seeds
+// (E16): totals over every seed's schedule, extremes over every seed's run.
+type FleetModeResult struct {
+	// Bursts, Survived, Rejected and Spilled total across seeds.
+	Bursts   int
+	Survived int
+	Rejected int
+	Spilled  int
+	// WorstBreakerStress is the max over seeds of each run's fleet-wide
+	// breaker-stress peak; WorstThermalMarginC the min over seeds of each
+	// run's thermal-margin floor.
+	WorstBreakerStress  float64
+	WorstThermalMarginC float64
+	// MeanServedRatio averages the per-seed mean delivered/required ratio.
+	MeanServedRatio float64
+}
+
+// FleetComparison is the E16 outcome: the same burst schedules run under
+// coordinated fleet routing and under independent per-DC sprinting.
+type FleetComparison struct {
+	// Seeds is the number of independent schedules compared.
+	Seeds int
+	// Coordinated and Independent summarize each policy across all seeds.
+	Coordinated FleetModeResult
+	Independent FleetModeResult
+	// Dominates reports strict dominance: coordination survived strictly
+	// more bursts at no-worse fleet extremes (breaker stress no higher,
+	// thermal-margin floor no lower).
+	Dominates bool
+}
+
+// FleetContext (E16) asks whether cross-DC sprint coordination strictly
+// beats the paper's per-facility sprinting when bursts skew toward one
+// overloaded site. Each seed draws a fresh schedule over the E16 fleet and
+// runs it twice — once routed, once independent — and the aggregate
+// compares survival and fleet-wide stress extremes. The seeds fan out on
+// the campaign engine per opts; results are bit-identical at any worker
+// count because the moments accumulate from the seed-ordered sweep output.
+func FleetContext(ctx context.Context, opts CampaignOptions, seeds int) (*FleetComparison, error) {
+	if seeds <= 0 {
+		return nil, fmt.Errorf("dcsprint: non-positive seed count %d", seeds)
+	}
+	ids := make([]int64, seeds)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+	}
+	type pair struct {
+		coord, indep *fleet.Result
+	}
+	vals, err := sweepCtx(ctx, opts, ids, func(seed int64) (pair, error) {
+		var p pair
+		for _, coordinated := range []bool{true, false} {
+			spec := fleetE16Spec
+			spec.Seed = seed
+			fl, err := fleet.New(spec)
+			if err != nil {
+				return p, err
+			}
+			r, err := fl.Run(ctx, fleet.RunOptions{Coordinated: coordinated})
+			if err != nil {
+				return p, err
+			}
+			if coordinated {
+				p.coord = r
+			} else {
+				p.indep = r
+			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cmp := &FleetComparison{Seeds: seeds}
+	cmp.Coordinated.WorstThermalMarginC = math.Inf(1)
+	cmp.Independent.WorstThermalMarginC = math.Inf(1)
+	fold := func(m *FleetModeResult, r *fleet.Result) {
+		m.Bursts += r.Bursts
+		m.Survived += r.Survived
+		m.Rejected += r.Rejected
+		m.Spilled += r.Spilled
+		if r.WorstBreakerStress > m.WorstBreakerStress {
+			m.WorstBreakerStress = r.WorstBreakerStress
+		}
+		if r.WorstThermalMarginC < m.WorstThermalMarginC {
+			m.WorstThermalMarginC = r.WorstThermalMarginC
+		}
+		m.MeanServedRatio += r.MeanServedRatio / float64(seeds)
+	}
+	for _, p := range vals {
+		fold(&cmp.Coordinated, p.coord)
+		fold(&cmp.Independent, p.indep)
+	}
+	cmp.Dominates = cmp.Coordinated.Survived > cmp.Independent.Survived &&
+		cmp.Coordinated.WorstBreakerStress <= cmp.Independent.WorstBreakerStress &&
+		cmp.Coordinated.WorstThermalMarginC >= cmp.Independent.WorstThermalMarginC
+	return cmp, nil
 }
 
 // Compile-time checks that the facade strategies satisfy the interface.

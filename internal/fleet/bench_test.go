@@ -1,0 +1,23 @@
+package fleet
+
+import "testing"
+
+// BenchmarkFleetRoute measures one routing decision over a 64-DC fleet with
+// an exhausted home (the spill path — the expensive one: full candidate scan
+// plus tie-band collection).
+func BenchmarkFleetRoute(b *testing.B) {
+	r := NewRouter(RouterConfig{Seed: 1, Replicas: 1})
+	ledgers := freshLedgers(64)
+	ledgers[0].BreakerHeadroom = 0.01
+	for i := 0; i < 32; i++ {
+		ledgers[i+8].BreakerHeadroom = 0.3 + float64(i)*0.02
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := r.Place("bench", 0, ledgers)
+		if p.Rejected {
+			b.Fatal("unexpected rejection")
+		}
+	}
+}

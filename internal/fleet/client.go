@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dcsprint/internal/service"
+)
+
+// Client talks to a dcsprintd fleet control plane (-fleet mode). Session
+// creation goes through the fleet router; the opened session's steps then
+// flow over an ordinary service.Client stream — the fleet only decides
+// where load lands, not how it steps.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts bounds create retries after 429/503 rejections (first
+	// try included). Zero means 8.
+	MaxAttempts int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Create routes and opens a session across the fleet, retrying rejected
+// admissions (429/503) with the server's Retry-After hint.
+func (c *Client) Create(ctx context.Context, spec service.ScenarioSpec) (*RoutedSession, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.Base+"/v1/fleet/sessions", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusCreated {
+			var rs RoutedSession
+			err := json.NewDecoder(resp.Body).Decode(&rs)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			return &rs, nil
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt+1 >= attempts {
+			return nil, fmt.Errorf("fleet: create: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		delay := 100 * time.Millisecond
+		if secs, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil && secs > 0 && secs <= 3600 {
+			delay = time.Duration(secs * float64(time.Second))
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Status fetches the fleet status document.
+func (c *Client) Status(ctx context.Context) (*FleetStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/fleet", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: status: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dcsprint/internal/service"
+	"dcsprint/internal/telemetry"
+	"dcsprint/internal/tsdb"
+)
+
+// newTestHost wires a host fleet the way cmd/dcsprintd -fleet does: host
+// first, manager with the host as Tap, then AttachManager.
+func newTestHost(t *testing.T, spec Spec) (*Host, *service.Manager, *tsdb.Store) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	store := tsdb.New(tsdb.Options{MaxSeries: 4096})
+	h, err := NewHost(HostConfig{
+		Spec:      spec,
+		Registry:  reg,
+		Flight:    telemetry.NewFlightRecorder(service.NumShards, 64),
+		Store:     store,
+		FoldEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.NewManager(service.Config{Registry: reg, Tap: h})
+	h.AttachManager(mgr)
+	t.Cleanup(func() {
+		mgr.Close()
+		h.Close()
+	})
+	return h, mgr, store
+}
+
+func streamingSpec() service.ScenarioSpec {
+	return service.ScenarioSpec{Name: "fleet-test"}
+}
+
+func TestHostRoutesAndSpills(t *testing.T) {
+	// 4 DCs, hot dc-00 with one admission slot: the round-robin homes a
+	// quarter of the sessions on it, so everything past its first must
+	// spill to a sibling.
+	h, mgr, _ := newTestHost(t, Spec{DCs: 4, Seed: 1, Replicas: 1, HotDC: 0, AdmitCap: 64})
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+
+	var spills int
+	byDC := map[string]int{}
+	for i := 0; i < 12; i++ {
+		rs, err := c.Create(context.Background(), streamingSpec())
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		byDC[rs.DC]++
+		if rs.Spilled {
+			spills++
+			if rs.DC == rs.SpilledFrom {
+				t.Fatalf("spill to itself: %+v", rs)
+			}
+			if rs.TransferMs <= 0 {
+				t.Fatalf("spill paid no transfer latency: %+v", rs)
+			}
+		}
+		if len(rs.Replicas) != 1 {
+			t.Fatalf("replicas = %v, want 1", rs.Replicas)
+		}
+		if rs.Replicas[0] == rs.DC {
+			t.Fatalf("replica co-located with primary: %+v", rs)
+		}
+	}
+	if spills < 2 {
+		t.Fatalf("hot DC produced %d spills, want >= 2 (%v)", spills, byDC)
+	}
+	if byDC["dc-00"] > 1 {
+		t.Fatalf("hot DC served %d sessions past its 1-slot cap", byDC["dc-00"])
+	}
+	if got := len(mgr.List()); got != 12 {
+		t.Fatalf("manager hosts %d sessions, want 12", got)
+	}
+
+	st := h.Status()
+	if st.Sessions != 12 || st.Routed != 12 || int(st.Spilled) != spills {
+		t.Fatalf("status %+v, want 12 sessions, 12 routed, %d spilled", st, spills)
+	}
+	for _, dc := range st.DCs {
+		if dc.ID == "dc-00" && !dc.Hot {
+			t.Fatalf("dc-00 not marked hot: %+v", dc)
+		}
+	}
+}
+
+func TestHostStatusEndpointAndSeries(t *testing.T) {
+	h, _, store := newTestHost(t, Spec{DCs: 3, Seed: 2})
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	if _, err := c.Create(context.Background(), streamingSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.DCs) != 3 || st.Sessions != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	// The fold loop (10ms cadence) labels per-DC series into the store.
+	deadline := time.Now().Add(2 * time.Second)
+	want := tsdb.DCSeriesName(tsdb.SeriesFleetSessions, "dc-00")
+	for {
+		if s := store.Lookup(want); s != nil && s.Appended() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("series %q never appended; store has %v", want, store.Names())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHostRejectsWhenFleetExhausted(t *testing.T) {
+	// Every DC capped at 1 and filled: the next create must 429 with a
+	// Retry-After hint rather than land anywhere.
+	h, _, _ := newTestHost(t, Spec{DCs: 2, Seed: 3, AdmitCap: 1})
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxAttempts: 1}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Create(context.Background(), streamingSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Create(context.Background(), streamingSpec())
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("want HTTP 429 rejection, got %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/fleet/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestHostDropFreesSlot(t *testing.T) {
+	h, mgr, _ := newTestHost(t, Spec{DCs: 1, Seed: 4, AdmitCap: 1})
+	rs, err := h.CreateSession(streamingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateSession(streamingSpec()); err == nil {
+		t.Fatal("second create fit a 1-slot fleet")
+	}
+	if _, err := mgr.Finish(rs.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateSession(streamingSpec()); err != nil {
+		t.Fatalf("slot not freed after finish: %v", err)
+	}
+}
+
+func TestHostProfileOverridesSpec(t *testing.T) {
+	h, mgr, _ := newTestHost(t, Spec{DCs: 1, Seed: 5})
+	profile := h.Profiles()[0]
+	rs, err := h.CreateSession(streamingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session inherits the DC's facility: its snapshot spec carries the
+	// profile's servers.
+	doc, err := mgr.Snapshot(rs.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Spec.Servers != profile.Servers {
+		t.Fatalf("session servers %d, want profile's %d", doc.Spec.Servers, profile.Servers)
+	}
+	if doc.Spec.DCHeadroom != profile.Headroom || doc.Spec.TESMinutes != profile.TESMinutes {
+		t.Fatalf("spec %+v did not inherit profile %+v", doc.Spec, profile)
+	}
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import "dcsprint/internal/sim"
+
+// Ledger weights and policy constants. The ledger turns the plant probe's
+// raw headroom signals into one comparable slack scalar; the weights favor
+// the breaker accumulator (the signal that actually trips a facility) over
+// the softer thermal and store budgets, and the exhaustion floor is set
+// above the point where admitting more sprint load would push a DC into its
+// designed extremes. DESIGN.md ("Fleet control plane") derives the numbers.
+const (
+	// thermalRefC normalizes thermal margin: a DC holding this much room
+	// margin scores full thermal slack. Healthy sprints deliberately ride
+	// the margin close to zero, so the reference is modest.
+	thermalRefC = 5.0
+	// weights over the four headroom signals; they sum to 1.
+	wBreaker = 0.45
+	wThermal = 0.25
+	wUPS     = 0.20
+	wTES     = 0.10
+	// exhaustedSlack is the slack floor below which a DC stops accepting
+	// new sprint load and the router spills to a sibling.
+	exhaustedSlack = 0.40
+	// minBreakerHeadroom is an absolute floor: whatever the blended slack
+	// says, a breaker accumulator past 95% admits nothing new.
+	minBreakerHeadroom = 0.05
+)
+
+// Ledger is one data centre's time-varying capacity budget, derived from
+// the plant probe (sim.PlantSample) of its member engines plus the DC's
+// admission bookkeeping. It is a value: the router reads a consistent
+// slice of ledgers, decides, and never mutates them.
+type Ledger struct {
+	// DC is the owning data centre's id.
+	DC string
+	// BreakerHeadroom is 1 − the worst breaker thermal accumulator across
+	// members, in [0, 1]; 0 means a breaker is at its trip point.
+	BreakerHeadroom float64
+	// ThermalMarginC is the smallest room thermal margin across members,
+	// in °C above the overheat limit.
+	ThermalMarginC float64
+	// UPSSoC is the lowest UPS state of charge across members, in [0, 1].
+	UPSSoC float64
+	// TESSoC is the lowest TES state of charge across members, or -1 when
+	// no member has a tank.
+	TESSoC float64
+	// Sessions is the admitted sprint load (sessions or bursts) currently
+	// placed on the DC.
+	Sessions int
+	// Capacity is the DC's admission-slot cap; 0 means uncapped.
+	Capacity int
+	// Dead marks a facility that tripped or overheated; a dead DC admits
+	// nothing and spills everything.
+	Dead bool
+}
+
+// FreshLedger is a DC that has not reported a sample yet: full headroom.
+func FreshLedger(dc string, sessions, capacity int) Ledger {
+	return Ledger{
+		DC:              dc,
+		BreakerHeadroom: 1,
+		ThermalMarginC:  thermalRefC,
+		UPSSoC:          1,
+		TESSoC:          -1,
+		Sessions:        sessions,
+		Capacity:        capacity,
+	}
+}
+
+// LedgerOf derives a single-member ledger from one plant sample.
+func LedgerOf(dc string, s sim.PlantSample) Ledger {
+	l := Ledger{
+		DC:              dc,
+		BreakerHeadroom: 1 - s.BreakerStress,
+		ThermalMarginC:  s.ThermalMarginC,
+		UPSSoC:          s.UPSSoC,
+		TESSoC:          s.TESSoC,
+	}
+	if l.BreakerHeadroom < 0 {
+		l.BreakerHeadroom = 0
+	}
+	return l
+}
+
+// Fold merges another member's sample-derived ledger into l, keeping the
+// worst of every headroom signal — the ledger of a DC is its weakest link.
+func (l *Ledger) Fold(m Ledger) {
+	if m.BreakerHeadroom < l.BreakerHeadroom {
+		l.BreakerHeadroom = m.BreakerHeadroom
+	}
+	if m.ThermalMarginC < l.ThermalMarginC {
+		l.ThermalMarginC = m.ThermalMarginC
+	}
+	if m.UPSSoC < l.UPSSoC {
+		l.UPSSoC = m.UPSSoC
+	}
+	if m.TESSoC >= 0 && (l.TESSoC < 0 || m.TESSoC < l.TESSoC) {
+		l.TESSoC = m.TESSoC
+	}
+	if m.Dead {
+		l.Dead = true
+	}
+}
+
+// Slack blends the headroom signals into one scalar in [0, 1]: the budget
+// the placement policy ranks siblings by. A TES-less DC is scored as if
+// its tank were full — absence of a store is not exhaustion of one.
+func (l Ledger) Slack() float64 {
+	thermal := l.ThermalMarginC / thermalRefC
+	if thermal > 1 {
+		thermal = 1
+	}
+	if thermal < 0 {
+		thermal = 0
+	}
+	tes := l.TESSoC
+	if tes < 0 {
+		tes = 1
+	}
+	return wBreaker*l.BreakerHeadroom + wThermal*thermal + wUPS*l.UPSSoC + wTES*tes
+}
+
+// Exhausted reports whether the DC should accept no new sprint load: it is
+// dead, its admission slots are full, its breaker is nearly at trip, or its
+// blended slack is below the spill floor.
+func (l Ledger) Exhausted() bool {
+	switch {
+	case l.Dead:
+		return true
+	case l.Capacity > 0 && l.Sessions >= l.Capacity:
+		return true
+	case l.BreakerHeadroom < minBreakerHeadroom:
+		return true
+	default:
+		return l.Slack() < exhaustedSlack
+	}
+}

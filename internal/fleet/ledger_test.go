@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"dcsprint/internal/sim"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLedgerOfClampsAndFold(t *testing.T) {
+	a := LedgerOf("dc-00", sim.PlantSample{
+		BreakerStress: 0.4, ThermalMarginC: 8, UPSSoC: 0.9, TESSoC: -1,
+	})
+	if a.BreakerHeadroom != 0.6 {
+		t.Fatalf("BreakerHeadroom = %v, want 0.6", a.BreakerHeadroom)
+	}
+	if a.TESSoC != -1 {
+		t.Fatalf("TESSoC = %v, want -1 passthrough", a.TESSoC)
+	}
+	over := LedgerOf("dc-00", sim.PlantSample{BreakerStress: 1.3})
+	if over.BreakerHeadroom != 0 {
+		t.Fatalf("over-trip headroom = %v, want clamp to 0", over.BreakerHeadroom)
+	}
+
+	// Fold keeps the worst of every signal and treats -1 TES as absent.
+	a.Fold(LedgerOf("dc-00", sim.PlantSample{
+		BreakerStress: 0.7, ThermalMarginC: 12, UPSSoC: 0.95, TESSoC: 0.5,
+	}))
+	if !near(a.BreakerHeadroom, 0.3) {
+		t.Fatalf("folded BreakerHeadroom = %v, want 0.3", a.BreakerHeadroom)
+	}
+	if a.ThermalMarginC != 8 {
+		t.Fatalf("folded ThermalMarginC = %v, want 8 (kept worse)", a.ThermalMarginC)
+	}
+	if a.TESSoC != 0.5 {
+		t.Fatalf("folded TESSoC = %v, want 0.5 (first tank seen)", a.TESSoC)
+	}
+	a.Fold(Ledger{BreakerHeadroom: 1, ThermalMarginC: 99, UPSSoC: 1, TESSoC: 0.2, Dead: true})
+	if a.TESSoC != 0.2 || !a.Dead {
+		t.Fatalf("folded TESSoC=%v Dead=%v, want 0.2/true", a.TESSoC, a.Dead)
+	}
+}
+
+func TestLedgerSlackBounds(t *testing.T) {
+	full := FreshLedger("dc-00", 0, 0)
+	if s := full.Slack(); !near(s, 1) {
+		t.Fatalf("fresh slack = %v, want 1", s)
+	}
+	empty := Ledger{DC: "dc-00", ThermalMarginC: -3} // every signal at worst
+	if s := empty.Slack(); s != 0 {
+		t.Fatalf("empty slack = %v, want 0 (thermal clamped)", s)
+	}
+	// TES-less DCs score as if the tank were full.
+	noTES := Ledger{BreakerHeadroom: 1, ThermalMarginC: thermalRefC, UPSSoC: 1, TESSoC: -1}
+	withTES := noTES
+	withTES.TESSoC = 1
+	if noTES.Slack() != withTES.Slack() {
+		t.Fatalf("TES-less slack %v != full-tank slack %v", noTES.Slack(), withTES.Slack())
+	}
+}
+
+func TestLedgerExhausted(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Ledger
+		want bool
+	}{
+		{"fresh", FreshLedger("dc", 0, 0), false},
+		{"dead", Ledger{BreakerHeadroom: 1, ThermalMarginC: 9, UPSSoC: 1, TESSoC: -1, Dead: true}, true},
+		{"at-cap", FreshLedger("dc", 4, 4), true},
+		{"under-cap", FreshLedger("dc", 3, 4), false},
+		{"breaker-floor", Ledger{BreakerHeadroom: 0.04, ThermalMarginC: 9, UPSSoC: 1, TESSoC: -1}, true},
+		{"low-slack", Ledger{BreakerHeadroom: 0.2, ThermalMarginC: 0.1, UPSSoC: 0.2, TESSoC: 0.1}, true},
+	}
+	for _, c := range cases {
+		if got := c.l.Exhausted(); got != c.want {
+			t.Errorf("%s: Exhausted() = %v, want %v (slack %v)", c.name, got, c.want, c.l.Slack())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// slackEpsilon is the slack band within which candidate DCs count as tied;
+// the router's seeded RNG picks uniformly inside the band so placement does
+// not pile onto the lexicographically-first sibling, while staying bit-
+// reproducible for a fixed seed and decision order.
+const slackEpsilon = 0.02
+
+// Placement is one routing decision: where a unit of sprint load (a burst
+// or a session) and its replicas land, and what the move cost.
+type Placement struct {
+	// Key identifies the placed load unit.
+	Key string
+	// Home is the DC the load preferred before policy ran.
+	Home string
+	// Primary is the DC that serves the load; empty when Rejected.
+	Primary string
+	// Replicas are the standby DCs for the load's replica shards: never
+	// the primary, and never each other — primary + k replicas span k+1
+	// distinct DCs.
+	Replicas []string
+	// Spilled reports the primary is not the home DC: the home's ledger
+	// was exhausted and the load moved to the sibling with the most slack.
+	Spilled bool
+	// SpilledFrom is the exhausted home DC when Spilled.
+	SpilledFrom string
+	// TransferLatency is the inter-DC transfer delay the spill paid.
+	TransferLatency time.Duration
+	// TransferCost is the inter-DC transfer cost the spill paid, in
+	// cost units (hop distance × per-hop cost).
+	TransferCost float64
+	// Rejected reports every DC's ledger was exhausted: the fleet admits
+	// nothing and the caller should shed or retry the load.
+	Rejected bool
+}
+
+// Router is the fleet's burst admission and placement policy. Decisions
+// are deterministic for a fixed seed and call order: the only randomness
+// is the seeded tie-break inside slackEpsilon. Not safe for concurrent
+// use — the fleet serializes placement, which is what makes the decision
+// log reproducible.
+type Router struct {
+	rng      *rand.Rand
+	replicas int
+	hopRTT   time.Duration
+	hopCost  float64
+
+	routed   int64
+	spilled  int64
+	rejected int64
+
+	cand []int // scratch: candidate DC indices, reused across Place calls
+}
+
+// RouterConfig sizes a Router. Zero values take defaults.
+type RouterConfig struct {
+	// Seed seeds the tie-break RNG. Zero means 1.
+	Seed int64
+	// Replicas is k, the standby copies placed besides the primary.
+	// Negative means 0.
+	Replicas int
+	// HopRTT is the inter-DC transfer latency per ring hop. Zero means
+	// 5ms.
+	HopRTT time.Duration
+	// HopCost is the inter-DC transfer cost per ring hop. Zero means 1.
+	HopCost float64
+}
+
+// NewRouter returns a router with cfg.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	}
+	if cfg.HopRTT == 0 {
+		cfg.HopRTT = 5 * time.Millisecond
+	}
+	if cfg.HopCost == 0 {
+		cfg.HopCost = 1
+	}
+	return &Router{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		replicas: cfg.Replicas,
+		hopRTT:   cfg.HopRTT,
+		hopCost:  cfg.HopCost,
+	}
+}
+
+// Routed, Spilled and Rejected count the router's lifetime decisions.
+func (r *Router) Routed() int64   { return r.routed }
+func (r *Router) Spilled() int64  { return r.spilled }
+func (r *Router) Rejected() int64 { return r.rejected }
+
+// hops is the ring distance between DC indices — the transfer metric: DCs
+// are modeled on a ring (adjacent indices are network neighbors), so a
+// spill to a far sibling pays proportionally more latency and cost.
+func hops(from, to, n int) int {
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// pick returns the index of the best candidate among idxs by slack,
+// breaking ties within slackEpsilon with the seeded RNG. idxs must be
+// non-empty and already in ascending index order.
+func (r *Router) pick(ledgers []Ledger, idxs []int) int {
+	best := idxs[0]
+	bestSlack := ledgers[best].Slack()
+	for _, i := range idxs[1:] {
+		if s := ledgers[i].Slack(); s > bestSlack {
+			best, bestSlack = i, s
+		}
+	}
+	// Collect the tie band in index order, then draw one uniformly.
+	n := 0
+	for _, i := range idxs {
+		if ledgers[i].Slack() >= bestSlack-slackEpsilon {
+			idxs[n] = i
+			n++
+		}
+	}
+	if n <= 1 {
+		return best
+	}
+	return idxs[r.rng.Intn(n)]
+}
+
+// Place routes one load unit preferring home (an index into ledgers). The
+// policy: an unexhausted home serves its own load; an exhausted home spills
+// to the non-exhausted sibling with the most slack (seeded tie-break),
+// paying ring-distance transfer latency and cost; a fleet with every ledger
+// exhausted rejects. Replicas then go to the k best remaining DCs — never
+// co-located with the primary or each other — preferring unexhausted
+// siblings but falling back to loaded ones, since a standby shard on a busy
+// DC beats no standby at all.
+func (r *Router) Place(key string, home int, ledgers []Ledger) Placement {
+	n := len(ledgers)
+	p := Placement{Key: key, Home: ledgers[home].DC}
+	primary := -1
+	if !ledgers[home].Exhausted() {
+		primary = home
+	} else {
+		r.cand = r.cand[:0]
+		for i := 0; i < n; i++ {
+			if i != home && !ledgers[i].Exhausted() {
+				r.cand = append(r.cand, i)
+			}
+		}
+		if len(r.cand) > 0 {
+			primary = r.pick(ledgers, r.cand)
+			p.Spilled = true
+			p.SpilledFrom = ledgers[home].DC
+			d := hops(home, primary, n)
+			p.TransferLatency = time.Duration(d) * r.hopRTT
+			p.TransferCost = float64(d) * r.hopCost
+		}
+	}
+	if primary < 0 {
+		p.Rejected = true
+		r.rejected++
+		return p
+	}
+	p.Primary = ledgers[primary].DC
+	r.routed++
+	if p.Spilled {
+		r.spilled++
+	}
+	if r.replicas > 0 {
+		p.Replicas = make([]string, 0, r.replicas)
+		taken := map[int]bool{primary: true}
+		for len(p.Replicas) < r.replicas && len(taken) < n {
+			// Two passes: unexhausted siblings first, then anyone left.
+			idx := r.replicaPick(ledgers, taken, true)
+			if idx < 0 {
+				idx = r.replicaPick(ledgers, taken, false)
+			}
+			if idx < 0 {
+				break
+			}
+			taken[idx] = true
+			p.Replicas = append(p.Replicas, ledgers[idx].DC)
+		}
+	}
+	return p
+}
+
+// replicaPick returns the best untaken DC index, restricted to unexhausted
+// ledgers when healthyOnly, or -1 if none qualify.
+func (r *Router) replicaPick(ledgers []Ledger, taken map[int]bool, healthyOnly bool) int {
+	r.cand = r.cand[:0]
+	for i := range ledgers {
+		if taken[i] || ledgers[i].Dead {
+			continue
+		}
+		if healthyOnly && ledgers[i].Exhausted() {
+			continue
+		}
+		r.cand = append(r.cand, i)
+	}
+	if len(r.cand) == 0 {
+		return -1
+	}
+	return r.pick(ledgers, r.cand)
+}

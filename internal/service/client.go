@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -222,18 +223,30 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
 }
 
-// retryAfterHeader parses the Retry-After header as decimal seconds — the
-// form this control plane emits (sub-second backoffs matter at step cadence).
+// retryAfterHeader parses the Retry-After header: decimal seconds first —
+// the form this control plane emits, fractional included, since sub-second
+// backoffs matter at step cadence — then the RFC 9110 HTTP-date form that
+// proxies and other servers send, interpreted relative to the response's
+// own Date header when present. Hints outside (0s, 1h] are discarded.
 func retryAfterHeader(resp *http.Response) time.Duration {
-	v := resp.Header.Get("Retry-After")
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseFloat(v, 64)
-	if err != nil || secs <= 0 || secs > 3600 {
+	var d time.Duration
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		d = time.Duration(secs * float64(time.Second))
+	} else if at, err := http.ParseTime(v); err == nil {
+		now := time.Now()
+		if sent, err := http.ParseTime(resp.Header.Get("Date")); err == nil {
+			now = sent
+		}
+		d = at.Sub(now)
+	}
+	if d <= 0 || d > time.Hour {
 		return 0
 	}
-	return time.Duration(secs * float64(time.Second))
+	return d
 }
 
 // stamp attaches the trace headers for one request.

@@ -82,6 +82,10 @@ type Config struct {
 	Watchdog *tsdb.Watchdog
 	// PlantEvery is the fleet sampling cadence. Zero means 1 second.
 	PlantEvery time.Duration
+	// Tap is a second plant-probe consumer with the same recorder
+	// lifecycle as Plant (the fleet control plane's ledger feed). Nil
+	// disables it; see PlantTap.
+	Tap PlantTap
 }
 
 func (c *Config) fill() {
@@ -387,8 +391,8 @@ func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine, opts installOpts) 
 	sh.mu.Unlock()
 	m.metrics.created.Inc()
 	m.metrics.active.Add(1)
-	if m.cfg.Plant != nil {
-		eng.AttachPlantRecorder(m.cfg.Plant.Session(s.id))
+	if rec := m.plantRecorder(s.id); rec != nil {
+		eng.AttachPlantRecorder(rec)
 	}
 	m.wg.Add(1)
 	// pprof labels make /debug/pprof/profile attribute CPU to the hot
@@ -724,6 +728,9 @@ func (m *Manager) drop(s *session) bool {
 		m.release()
 		if m.cfg.Plant != nil {
 			m.cfg.Plant.Drop(s.id)
+		}
+		if m.cfg.Tap != nil {
+			m.cfg.Tap.Drop(s.id)
 		}
 	}
 	return ok

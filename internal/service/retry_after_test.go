@@ -1,0 +1,61 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWith(h http.Header) *http.Response {
+	return &http.Response{Header: h}
+}
+
+func TestRetryAfterHeaderSeconds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"0.5", 500 * time.Millisecond}, // fractional seconds — step-cadence backoffs
+		{"0.005", 5 * time.Millisecond},
+		{" 2.5 ", 2500 * time.Millisecond}, // tolerate header whitespace
+		{"0", 0},                           // non-positive discarded
+		{"-3", 0},
+		{"7200", 0}, // over the 1h sanity bound
+		{"nonsense", 0},
+	}
+	for _, c := range cases {
+		h := http.Header{}
+		if c.in != "" {
+			h.Set("Retry-After", c.in)
+		}
+		if got := retryAfterHeader(respWith(h)); got != c.want {
+			t.Errorf("retryAfterHeader(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHeaderHTTPDate(t *testing.T) {
+	// RFC 9110 HTTP-date form, interpreted against the response's own Date
+	// header so a skewed local clock does not distort the hint.
+	sent := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	h := http.Header{}
+	h.Set("Date", sent.Format(http.TimeFormat))
+	h.Set("Retry-After", sent.Add(30*time.Second).Format(http.TimeFormat))
+	if got := retryAfterHeader(respWith(h)); got != 30*time.Second {
+		t.Fatalf("HTTP-date hint = %v, want 30s", got)
+	}
+	// A date in the past means no wait.
+	h.Set("Retry-After", sent.Add(-time.Minute).Format(http.TimeFormat))
+	if got := retryAfterHeader(respWith(h)); got != 0 {
+		t.Fatalf("past HTTP-date hint = %v, want 0", got)
+	}
+	// Without a Date header the hint falls back to the local clock: a date
+	// far in the future exceeds the sanity bound and is discarded.
+	h2 := http.Header{}
+	h2.Set("Retry-After", time.Now().Add(48*time.Hour).Format(http.TimeFormat))
+	if got := retryAfterHeader(respWith(h2)); got != 0 {
+		t.Fatalf("48h HTTP-date hint = %v, want 0 (over bound)", got)
+	}
+}

@@ -46,6 +46,8 @@ const (
 	EventItemError    = "item-error"   // campaign item returned an error
 	EventSLOBreach    = "slo-breach"   // SLO watchdog rule started firing
 	EventSLOClear     = "slo-clear"    // SLO watchdog rule stopped firing
+	EventFleetSpill   = "fleet-spill"  // fleet router spilled a session off its home DC
+	EventFleetReject  = "fleet-reject" // fleet router found every DC ledger exhausted
 )
 
 // flightRing is one shard's bounded event ring.

@@ -96,6 +96,14 @@ const dashHTML = `<!doctype html>
   details th:first-child, details td:first-child { text-align: left; }
   details th { color: var(--muted); font-weight: 500; }
   .axis text { font: 10px system-ui, sans-serif; fill: var(--muted); }
+  #fleet { margin-top: 12px; padding-bottom: 10px; }
+  #fleet .totals { font-size: 12px; color: var(--text-secondary); font-variant-numeric: tabular-nums; }
+  #fleet table { width: 100%; border-collapse: collapse; margin-top: 6px; font-size: 12px; font-variant-numeric: tabular-nums; }
+  #fleet th, #fleet td { text-align: right; padding: 2px 8px; border-bottom: 1px solid var(--grid); }
+  #fleet th:first-child, #fleet td:first-child { text-align: left; }
+  #fleet th { color: var(--muted); font-weight: 500; }
+  #fleet .hot { color: var(--series-2); font-weight: 600; }
+  #fleet .bad { color: var(--status-critical); font-weight: 600; }
 </style>
 </head>
 <body class="viz-root">
@@ -106,6 +114,10 @@ const dashHTML = `<!doctype html>
 </header>
 <div id="alerts"></div>
 <div class="grid2" id="panels"></div>
+<div class="panel" id="fleet" hidden>
+  <div class="head"><h2>Geo-fleet routing</h2><span class="totals" id="fleet-totals"></span></div>
+  <div id="fleet-table"></div>
+</div>
 <div class="tip" id="tip"></div>
 <details>
   <summary>Data table (latest buckets)</summary>
@@ -274,8 +286,42 @@ async function poll() {
     document.getElementById("meta").textContent = "poll failed: " + err;
   }
 }
+// Geo-fleet view: only daemons started with -fleet serve /v1/fleet, so the
+// section stays hidden until the endpoint answers and re-hides if it stops.
+function drawFleet(st) {
+  const rows = st.dcs.map(d =>
+    "<tr><td" + (d.hot ? ' class="hot"' : "") + ">" + d.id + (d.hot ? " ⚡" : "") + "</td>" +
+    "<td>" + d.servers + "</td>" +
+    "<td>" + d.sessions + (d.capacity ? "/" + d.capacity : "") + "</td>" +
+    "<td>" + d.spills_in + "</td><td>" + d.spills_out + "</td>" +
+    "<td>" + d.slack.toFixed(3) + "</td>" +
+    "<td>" + d.breaker_stress.toFixed(3) + "</td>" +
+    "<td>" + d.thermal_margin_c.toFixed(2) + "</td>" +
+    "<td>" + (d.dead ? '<span class="bad">dead</span>' :
+              d.exhausted ? '<span class="bad">exhausted</span>' : "ok") + "</td></tr>");
+  document.getElementById("fleet-totals").textContent =
+    st.dcs.length + " DCs · " + st.sessions + " sessions · routed " + st.routed +
+    " · spilled " + st.spilled + " · rejected " + st.rejected;
+  document.getElementById("fleet-table").innerHTML =
+    "<table><thead><tr><th>dc</th><th>servers</th><th>sessions</th><th>spills in</th>" +
+    "<th>spills out</th><th>slack</th><th>stress</th><th>margin °C</th><th>state</th></tr></thead><tbody>" +
+    rows.join("") + "</tbody></table>";
+}
+async function pollFleet() {
+  const el = document.getElementById("fleet");
+  try {
+    const r = await fetch("/v1/fleet");
+    if (!r.ok) throw new Error(r.status);
+    drawFleet(await r.json());
+    el.hidden = false;
+  } catch (err) {
+    el.hidden = true;
+  }
+}
 poll();
+pollFleet();
 setInterval(poll, 2000);
+setInterval(pollFleet, 2000);
 addEventListener("resize", () => { if (lastData) PANELS.forEach((p, i) =>
   draw(panelDom[i], p, lastData.series[p.series] || [], lastData.from, lastData.to)); });
 </script>

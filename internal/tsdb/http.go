@@ -60,6 +60,51 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v) //nolint:errcheck // client went away
 }
 
+// errorResponse is the structured shape of a /debug/tsdb 400: machine-
+// readable for batch callers that want to know which series name broke.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Series string `json:"series,omitempty"`
+}
+
+func writeErrorJSON(w http.ResponseWriter, status int, e errorResponse) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e) //nolint:errcheck // client went away
+}
+
+// validSeriesName rejects series names a store would never hold: empty,
+// oversized, non-printable-ASCII, or with broken label-brace structure.
+// Batch queries check each member up front so a malformed name is a
+// structured 400 naming the offender, not a silent empty bucket list.
+func validSeriesName(name string) bool {
+	if name == "" || len(name) > 256 {
+		return false
+	}
+	braces := 0
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c < 0x21 || c > 0x7e {
+			return false
+		}
+		switch c {
+		case '{':
+			braces++
+			if braces > 1 {
+				return false
+			}
+		case '}':
+			// A closing brace is only valid as the final byte of a
+			// single label block.
+			if braces != 1 || i != len(name)-1 {
+				return false
+			}
+			braces = 2
+		}
+	}
+	return braces == 0 || braces == 2
+}
+
 // paramInt64 parses an integer query parameter, def when absent.
 func paramInt64(r *http.Request, name string, def int64) (int64, bool) {
 	s := r.URL.Query().Get(name)
@@ -112,6 +157,11 @@ func (h *Handler) handleTSDB(w http.ResponseWriter, r *http.Request) {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
+		}
+		if !validSeriesName(name) {
+			writeErrorJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "tsdb: malformed series name", Series: name})
+			return
 		}
 		s := h.store.Lookup(name)
 		if s == nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -160,5 +161,52 @@ func TestHTTPDash(t *testing.T) {
 		if strings.Contains(body, external) {
 			t.Fatalf("dashboard references an external asset (%q)", external)
 		}
+	}
+}
+
+func TestHTTPQueryMalformedSeriesName(t *testing.T) {
+	st, _, mux := testHandler(t, 60_000)
+	st.Series("ok").Append(1000, 1)
+
+	bad := []string{
+		"bad%7Bname",           // "bad{name" — unclosed label block
+		"bad%7D",               // "bad}" — close without open
+		"a%7Bx%7Dtail",         // "a{x}tail" — bytes after the label block
+		"a%7B%7B",              // "a{{" — nested open
+		"bad%09name",           // control byte
+		"caf%C3%A9",            // non-ASCII
+	}
+	for _, name := range bad {
+		w := get(t, mux, "/debug/tsdb?series=ok,"+name)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("series=%s: status %d, want 400", name, w.Code)
+		}
+		if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("series=%s: Content-Type %q, want JSON", name, ct)
+		}
+		var resp struct {
+			Error  string `json:"error"`
+			Series string `json:"series"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("series=%s: body %q not JSON: %v", name, w.Body.String(), err)
+		}
+		if resp.Error == "" || resp.Series == "" {
+			t.Fatalf("series=%s: resp %+v lacks error/series", name, resp)
+		}
+	}
+
+	// Labelled names of the fold families stay valid.
+	goodName := DCSeriesName(SeriesFleetWorstStress, "dc-07")
+	st.Series(goodName).Append(1000, 0.5)
+	w := get(t, mux, "/debug/tsdb?series="+url.QueryEscape(goodName))
+	if w.Code != 200 {
+		t.Fatalf("labelled series rejected: %d %s", w.Code, w.Body.String())
+	}
+
+	// An oversized name is malformed, not a 404.
+	w = get(t, mux, "/debug/tsdb?series="+strings.Repeat("a", 300))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized name: status %d, want 400", w.Code)
 	}
 }

@@ -63,6 +63,13 @@ func sessionSeriesName(base, id string) string {
 	return base + `{session="` + id + `"}`
 }
 
+// DCSeriesName labels a fleet series with a data-centre id — the per-DC
+// fold family of the fleet control plane, e.g.
+// fleet.worst_breaker_stress{dc="dc-07"}.
+func DCSeriesName(base, dc string) string {
+	return base + `{dc="` + dc + `"}`
+}
+
 // SinkOptions tunes a PlantSink. The zero value is a live sink: wall-
 // clock timestamps, per-session series enabled.
 type SinkOptions struct {
