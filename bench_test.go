@@ -323,7 +323,7 @@ func BenchmarkBurstinessSweep(b *testing.B) {
 func BenchmarkMonteCarlo(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		st, err := MonteCarlo(8)
+		st, err := MonteCarlo(context.Background(), CampaignOptions{}, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -355,7 +355,7 @@ func BenchmarkCampaignMonteCarloParallel(b *testing.B) { benchCampaignMonteCarlo
 func benchCampaignMonteCarlo(b *testing.B, workers int) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		st, err := MonteCarloContext(context.Background(), CampaignOptions{Workers: workers}, 200)
+		st, err := MonteCarlo(context.Background(), CampaignOptions{Workers: workers}, 200)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,9 @@
 package dcsprint
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestChaosInvariants replays a reduced chaos sweep (E15) and asserts the
 // graceful-degradation contract: no random fault campaign may trip a breaker,
@@ -11,7 +14,7 @@ func TestChaosInvariants(t *testing.T) {
 	if testing.Short() {
 		campaigns = 4
 	}
-	rows, err := Chaos(1, campaigns)
+	rows, err := Chaos(context.Background(), CampaignOptions{}, 1, campaigns)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,13 @@
 // baseline, which is how CI pins the engine's allocs/op at zero:
 //
 //	benchjson -out BENCH_PR5.json -baseline BENCH_PR4.json -gate EngineStep:allocs/op
+//
+// -min and -max <Name>:<unit>:<value> are absolute gates that need no
+// baseline: -min fails when the metric's mean falls below value (throughput
+// floors such as steps/s), -max fails when it rises above (ratio ceilings
+// such as delta_frac):
+//
+//	benchjson -min BatchStepAll1024:steps/s:1000000 -max DeltaSnapshot:delta_frac:0.1
 package main
 
 import (
@@ -64,7 +71,7 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	out := ""
 	baseline := ""
 	indent := true
-	var gates []string
+	var gates, mins, maxes []string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-out", "--out":
@@ -85,10 +92,22 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 				return fmt.Errorf("-gate needs a <Benchmark>:<unit> argument")
 			}
 			gates = append(gates, args[i])
+		case "-min", "--min":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-min needs a <Benchmark>:<unit>:<value> argument")
+			}
+			mins = append(mins, args[i])
+		case "-max", "--max":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-max needs a <Benchmark>:<unit>:<value> argument")
+			}
+			maxes = append(maxes, args[i])
 		case "-compact", "--compact":
 			indent = false
 		default:
-			return fmt.Errorf("unknown argument %q (want -out <file>, -baseline <file>, -gate <Name>:<unit> or -compact)", args[i])
+			return fmt.Errorf("unknown argument %q (want -out <file>, -baseline <file>, -gate <Name>:<unit>, -min/-max <Name>:<unit>:<value> or -compact)", args[i])
 		}
 	}
 	if len(gates) > 0 && baseline == "" {
@@ -112,6 +131,9 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 		enc.SetIndent("", "  ")
 	}
 	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if err := absGate(rep, mins, maxes); err != nil {
 		return err
 	}
 	if baseline == "" {
@@ -183,6 +205,65 @@ func gate(cur, base *Report, specs []string) error {
 		return fmt.Errorf("%d gate(s) regressed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
+}
+
+// absGate checks each <Name>:<unit>:<value> spec against an absolute bound:
+// -min specs fail when the metric's mean is below value, -max specs when it
+// is above. Unlike relative gates these need no baseline, so CI can pin
+// hard floors (BatchStepAll steps/s >= 1e6) and ceilings (delta_frac <= 0.1)
+// that hold regardless of runner drift.
+func absGate(rep *Report, mins, maxes []string) error {
+	var failed []string
+	check := func(spec, dir string) error {
+		rest, valStr, ok := cutLast(spec)
+		if !ok {
+			return fmt.Errorf("malformed %s gate %q (want <Benchmark>:<unit>:<value>)", dir, spec)
+		}
+		name, unit, ok := strings.Cut(rest, ":")
+		if !ok || name == "" || unit == "" {
+			return fmt.Errorf("malformed %s gate %q (want <Benchmark>:<unit>:<value>)", dir, spec)
+		}
+		bound, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("%s gate %q: bad bound: %w", dir, spec, err)
+		}
+		m, ok := findMetric(rep, name, unit)
+		if !ok {
+			return fmt.Errorf("%s gate %s: benchmark not in current run", dir, spec)
+		}
+		verdict := "ok"
+		if (dir == "min" && m.Mean < bound) || (dir == "max" && m.Mean > bound) {
+			verdict = "VIOLATION"
+			failed = append(failed, dir+" "+spec)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-4s %-40s bound %.4g, current %.4g  %s\n",
+			dir, name+":"+unit, bound, m.Mean, verdict)
+		return nil
+	}
+	for _, spec := range mins {
+		if err := check(spec, "min"); err != nil {
+			return err
+		}
+	}
+	for _, spec := range maxes {
+		if err := check(spec, "max"); err != nil {
+			return err
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d absolute gate(s) violated: %s", len(failed), strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// cutLast splits around the final colon, so metric units containing colons
+// never confuse the bound parse.
+func cutLast(s string) (before, after string, ok bool) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
 }
 
 // Parse reads `go test -bench` output and aggregates repeated runs.

@@ -108,6 +108,52 @@ func TestRunUnknownFlag(t *testing.T) {
 	}
 }
 
+func TestAbsoluteGates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		fail bool
+	}{
+		{"min floor held", []string{"-min", "SimulationRunMS:ticks/s:10000"}, false},
+		{"min floor violated", []string{"-min", "SimulationRunMS:ticks/s:50000"}, true},
+		{"max ceiling held", []string{"-max", "Fig2TripCurve:allocs/op:3"}, false},
+		{"max ceiling violated", []string{"-max", "Fig2TripCurve:allocs/op:2"}, true},
+		{"both, one fails", []string{"-min", "SimulationRunMS:ticks/s:10000", "-max", "Fig2TripCurve:B/op:100"}, true},
+	} {
+		var sb strings.Builder
+		err := run(append([]string{"-compact"}, tc.args...), strings.NewReader(sample), &sb)
+		if tc.fail && (err == nil || !strings.Contains(err.Error(), "violated")) {
+			t.Errorf("%s: violation not caught: %v", tc.name, err)
+		}
+		if !tc.fail && err != nil {
+			t.Errorf("%s: in-bounds run failed: %v", tc.name, err)
+		}
+		// Absolute gates never suppress the report itself.
+		if !strings.Contains(sb.String(), "Fig2TripCurve") {
+			t.Errorf("%s: report not emitted", tc.name)
+		}
+	}
+}
+
+func TestAbsoluteGateArgumentErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"min missing value", []string{"-min", "SimulationRunMS:ticks/s"}},
+		{"min bad value", []string{"-min", "SimulationRunMS:ticks/s:fast"}},
+		{"max missing unit", []string{"-max", "Fig2TripCurve:3"}},
+		{"min unknown benchmark", []string{"-min", "Nope:ticks/s:1"}},
+		{"max unknown unit", []string{"-max", "Fig2TripCurve:furlongs:1"}},
+		{"min without spec", []string{"-min"}},
+	} {
+		var sb strings.Builder
+		if err := run(append([]string{"-compact"}, tc.args...), strings.NewReader(sample), &sb); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
 // writeBaseline archives a bench-text sample as a Report JSON file, the way
 // CI archives BENCH_PRn.json, and returns its path.
 func writeBaseline(t *testing.T, benchText string) string {

@@ -140,20 +140,16 @@ func run(args []string) error {
 	}
 
 	cfg := service.Config{
-		MaxSessions:   *maxSessions,
-		IdleTTL:       *idleTTL,
-		QueueDepth:    *queueDepth,
-		Registry:      reg,
-		Ops:           ops,
-		Flight:        flight,
-		SlowStep:      *slowStep,
-		StateDir:      *stateDir,
-		SnapshotEvery: *snapEvery,
-		Plant:         plant,
-		Watchdog:      watchdog,
-	}
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idleTTL,
+		QueueDepth:  *queueDepth,
+		Registry:    reg,
+		Ops:         ops,
+		Flight:      flight,
+		SlowStep:    *slowStep,
+	}.WithDurability(*stateDir, *snapEvery).WithPlant(plant, watchdog, 0)
 	if host != nil {
-		cfg.Tap = host
+		cfg = cfg.WithTap(host)
 	}
 	mgr := service.NewManager(cfg)
 	if host != nil {

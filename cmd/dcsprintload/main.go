@@ -9,6 +9,14 @@
 //	dcsprintload -sessions 4 -span-out client-spans.jsonl
 //	dcsprintload -addr http://127.0.0.1:7070 -ctl-addr http://127.0.0.1:8080 -verify
 //	dcsprintload -dcs 64 -sessions 256   # fleet mode against dcsprintd -fleet
+//	dcsprintload -sessions 100000 -concurrency 512 -ticks 12
+//
+// The last shape is the batch-path soak: -concurrency bounds how many of the
+// -sessions run at once (0 means all at once), so a six-figure session count
+// sweeps through the daemon's shard run queues in waves without exhausting
+// client-side sockets, and -ticks finishes each session after N steps
+// instead of streaming the full synthetic trace, keeping the total step
+// count proportional to the session count.
 //
 // With -dcs N the daemon is expected to run in -fleet mode: sessions are
 // created through the fleet router (POST /v1/fleet/sessions), which spreads
@@ -108,7 +116,9 @@ func run(args []string) error {
 	var (
 		addr     = fs.String("addr", "http://127.0.0.1:8080", "dcsprintd base URL for the steps stream")
 		ctlAddr  = fs.String("ctl-addr", "", "base URL for unary ops (create/finish); default -addr — set it to bypass a chaos proxy")
-		sessions = fs.Int("sessions", 8, "concurrent sessions")
+		sessions = fs.Int("sessions", 8, "total sessions to run")
+		conc     = fs.Int("concurrency", 0, "max sessions in flight at once; 0 means all at once")
+		ticks    = fs.Int("ticks", 0, "steps per session before finishing early; 0 means the full trace")
 		seed     = fs.Int64("seed", 1, "base trace seed; session i uses seed+i")
 		degree   = fs.Float64("degree", 3.2, "yahoo burst degree")
 		duration = fs.Duration("duration", 15*time.Minute, "yahoo burst duration (simulated)")
@@ -167,6 +177,13 @@ func run(args []string) error {
 		cancel()
 	}
 
+	// In-flight cap: each waiting goroutine is a few KB, so even 100k queued
+	// sessions cost little until their wave starts.
+	var sem chan struct{}
+	if *conc > 0 {
+		sem = make(chan struct{}, *conc)
+	}
+
 	start := time.Now()
 	workers := make([]*worker, 0, *sessions)
 	for i := 0; i < *sessions; i++ {
@@ -188,7 +205,16 @@ func run(args []string) error {
 		workers = append(workers, w)
 		go func() {
 			defer wg.Done()
-			if err := w.drive(ctx, *seed+int64(w.id), *degree, *duration, *snapshot); err != nil {
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-ctx.Done():
+					fail(w.id, ctx.Err())
+					return
+				}
+			}
+			if err := w.drive(ctx, *seed+int64(w.id), *degree, *duration, *ticks, *snapshot); err != nil {
 				fail(w.id, err)
 				return
 			}
@@ -309,7 +335,7 @@ func writeSpans(path string, ops *telemetry.OpLog) error {
 	return f.Close()
 }
 
-func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration time.Duration, snapshot bool) error {
+func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration time.Duration, ticks int, snapshot bool) error {
 	spec := service.ScenarioSpec{
 		Name: fmt.Sprintf("load-%d", w.id),
 		Trace: &service.TraceSpec{
@@ -334,7 +360,13 @@ func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration
 		}
 	}
 	id := s.ID
-	half := s.TraceLen / 2
+	// -ticks finishes the session early; the protocol allows Finish at any
+	// tick, so a soak can push session count without paying full traces.
+	limit := s.TraceLen
+	if ticks > 0 && ticks < limit {
+		limit = ticks
+	}
+	half := limit / 2
 	snapped := !snapshot
 	st, err := w.c.Resume(ctx, id, -1)
 	if err != nil {
@@ -342,7 +374,7 @@ func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration
 	}
 	// The load shape does not affect service latency; a constant demand above
 	// capacity keeps the controller in its sprinting phases all run long.
-	for tick := int(st.Tick()); tick < s.TraceLen; {
+	for tick := int(st.Tick()); tick < limit; {
 		if !snapped && tick >= half {
 			snapped = true
 			if err := st.Close(); err != nil {
@@ -407,7 +439,7 @@ func (w *worker) drive(ctx context.Context, seed int64, degree float64, duration
 		if err != nil {
 			return fmt.Errorf("verify engine: %w", err)
 		}
-		for tick := 0; tick < s.TraceLen; tick++ {
+		for tick := 0; tick < limit; tick++ {
 			if _, err := eng.Step(degree); err != nil {
 				return fmt.Errorf("verify step %d: %w", tick, err)
 			}

@@ -431,7 +431,7 @@ func burstiness(seed int64) error {
 
 func montecarlo(int64) error {
 	header("E13 — Monte-Carlo robustness (Yahoo 3.2x / 15 min across 32 seeds)")
-	st, err := dcsprint.MonteCarloContext(context.Background(), campaignOpts, 32)
+	st, err := dcsprint.MonteCarlo(context.Background(), campaignOpts, 32)
 	if err != nil {
 		return err
 	}
@@ -465,7 +465,7 @@ func plan(seed int64) error {
 
 func chaos(seed int64) error {
 	header("E15 — chaos: 50 random fault campaigns per strategy (Yahoo 2.5x / 12 min)")
-	rows, err := dcsprint.ChaosContext(context.Background(), campaignOpts, seed, 0)
+	rows, err := dcsprint.Chaos(context.Background(), campaignOpts, seed, 0)
 	if err != nil {
 		return err
 	}

@@ -954,21 +954,14 @@ type MonteCarloStats struct {
 	Trips int
 }
 
-// MonteCarlo runs MonteCarloContext with a background context and default
-// campaign options.
-//
-// Deprecated: use MonteCarloContext, which accepts cancellation and campaign
-// options. This form remains for compatibility.
-func MonteCarlo(seeds int) (*MonteCarloStats, error) {
-	return MonteCarloContext(context.Background(), CampaignOptions{}, seeds)
-}
-
-// MonteCarloContext (E13) re-runs the 15-minute 3.2x Yahoo burst across many
+// MonteCarlo (E13) re-runs the 15-minute 3.2x Yahoo burst across many
 // trace seeds: the paper evaluates single traces; this measures how stable
 // the headline improvement is against workload realization noise. The seeds
 // fan out on the campaign engine per opts; per-seed results are bit-identical
-// at any worker count.
-func MonteCarloContext(ctx context.Context, opts CampaignOptions, seeds int) (*MonteCarloStats, error) {
+// at any worker count. (Formerly MonteCarloContext; the context-free wrapper
+// was removed — pass context.Background() and CampaignOptions{} for the old
+// behavior.)
+func MonteCarlo(ctx context.Context, opts CampaignOptions, seeds int) (*MonteCarloStats, error) {
 	if seeds <= 0 {
 		return nil, fmt.Errorf("dcsprint: non-positive seed count %d", seeds)
 	}
@@ -1164,24 +1157,17 @@ type ChaosRow struct {
 // chaosCampaigns is the default campaign count per strategy for E15.
 const chaosCampaigns = 50
 
-// Chaos runs ChaosContext with a background context and default campaign
-// options.
-//
-// Deprecated: use ChaosContext, which accepts cancellation and campaign
-// options. This form remains for compatibility.
-func Chaos(seed int64, campaigns int) ([]ChaosRow, error) {
-	return ChaosContext(context.Background(), CampaignOptions{}, seed, campaigns)
-}
-
-// ChaosContext (E15) replays seeded random fault campaigns — battery
+// Chaos (E15) replays seeded random fault campaigns — battery
 // failures, TES valve/leak faults, chiller degradation, grid curtailments,
 // breaker derates and sensor faults — against all five strategies on a
 // 2.5x / 12 min Yahoo burst, and reports how gracefully each degrades. The
 // healthy baseline runs with a non-nil empty schedule so it exercises the
 // same supervised telemetry path as the faulted runs. campaigns <= 0 means
 // the default of 50. The fault campaigns fan out on the campaign engine per
-// opts (fault runs are never memoized; see Fingerprint).
-func ChaosContext(ctx context.Context, opts CampaignOptions, seed int64, campaigns int) ([]ChaosRow, error) {
+// opts (fault runs are never memoized; see Fingerprint). (Formerly
+// ChaosContext; the context-free wrapper was removed — pass
+// context.Background() and CampaignOptions{} for the old behavior.)
+func Chaos(ctx context.Context, opts CampaignOptions, seed int64, campaigns int) ([]ChaosRow, error) {
 	if campaigns <= 0 {
 		campaigns = chaosCampaigns
 	}

@@ -547,7 +547,7 @@ func TestBurstinessSweepShape(t *testing.T) {
 }
 
 func TestMonteCarloStability(t *testing.T) {
-	st, err := MonteCarlo(8)
+	st, err := MonteCarlo(context.Background(), CampaignOptions{}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -564,7 +564,7 @@ func TestMonteCarloStability(t *testing.T) {
 	if st.Min > st.Mean || st.Max < st.Mean {
 		t.Fatalf("inconsistent stats: %+v", st)
 	}
-	if _, err := MonteCarlo(0); err == nil {
+	if _, err := MonteCarlo(context.Background(), CampaignOptions{}, 0); err == nil {
 		t.Fatal("zero seeds accepted")
 	}
 }
@@ -604,11 +604,11 @@ func TestPlanStores(t *testing.T) {
 // the experiments layer: the same seed grid produces identical statistics at
 // any worker count.
 func TestMonteCarloParallelMatchesSerial(t *testing.T) {
-	serial, err := MonteCarloContext(context.Background(), CampaignOptions{Workers: 1}, 24)
+	serial, err := MonteCarlo(context.Background(), CampaignOptions{Workers: 1}, 24)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
-	parallel, err := MonteCarloContext(context.Background(), CampaignOptions{Workers: 4}, 24)
+	parallel, err := MonteCarlo(context.Background(), CampaignOptions{Workers: 4}, 24)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}

@@ -68,32 +68,41 @@ func exportedSymbols(t *testing.T, dir string) map[string]string {
 // helpers the facade supersedes).
 var facadeFor = map[string]map[string]string{
 	"internal/sim": {
-		"BuildBoundTable": "BuildBoundTable",
-		"CappingResult":   "CappingResult",
-		"Engine":          "Engine",
-		"ErrFinished":     "ErrEngineFinished",
+		"ApplyDelta":        "ApplyDelta",
+		"Batch":             "Batch",
+		"BatchColumns":      "BatchColumns",
+		"BatchOptions":      "BatchOptions",
+		"BuildBoundTable":   "BuildBoundTable",
+		"CappingResult":     "CappingResult",
+		"DeltaVersion":      "DeltaVersion",
+		"Engine":            "Engine",
+		"ErrBadSlot":        "ErrBadSlot",
+		"ErrDeltaBase":      "ErrDeltaBase",
+		"ErrFinished":       "ErrEngineFinished",
 		"ErrSnapshotFaults": "ErrSnapshotFaults",
-		"Instrument":      "Instrument",
-		"New":             "NewEngine",
-		"NewInstrument":   "NewInstrument",
-		"NewObserved":     "NewObservedEngine",
-		"Observer":        "Observer",
-		"PlantRecorder":   "PlantRecorder",
-		"PlantSample":     "PlantSample",
-		"OracleResult":    "OracleResult",
-		"OracleSearch":    "OracleSearch",
-		"Parallel":        "Sweep",
-		"Restore":         "RestoreEngine",
-		"RestoreObserved": "RestoreObservedEngine",
-		"Result":          "Result",
-		"Run":             "Run",
-		"RunCapping":      "RunCapping",
-		"RunObserved":     "RunObserved",
-		"Scenario":        "Scenario",
-		"Telemetry":       "Telemetry",
-		"TickDecision":    "TickDecision",
-		"TraceMaker":      "TraceMaker",
-		"WriteRunCSV":     "WriteRunCSV",
+		"NewBatch":          "NewBatch",
+		"Sample":            "Sample",
+		"Instrument":        "Instrument",
+		"New":               "NewEngine",
+		"NewInstrument":     "NewInstrument",
+		"NewObserved":       "NewObservedEngine",
+		"Observer":          "Observer",
+		"PlantRecorder":     "PlantRecorder",
+		"PlantSample":       "PlantSample",
+		"OracleResult":      "OracleResult",
+		"OracleSearch":      "OracleSearch",
+		"Parallel":          "Sweep",
+		"Restore":           "RestoreEngine",
+		"RestoreObserved":   "RestoreObservedEngine",
+		"Result":            "Result",
+		"Run":               "Run",
+		"RunCapping":        "RunCapping",
+		"RunObserved":       "RunObserved",
+		"Scenario":          "Scenario",
+		"Telemetry":         "Telemetry",
+		"TickDecision":      "TickDecision",
+		"TraceMaker":        "TraceMaker",
+		"WriteRunCSV":       "WriteRunCSV",
 	},
 	"internal/workload": {
 		"Analyze":              "AnalyzeTrace",
@@ -147,7 +156,7 @@ var internalOnly = map[string]map[string]bool{
 		"Step":              true, // trace-generator resolution
 		"TotalOverCapacity": true, // convenience over Episodes, trivial inline
 	},
-	"internal/testbed":  {},
+	"internal/testbed": {},
 	"internal/campaign": {
 		"CacheVersion": true, // on-disk codec detail
 	},

@@ -129,12 +129,17 @@ func (e EnergySplit) Total() units.Joules { return e.UPS + e.TES + e.CBOverload 
 // power tree, a room thermal model and an optional TES tank.
 type Controller struct {
 	cfg     Config
+	srv     *server.Model // memoized server power/perf tables over cfg.Server
 	tree    *power.Tree
 	room    *cooling.Room
 	tank    *tes.Tank // nil disables Phase 3 (§V: "data centers without TES")
 	gen     *genset.Generator
 	chip    *chip.Thermal
 	weights []float64 // normalized per-PDU demand weights, mean 1
+
+	// needBudget caches ReadsBudget(cfg.Strategy): whether the per-tick
+	// strategy State must include the remaining-budget estimate.
+	needBudget bool
 
 	burstActive bool
 	sprintTime  time.Duration // cumulative over-capacity time this event
@@ -266,6 +271,8 @@ func New(cfg Config, tree *power.Tree, room *cooling.Room, tank *tes.Tank) (*Con
 	}
 	return &Controller{
 		cfg:           cfg,
+		srv:           server.NewModel(cfg.Server),
+		needBudget:    ReadsBudget(cfg.Strategy),
 		tree:          tree,
 		room:          room,
 		tank:          tank,
@@ -344,22 +351,28 @@ func (c *Controller) Dead() bool { return c.dead }
 // of the current burst event (zero outside bursts).
 func (c *Controller) BudgetTotal() units.Joules { return c.budgetTotal }
 
-// state builds the strategy snapshot for this tick.
+// state builds the strategy snapshot for this tick. The remaining-budget
+// estimate walks every breaker and store, so it is only computed for
+// strategies that actually read it (Heuristic, and anything from outside
+// the package).
 func (c *Controller) state(demand float64) State {
 	avg := 1.0
 	if c.degreeTicks > 0 {
 		avg = c.degreeSum / float64(c.degreeTicks)
 	}
-	return State{
+	st := State{
 		Elapsed:     c.sprintTime,
 		Demand:      demand,
 		PeakDemand:  c.peakDemand,
 		AvgDegree:   avg,
 		MaxDegree:   c.cfg.Server.MaxDegree(),
 		BudgetTotal: c.budgetTotal,
-		BudgetLeft:  EstimateBudget(c.tree, c.tank, c.cfg.Cooling, c.cfg.Reserve),
 		DegreePower: c.degreePower(),
 	}
+	if c.needBudget {
+		st.BudgetLeft = EstimateBudget(c.tree, c.tank, c.cfg.Cooling, c.cfg.Reserve)
+	}
+	return st
 }
 
 // degreePower is the extra facility power of one unit of sprinting degree.
@@ -403,7 +416,7 @@ func (c *Controller) TickInput(in Input, dt time.Duration) TickResult {
 			c.peakDemand = demand
 			c.degreeSum, c.degreeTicks = 0, 0
 			c.budgetTotal = EstimateBudget(c.tree, c.tank, c.cfg.Cooling, c.cfg.Reserve)
-			c.emit(EventBurstStarted, fmt.Sprintf("demand %.2fx, budget %v", demand, c.budgetTotal))
+			c.emit(EventBurstStarted, burstDetail(demand, c.budgetTotal))
 		}
 		if demand > c.peakDemand {
 			c.peakDemand = demand
@@ -505,7 +518,7 @@ func (c *Controller) TickInput(in Input, dt time.Duration) TickResult {
 // cannot be met; when force is true the plan clamps to whatever the stores
 // can deliver and lets the breakers carry the remainder.
 func (c *Controller) plan(capCores int, in Input, dt time.Duration, force bool) (plan, bool) {
-	srv := c.cfg.Server
+	srv := c.srv
 	groupSize := units.Watts(c.tree.Config().ServersPerPDU)
 	nPDU := len(c.tree.PDUs)
 
@@ -965,7 +978,7 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 		c.emitEvent(Event{
 			Time:   c.now,
 			Kind:   EventPhaseChanged,
-			Detail: fmt.Sprintf("phase %d -> %d", c.prevPhase, phase),
+			Detail: phaseDetail(c.prevPhase, phase),
 			From:   c.prevPhase,
 			To:     phase,
 		})
@@ -1011,7 +1024,7 @@ func (c *Controller) commit(p plan, in Input, dt time.Duration) TickResult {
 // through the breakers, the chiller is never helped, and the first trip
 // shuts the facility down.
 func (c *Controller) tickUncontrolled(demand float64, dt time.Duration) TickResult {
-	srv := c.cfg.Server
+	srv := c.srv
 	groupSize := units.Watts(c.tree.Config().ServersPerPDU)
 	coolNormal := c.cfg.Cooling.NormalCoolingPower()
 

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
+
+	"dcsprint/internal/units"
 )
 
 // EventKind classifies a controller event.
@@ -118,6 +121,38 @@ const maxEvents = 4096
 // emit appends an event, dropping silently once the log is full.
 func (c *Controller) emit(kind EventKind, detail string) {
 	c.emitEvent(Event{Time: c.now, Kind: kind, Detail: detail})
+}
+
+// phaseDetails pre-formats the phase-transition messages (phases run 0-3):
+// a duty-cycling session crosses a phase edge every few ticks, and fmt on
+// that edge shows up in batched-stepping profiles.
+var phaseDetails = func() (t [4][4]string) {
+	for from := range t {
+		for to := range t[from] {
+			t[from][to] = fmt.Sprintf("phase %d -> %d", from, to)
+		}
+	}
+	return t
+}()
+
+// phaseDetail formats a phase-transition message, from the precomputed
+// table when possible.
+func phaseDetail(from, to int) string {
+	if from >= 0 && from < len(phaseDetails) && to >= 0 && to < len(phaseDetails) {
+		return phaseDetails[from][to]
+	}
+	return fmt.Sprintf("phase %d -> %d", from, to)
+}
+
+// burstDetail formats the burst-started message without a fmt verb parse —
+// equivalent to fmt.Sprintf("demand %.2fx, budget %v", demand, budget).
+func burstDetail(demand float64, budget units.Joules) string {
+	b := make([]byte, 0, 48)
+	b = append(b, "demand "...)
+	b = strconv.AppendFloat(b, demand, 'f', 2, 64)
+	b = append(b, "x, budget "...)
+	b = append(b, budget.String()...)
+	return string(b)
 }
 
 // emitEvent records a fully formed event and forwards it to the sink, if

@@ -65,6 +65,19 @@ type Strategy interface {
 	UpperBound(st State) float64
 }
 
+// budgetFree marks built-in strategies whose UpperBound never reads
+// State.BudgetLeft, letting the controller skip the per-tick
+// additional-energy estimate (a walk over every breaker and store). A
+// strategy outside this package always gets the full State.
+type budgetFree interface{ budgetFree() }
+
+// ReadsBudget reports whether the strategy's UpperBound consumes the
+// per-tick State.BudgetLeft estimate.
+func ReadsBudget(s Strategy) bool {
+	_, free := s.(budgetFree)
+	return !free
+}
+
 // Greedy activates just enough cores for the demand, with no upper bound —
 // the paper's baseline strategy. It matches Oracle for short bursts but
 // drains the stored energy inefficiently for long ones.
@@ -75,6 +88,8 @@ func (Greedy) Name() string { return "greedy" }
 
 // UpperBound implements Strategy.
 func (Greedy) UpperBound(st State) float64 { return st.MaxDegree }
+
+func (Greedy) budgetFree() {}
 
 // FixedBound holds a constant sprinting-degree upper bound. The Oracle
 // strategy is an exhaustive search over FixedBound values with perfect
@@ -89,6 +104,8 @@ func (f FixedBound) Name() string { return "fixed" }
 
 // UpperBound implements Strategy.
 func (f FixedBound) UpperBound(State) float64 { return f.Bound }
+
+func (FixedBound) budgetFree() {}
 
 // Prediction implements the paper's Prediction strategy: given a predicted
 // burst duration BDu_p, it computes the equivalent burst duration
@@ -124,6 +141,8 @@ func (p Prediction) UpperBound(st State) float64 {
 	}
 	return p.Table.Lookup(equivalent, degree)
 }
+
+func (Prediction) budgetFree() {}
 
 // Adaptive is an online variant of Prediction that needs no offline
 // forecast — the direction the paper marks as future work (§V-A: "integrate
@@ -165,6 +184,8 @@ func (a Adaptive) UpperBound(st State) float64 {
 	}
 	return Prediction{PredictedDuration: predicted, Table: a.Table}.UpperBound(st)
 }
+
+func (Adaptive) budgetFree() {}
 
 // Heuristic implements the paper's Heuristic strategy: from an estimated
 // best average sprinting degree SDe_p it forms an initial bound

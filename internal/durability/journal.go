@@ -1,19 +1,28 @@
 // Package durability gives control-plane sessions a crash-tolerant
-// write-ahead journal. Each session owns two files under a state directory:
+// write-ahead journal. Each session owns up to three files under a state
+// directory:
 //
-//   - <id>.snap — the most recent checkpoint, written atomically (temp file +
-//     rename): the scenario spec that rebuilds the plant, the engine's
+//   - <id>.snap — the most recent full checkpoint, written atomically (temp
+//     file + rename): the scenario spec that rebuilds the plant, the engine's
 //     DCSPSNAP snapshot bytes, and the tick the snapshot was taken at, all
 //     under one CRC32 trailer.
 //   - <id>.log — an append-only, CRC-framed record of every tick applied
 //     since that snapshot: fixed 20-byte records of (seq, demand, crc).
+//   - <id>.delta — an append-only chain of length-prefixed, CRC-framed delta
+//     checkpoints (opaque to this package; the serving layer writes the sim
+//     codec's DCSPDELT frames) taken between full snapshot rewrites. Folding
+//     the chain onto the base snapshot fast-forwards recovery past most of
+//     the log without the byte cost of rewriting a full snapshot every time.
 //
-// Recovery restores the snapshot and replays the log through the
-// deterministic engine, producing a session bit-identical to one that never
-// crashed. A process killed mid-append leaves a torn tail; Load detects it by
-// length and CRC and truncates it — the ticks before the tear are intact, and
-// the serving layer's reply-after-journal ordering guarantees no
-// acknowledged tick is ever behind the tear.
+// Recovery restores the snapshot, folds the delta chain, and replays the
+// remaining log through the deterministic engine, producing a session
+// bit-identical to one that never crashed. A process killed mid-append leaves
+// a torn tail; Load detects it by length and CRC and truncates it — the ticks
+// before the tear are intact, and the serving layer's reply-after-journal
+// ordering guarantees no acknowledged tick is ever behind the tear. A torn
+// delta tail costs nothing but recovery speed: the log still carries every
+// tick since the base, so the fold simply stops earlier and the replay covers
+// the rest.
 //
 // Durability target: unclean process death (kill -9). Every append is a
 // write(2) into the page cache, which survives the process; the snapshot file
@@ -51,11 +60,16 @@ const (
 	// is well under this).
 	maxSnapLen = 256 << 20
 
-	snapSuffix = ".snap"
-	logSuffix  = ".log"
+	snapSuffix  = ".snap"
+	logSuffix   = ".log"
+	deltaSuffix = ".delta"
 	// corruptSuffix marks quarantined files so a failed restore is not
 	// retried on every start.
 	corruptSuffix = ".corrupt"
+
+	// deltaFrameOverhead is the per-frame cost in the delta chain: a u32
+	// length prefix and a u32 CRC32 trailer around the opaque payload.
+	deltaFrameOverhead = 8
 )
 
 // ErrCorrupt reports a checkpoint file that cannot be trusted: bad magic,
@@ -77,9 +91,19 @@ type State struct {
 	Snapshot []byte // engine DCSPSNAP bytes
 	Tick     uint64 // engine tick at the snapshot
 	Steps    []Step // contiguous from Tick; replay in order
+	// Deltas is the delta-checkpoint chain appended since the snapshot, in
+	// append order, payloads verified against their frame CRCs but otherwise
+	// opaque — the caller folds them onto Snapshot (sim.ApplyDelta) to
+	// fast-forward past the log records the chain already covers.
+	Deltas [][]byte
 	// TornTail reports that a torn or corrupt log tail was discarded — an
 	// expected artifact of unclean death, not an error.
 	TornTail bool
+	// TornDelta reports that a torn or corrupt delta-chain tail was
+	// discarded. The frames before the tear are intact and usable; the log
+	// replay covers whatever the truncated chain no longer does, so this too
+	// is an artifact of unclean death, not data loss.
+	TornDelta bool
 }
 
 // Journal is one session's durable state writer. It is not safe for
@@ -87,11 +111,15 @@ type State struct {
 type Journal struct {
 	dir, id string
 	log     *os.File
-	buf     [stepRecSize]byte
+	// delta is the chain file, opened lazily on the first AppendDelta so
+	// sessions that never write a delta checkpoint never create the file.
+	delta *os.File
+	buf   [stepRecSize]byte
 }
 
-func snapPath(dir, id string) string { return filepath.Join(dir, id+snapSuffix) }
-func logPath(dir, id string) string  { return filepath.Join(dir, id+logSuffix) }
+func snapPath(dir, id string) string  { return filepath.Join(dir, id+snapSuffix) }
+func logPath(dir, id string) string   { return filepath.Join(dir, id+logSuffix) }
+func deltaPath(dir, id string) string { return filepath.Join(dir, id+deltaSuffix) }
 
 // validID rejects ids that could escape the state directory or collide with
 // the journal's own suffixes.
@@ -170,7 +198,45 @@ func (j *Journal) WriteSnapshot(spec, snap []byte, tick uint64) error {
 		os.Remove(tmpName)
 		return err
 	}
-	return j.log.Truncate(0)
+	if err := j.log.Truncate(0); err != nil {
+		return err
+	}
+	// The new base supersedes the whole delta chain. A crash before this
+	// truncate is safe: stale frames are keyed (by the sim codec's base CRC
+	// and tick) against the superseded base, so the caller's fold rejects
+	// them and recovery falls back to the new base plus log replay.
+	if j.delta != nil {
+		return j.delta.Truncate(0)
+	}
+	if err := os.Remove(deltaPath(j.dir, j.id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// AppendDelta appends one delta checkpoint to the session's chain file,
+// framed as (u32 length, payload, u32 CRC32). The payload is opaque — the
+// serving layer hands in sim DCSPDELT frames keyed against the previous
+// checkpoint. Like Append, the frame is a single write(2), so an unclean
+// death tears at most the final frame; Load truncates the tear and the log
+// replay covers the difference.
+func (j *Journal) AppendDelta(frame []byte) error {
+	if len(frame) == 0 || len(frame) > maxSnapLen {
+		return fmt.Errorf("durability: %d-byte delta frame", len(frame))
+	}
+	if j.delta == nil {
+		f, err := os.OpenFile(deltaPath(j.dir, j.id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		j.delta = f
+	}
+	buf := make([]byte, 0, deltaFrameOverhead+len(frame))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frame)))
+	buf = append(buf, frame...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(frame))
+	_, err := j.delta.Write(buf)
+	return err
 }
 
 // Append journals one applied tick. The record is a single write(2), so an
@@ -185,24 +251,40 @@ func (j *Journal) Append(seq uint64, demand float64) error {
 	return err
 }
 
-// Sync flushes the step log to stable storage. The serving layer calls it
-// only at quiet points; per-tick appends rely on the page cache surviving
-// process death.
-func (j *Journal) Sync() error { return j.log.Sync() }
+// Sync flushes the step log and delta chain to stable storage. The serving
+// layer calls it only at quiet points; per-tick appends rely on the page
+// cache surviving process death.
+func (j *Journal) Sync() error {
+	err := j.log.Sync()
+	if j.delta != nil {
+		if e := j.delta.Sync(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
 
-// Close releases the journal's file handle, leaving both files on disk for
+// Close releases the journal's file handles, leaving the files on disk for
 // recovery.
-func (j *Journal) Close() error { return j.log.Close() }
+func (j *Journal) Close() error {
+	err := j.log.Close()
+	if j.delta != nil {
+		if e := j.delta.Close(); err == nil {
+			err = e
+		}
+		j.delta = nil
+	}
+	return err
+}
 
 // Remove deletes the session's durable state — the session finished (or was
 // evicted) and must not be resurrected on the next start.
 func (j *Journal) Remove() error {
-	err := j.log.Close()
-	if e := os.Remove(snapPath(j.dir, j.id)); e != nil && !errors.Is(e, os.ErrNotExist) && err == nil {
-		err = e
-	}
-	if e := os.Remove(logPath(j.dir, j.id)); e != nil && !errors.Is(e, os.ErrNotExist) && err == nil {
-		err = e
+	err := j.Close()
+	for _, p := range []string{snapPath(j.dir, j.id), logPath(j.dir, j.id), deltaPath(j.dir, j.id)} {
+		if e := os.Remove(p); e != nil && !errors.Is(e, os.ErrNotExist) && err == nil {
+			err = e
+		}
 	}
 	return err
 }
@@ -251,6 +333,11 @@ func Load(dir, id string) (*State, error) {
 		return nil, err
 	}
 	st.Steps, st.TornTail = decodeLog(logRaw, st.Tick)
+	deltaRaw, err := os.ReadFile(deltaPath(dir, id))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	st.Deltas, st.TornDelta = decodeDeltas(deltaRaw)
 	return st, nil
 }
 
@@ -312,6 +399,28 @@ func decodeLog(raw []byte, tick uint64) (steps []Step, torn bool) {
 	return steps, false
 }
 
+// decodeDeltas unpacks the delta chain. The first frame with a short or
+// impossible length, a short payload, or a CRC mismatch truncates the chain
+// there — everything before it is intact and usable.
+func decodeDeltas(raw []byte) (frames [][]byte, torn bool) {
+	for off := 0; off < len(raw); {
+		if off+4 > len(raw) {
+			return frames, true
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		if n <= 0 || n > maxSnapLen || off+4+n+4 > len(raw) {
+			return frames, true
+		}
+		payload := raw[off+4 : off+4+n]
+		if binary.LittleEndian.Uint32(raw[off+4+n:]) != crc32.ChecksumIEEE(payload) {
+			return frames, true
+		}
+		frames = append(frames, append([]byte(nil), payload...))
+		off += 4 + n + 4
+	}
+	return frames, false
+}
+
 // Quarantine renames a session's files out of the recovery scan so one
 // corrupt journal is diagnosed once instead of failing every restart. Missing
 // files are ignored.
@@ -320,12 +429,28 @@ func Quarantine(dir, id string) error {
 		return err
 	}
 	var first error
-	for _, p := range []string{snapPath(dir, id), logPath(dir, id)} {
+	for _, p := range []string{snapPath(dir, id), logPath(dir, id), deltaPath(dir, id)} {
 		if err := os.Rename(p, p+corruptSuffix); err != nil && !errors.Is(err, os.ErrNotExist) && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// QuarantineDeltas renames only the session's delta chain out of the
+// recovery scan, leaving the base snapshot and step log untouched. Used when
+// the chain cannot be folded (torn tail, base mismatch after a crash between
+// snapshot rename and chain truncate): the base + log still recover every
+// acked tick, so only the accelerator is set aside for diagnosis.
+func QuarantineDeltas(dir, id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	p := deltaPath(dir, id)
+	if err := os.Rename(p, p+corruptSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
 }
 
 // CopyTo clones one session's durable files into another directory — a test
@@ -337,7 +462,7 @@ func CopyTo(srcDir, id, dstDir string) error {
 	if err := os.MkdirAll(dstDir, 0o755); err != nil {
 		return err
 	}
-	for _, suffix := range []string{snapSuffix, logSuffix} {
+	for _, suffix := range []string{snapSuffix, logSuffix, deltaSuffix} {
 		src, err := os.Open(filepath.Join(srcDir, id+suffix))
 		if errors.Is(err, os.ErrNotExist) {
 			continue

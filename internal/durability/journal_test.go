@@ -236,6 +236,228 @@ func TestListMissingDir(t *testing.T) {
 	}
 }
 
+// appendDeltas appends n distinct delta frames to the journal's chain.
+func appendDeltas(t *testing.T, j *Journal, n int) [][]byte {
+	t.Helper()
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = bytes.Repeat([]byte{byte('A' + i)}, 10+i)
+		if err := j.AppendDelta(frames[i]); err != nil {
+			t.Fatalf("AppendDelta %d: %v", i, err)
+		}
+	}
+	return frames
+}
+
+func TestDeltaChainRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := writeJournal(t, dir, "dc", []byte(`{}`), []byte("base"), 0, 6)
+	frames := appendDeltas(t, j, 3)
+	j.Close()
+
+	st, err := Load(dir, "dc")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Deltas) != 3 || st.TornDelta {
+		t.Fatalf("chain = %d frames, torn %v", len(st.Deltas), st.TornDelta)
+	}
+	for i, f := range frames {
+		if !bytes.Equal(st.Deltas[i], f) {
+			t.Fatalf("frame %d did not round-trip", i)
+		}
+	}
+	// The log and base are independent of the chain.
+	if len(st.Steps) != 6 || !bytes.Equal(st.Snapshot, []byte("base")) {
+		t.Fatalf("steps %d, snapshot %q", len(st.Steps), st.Snapshot)
+	}
+}
+
+// TestDeltaTornTail simulates kill -9 mid-AppendDelta: the partial final
+// frame is dropped and flagged, the frames before it survive, and the base
+// snapshot and step log are untouched.
+func TestDeltaTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j := writeJournal(t, dir, "dtorn", []byte(`{}`), []byte("base"), 0, 4)
+	frames := appendDeltas(t, j, 2)
+	// A frame header promising more bytes than follow.
+	f, err := os.OpenFile(filepath.Join(dir, "dtorn.delta"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j.Close()
+
+	st, err := Load(dir, "dtorn")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Deltas) != 2 || !st.TornDelta {
+		t.Fatalf("torn chain = %d frames, torn %v", len(st.Deltas), st.TornDelta)
+	}
+	if !bytes.Equal(st.Deltas[1], frames[1]) {
+		t.Fatal("surviving frame damaged by the tear")
+	}
+	if !bytes.Equal(st.Snapshot, []byte("base")) || len(st.Steps) != 4 || st.TornTail {
+		t.Fatalf("tear leaked into base/log: steps %d, torn log %v", len(st.Steps), st.TornTail)
+	}
+}
+
+// TestDeltaBitFlip corrupts a mid-chain payload byte: the frame CRC must
+// catch it and truncate the chain from that frame on.
+func TestDeltaBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	j := writeJournal(t, dir, "dflip", []byte(`{}`), []byte("base"), 0, 0)
+	appendDeltas(t, j, 3)
+	j.Close()
+	path := filepath.Join(dir, "dflip.delta")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0 is 4+10+4 bytes; flip a payload byte of frame 1.
+	raw[18+4+3] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir, "dflip")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Deltas) != 1 || !st.TornDelta {
+		t.Fatalf("bit flip: %d frames, torn %v (want 1, true)", len(st.Deltas), st.TornDelta)
+	}
+}
+
+// TestSnapshotTruncatesDeltas checks a full base rewrite supersedes the
+// chain, whether the chain file is open on this journal or left over from a
+// previous process.
+func TestSnapshotTruncatesDeltas(t *testing.T) {
+	dir := t.TempDir()
+	j := writeJournal(t, dir, "dt", []byte(`{}`), []byte("v1"), 0, 0)
+	appendDeltas(t, j, 2)
+	if err := j.WriteSnapshot([]byte(`{}`), []byte("v2"), 10); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	j.Close()
+	st, err := Load(dir, "dt")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Deltas) != 0 || !bytes.Equal(st.Snapshot, []byte("v2")) {
+		t.Fatalf("chain survived rewrite: %d frames", len(st.Deltas))
+	}
+
+	// Reopen (as recovery does) without touching the chain, then rewrite:
+	// the stale on-disk chain must go even though this journal never opened
+	// it.
+	j2 := writeJournal(t, dir, "dt2", []byte(`{}`), []byte("v1"), 0, 0)
+	appendDeltas(t, j2, 2)
+	j2.Close()
+	j3, err := Open(dir, "dt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.WriteSnapshot([]byte(`{}`), []byte("v2"), 5); err != nil {
+		t.Fatalf("WriteSnapshot after reopen: %v", err)
+	}
+	j3.Close()
+	st, err = Load(dir, "dt2")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Deltas) != 0 {
+		t.Fatalf("stale chain survived reopened rewrite: %d frames", len(st.Deltas))
+	}
+}
+
+// TestQuarantineDeltas checks the chain-only quarantine sets aside just the
+// .delta file: the base snapshot and log keep recovering.
+func TestQuarantineDeltas(t *testing.T) {
+	dir := t.TempDir()
+	j := writeJournal(t, dir, "dq", []byte(`{}`), []byte("base"), 0, 3)
+	appendDeltas(t, j, 2)
+	j.Close()
+	if err := QuarantineDeltas(dir, "dq"); err != nil {
+		t.Fatalf("QuarantineDeltas: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dq.delta.corrupt")); err != nil {
+		t.Fatalf("quarantined chain missing: %v", err)
+	}
+	st, err := Load(dir, "dq")
+	if err != nil {
+		t.Fatalf("Load after quarantine: %v", err)
+	}
+	if len(st.Deltas) != 0 || len(st.Steps) != 3 || !bytes.Equal(st.Snapshot, []byte("base")) {
+		t.Fatalf("quarantine touched the base: %d frames, %d steps", len(st.Deltas), len(st.Steps))
+	}
+	// Quarantining a session with no chain is a no-op, not an error.
+	if err := QuarantineDeltas(dir, "missing"); err != nil {
+		t.Fatalf("QuarantineDeltas on missing chain: %v", err)
+	}
+}
+
+// TestRemoveDeletesDeltas checks Remove leaves no chain file behind.
+func TestRemoveDeletesDeltas(t *testing.T) {
+	dir := t.TempDir()
+	j := writeJournal(t, dir, "drm", []byte(`{}`), []byte("s"), 0, 1)
+	appendDeltas(t, j, 1)
+	if err := j.Remove(); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "drm.delta")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("chain file survived Remove: %v", err)
+	}
+}
+
+// FuzzDeltaChain throws arbitrary bytes at the chain decoder via Load. It
+// must never panic, every frame it returns must carry a valid CRC, and the
+// returned frames must be a prefix of what a well-formed file would hold.
+func FuzzDeltaChain(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var buf []byte
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+		return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	}
+	good := append(frame([]byte("delta-one")), frame([]byte("delta-two"))...)
+	f.Add(good)
+	f.Add(good[:len(good)-3])                   // torn tail
+	f.Add(append(good, 0xFF, 0xFF, 0xFF, 0x7F)) // hostile length
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		j, err := Open(dir, "fz")
+		if err != nil {
+			t.Skip()
+		}
+		if err := j.WriteSnapshot([]byte(`{}`), []byte("s"), 0); err != nil {
+			t.Skip()
+		}
+		j.Close()
+		if err := os.WriteFile(filepath.Join(dir, "fz.delta"), raw, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Load(dir, "fz")
+		if err != nil {
+			return
+		}
+		total := 0
+		for i, fr := range st.Deltas {
+			if len(fr) == 0 {
+				t.Fatalf("frame %d empty", i)
+			}
+			total += len(fr) + deltaFrameOverhead
+		}
+		if total > len(raw) {
+			t.Fatalf("%d framed bytes from a %d-byte chain", total, len(raw))
+		}
+	})
+}
+
 // encodeRecords builds a raw log image by hand for fuzz seeding.
 func encodeRecords(tick uint64, demands []float64) []byte {
 	var buf []byte

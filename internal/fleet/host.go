@@ -26,21 +26,17 @@ var hostSeries = []string{
 	tsdb.SeriesFleetMinUPSSoC,
 }
 
-// binding ties a live session to its serving DC and retains the session
-// engine's latest plant probe — the daemon-side ledger feed. RecordPlant
-// runs on the session's step goroutine; everything else under mu.
+// binding ties a live session to its serving DC and retains the session's
+// latest plant probe — the daemon-side ledger feed. The probe is no longer
+// pushed per tick by a recorder callback: the host's refresh loop pulls
+// Manager.Probes, a fold over each shard worker's struct-of-arrays batch
+// columns, and writes the results here on the FoldEvery cadence.
 type binding struct {
 	mu   sync.Mutex
 	dc   int // serving DC index; -1 until bound (or never, for non-fleet sessions)
 	last sim.PlantSample
 	have bool
-}
-
-// RecordPlant implements sim.PlantRecorder.
-func (b *binding) RecordPlant(s sim.PlantSample) {
-	b.mu.Lock()
-	b.last, b.have = s, true
-	b.mu.Unlock()
+	dead bool
 }
 
 // hostDC is one data centre of the daemon fleet: its profile, admission
@@ -137,10 +133,10 @@ func NewHost(cfg HostConfig) (*Host, error) {
 				"Live sessions served by the DC", telemetry.Labels{"dc": p.ID})
 		}
 	}
-	if cfg.Store != nil {
-		h.wg.Add(1)
-		go h.foldLoop()
-	}
+	// The fold loop runs even without a Store: it is also the probe refresh
+	// that keeps the ledgers fed from the manager's batch columns.
+	h.wg.Add(1)
+	go h.foldLoop()
 	return h, nil
 }
 
@@ -162,15 +158,17 @@ func (h *Host) Close() {
 }
 
 // Session implements service.PlantTap: every installed session gets a
-// binding retaining its latest plant probe. The serving DC is bound right
-// after Create returns; sessions created outside the fleet API stay
-// unbound and never feed a ledger.
+// binding that the probe refresh fills from the manager's batch columns.
+// The serving DC is bound right after Create returns; sessions created
+// outside the fleet API stay unbound and never feed a ledger. No recorder
+// is returned — the feed is pull-based, so the step hot path pays nothing
+// for the fleet control plane.
 func (h *Host) Session(id string) sim.PlantRecorder {
 	b := &binding{dc: -1}
 	h.mu.Lock()
 	h.bindings[id] = b
 	h.mu.Unlock()
-	return b
+	return nil
 }
 
 // Drop implements service.PlantTap.
@@ -196,7 +194,7 @@ func (h *Host) ledgersLocked() []Ledger {
 	}
 	for _, b := range h.bindings {
 		b.mu.Lock()
-		dc, s, have := b.dc, b.last, b.have
+		dc, s, have, dead := b.dc, b.last, b.have, b.dead
 		b.mu.Unlock()
 		if dc < 0 || !have {
 			continue
@@ -204,10 +202,34 @@ func (h *Host) ledgersLocked() []Ledger {
 		m := LedgerOf(h.dcs[dc].profile.ID, s)
 		// A member riding its breaker accumulator to the trip point has
 		// taken the facility down: the DC admits nothing until it clears.
-		m.Dead = s.BreakerStress >= 1
+		m.Dead = dead || s.BreakerStress >= 1
 		out[dc].Fold(m)
 	}
 	return out
+}
+
+// refreshProbes pulls the latest per-session plant state out of the
+// manager's shard batches and writes it into the bindings — the ledger
+// feed's only sample source.
+func (h *Host) refreshProbes() {
+	h.mu.Lock()
+	mgr := h.mgr
+	h.mu.Unlock()
+	if mgr == nil {
+		return
+	}
+	probes := mgr.Probes()
+	h.mu.Lock()
+	for _, p := range probes {
+		b := h.bindings[p.ID]
+		if b == nil {
+			continue
+		}
+		b.mu.Lock()
+		b.last, b.have, b.dead = p.Sample, true, p.Dead
+		b.mu.Unlock()
+	}
+	h.mu.Unlock()
 }
 
 // RoutedSession is the fleet create response: the session plus where the
@@ -316,7 +338,8 @@ func (h *Host) dcIndex(id string) int {
 	return -1
 }
 
-// foldLoop appends the per-DC ledger folds on the FoldEvery cadence.
+// foldLoop refreshes the ledger probes from the manager's batch columns and
+// appends the per-DC ledger folds on the FoldEvery cadence.
 func (h *Host) foldLoop() {
 	defer h.wg.Done()
 	t := time.NewTicker(h.cfg.FoldEvery)
@@ -326,6 +349,7 @@ func (h *Host) foldLoop() {
 		case <-h.stop:
 			return
 		case now := <-t.C:
+			h.refreshProbes()
 			ts := now.UnixMilli()
 			h.mu.Lock()
 			ledgers := h.ledgersLocked()

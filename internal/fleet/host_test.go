@@ -29,7 +29,7 @@ func newTestHost(t *testing.T, spec Spec) (*Host, *service.Manager, *tsdb.Store)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr := service.NewManager(service.Config{Registry: reg, Tap: h})
+	mgr := service.NewManager(service.Config{Registry: reg}.WithTap(h))
 	h.AttachManager(mgr)
 	t.Cleanup(func() {
 		mgr.Close()

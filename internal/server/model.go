@@ -1,0 +1,110 @@
+package server
+
+import (
+	"math"
+
+	"dcsprint/internal/units"
+)
+
+// Model wraps a Config with memoized lookup tables for the hot
+// demand→cores→power mappings. The controller plans every tick by probing
+// CoresForThroughput and PowerAtDemand for each PDU group at several core
+// caps, and profiles show the math.Pow calls inside those probes dominate
+// the step cost. Core counts range over the tiny integer domain
+// [0, TotalCores], so Throughput and the equivalent-core term at full
+// capacity are precomputed exactly once; the only remaining Pow is
+// demand^(1/alpha) for a sub-capacity demand, which a one-entry cache
+// absorbs because the same per-group demand value is probed repeatedly
+// within a tick (uniform weights, binary-search replans).
+//
+// Every table entry and cache hit returns the identical float64 the Config
+// methods would compute, so results are bit-for-bit unchanged.
+type Model struct {
+	Config
+
+	invAlpha   float64   // 1/PerfExponent, as Config methods compute it
+	throughput []float64 // Throughput(n) for n in [0, TotalCores]
+	eqAtCap    []float64 // NormalCores * Throughput(n)^invAlpha
+
+	// One-entry memo for demand^invAlpha keyed on the exact demand bits.
+	lastDemand    float64
+	lastDemandPow float64
+	haveLast      bool
+}
+
+// NewModel precomputes the lookup tables for a validated Config.
+func NewModel(c Config) *Model {
+	m := &Model{
+		Config:     c,
+		invAlpha:   1 / c.PerfExponent,
+		throughput: make([]float64, c.TotalCores+1),
+		eqAtCap:    make([]float64, c.TotalCores+1),
+	}
+	for n := 1; n <= c.TotalCores; n++ {
+		m.throughput[n] = c.Throughput(n)
+		m.eqAtCap[n] = float64(c.NormalCores) * math.Pow(m.throughput[n], m.invAlpha)
+	}
+	return m
+}
+
+// powInv returns demand^(1/PerfExponent), caching the last distinct demand.
+func (m *Model) powInv(demand float64) float64 {
+	if !m.haveLast || demand != m.lastDemand {
+		m.lastDemand = demand
+		m.lastDemandPow = math.Pow(demand, m.invAlpha)
+		m.haveLast = true
+	}
+	return m.lastDemandPow
+}
+
+// Throughput is the memoized Config.Throughput.
+func (m *Model) Throughput(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n > m.TotalCores {
+		n = m.TotalCores
+	}
+	return m.throughput[n]
+}
+
+// CoresForThroughput is the memoized Config.CoresForThroughput.
+func (m *Model) CoresForThroughput(demand float64) int {
+	if demand <= 0 {
+		return 0
+	}
+	n := int(math.Ceil(float64(m.NormalCores)*m.powInv(demand) - 1e-9))
+	if n > m.TotalCores {
+		return m.TotalCores
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PowerAtDemand is the memoized Config.PowerAtDemand.
+func (m *Model) PowerAtDemand(n int, demand float64) (units.Watts, float64) {
+	if n <= 0 || demand <= 0 {
+		return m.Power(n, 0), 0
+	}
+	idx := n
+	if idx > m.TotalCores {
+		idx = m.TotalCores
+	}
+	capacity := m.throughput[idx]
+	delivered := demand
+	var eq float64
+	if delivered >= capacity {
+		// At (or beyond) capacity the equivalent-core term depends only on
+		// n; the table entry was built with the same expression Config uses.
+		// Note util divides by the caller's n, unclamped, exactly as Config
+		// does.
+		delivered = capacity
+		eq = m.eqAtCap[idx]
+	} else {
+		eq = float64(m.NormalCores) * m.powInv(demand)
+	}
+	util := units.Clamp(eq/float64(n), 0, 1)
+	return m.Power(n, util), delivered
+}

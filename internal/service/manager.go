@@ -22,8 +22,8 @@ import (
 var (
 	// ErrNotFound reports an unknown or already-finished session.
 	ErrNotFound = errors.New("service: session not found")
-	// ErrBusy reports a full session mailbox — the caller should back off
-	// and retry (HTTP 429).
+	// ErrBusy reports a session past its queue-depth allowance or a full
+	// shard run queue — the caller should back off and retry (HTTP 429).
 	ErrBusy = errors.New("service: session queue full")
 	// ErrAtCapacity reports the manager's session cap is reached (429).
 	ErrAtCapacity = errors.New("service: session capacity reached")
@@ -38,6 +38,46 @@ var (
 	ErrStepSeq = errors.New("service: step sequence out of order")
 )
 
+// DurabilityOptions groups the crash-durability knobs.
+type DurabilityOptions struct {
+	// StateDir enables crash durability: each session keeps a write-ahead
+	// journal (snapshot + applied-tick log) under this directory, and
+	// Recover rebuilds the population from it after an unclean death.
+	// Empty disables journaling entirely — the in-memory hot path is
+	// untouched.
+	StateDir string
+	// SnapshotEvery is how many journaled steps accumulate before the
+	// session checkpoints and truncates the tick log. Zero means 256.
+	// Ignored without StateDir.
+	SnapshotEvery int
+	// DeltaChain is how many consecutive checkpoints are written as delta
+	// frames (a few percent of a full snapshot's bytes) before the session
+	// rewrites a full base snapshot. Zero means 16; negative disables delta
+	// checkpoints so every checkpoint is a full rewrite. Ignored without
+	// StateDir.
+	DeltaChain int
+}
+
+// PlantOptions groups the plant-observability knobs.
+type PlantOptions struct {
+	// Sink receives per-tick engine plant samples: every session's engine
+	// gets a recorder at install, and a sampler goroutine folds the latest
+	// sample of each live session into fleet-level series on the Every
+	// cadence. Nil disables plant observability entirely — engines run with
+	// no recorder attached and the step hot path stays allocation-free.
+	Sink *tsdb.PlantSink
+	// Watchdog evaluates its SLO burn-rate rules right after each fleet
+	// fold, at the fold's timestamp. Ignored without Sink.
+	Watchdog *tsdb.Watchdog
+	// Every is the fleet sampling cadence. Zero means 1 second.
+	Every time.Duration
+	// Tap is a second plant-probe consumer with the same recorder
+	// lifecycle as Sink (the fleet control plane's ledger feed). Nil
+	// disables it; see PlantTap. A tap may return nil recorders and read
+	// Manager.Probes instead — the batched-columns feed.
+	Tap PlantTap
+}
+
 // Config sizes a Manager. Zero values take defaults.
 type Config struct {
 	// MaxSessions caps concurrently live sessions. Zero means 256.
@@ -45,7 +85,8 @@ type Config struct {
 	// IdleTTL evicts sessions with no activity for this long. Zero means
 	// 10 minutes; negative disables eviction.
 	IdleTTL time.Duration
-	// QueueDepth bounds each session's mailbox. Zero means 64.
+	// QueueDepth bounds how many of one session's requests may wait in its
+	// shard's run queue. Zero means 64.
 	QueueDepth int
 	// Registry receives the service metrics. Nil creates a private one.
 	Registry *telemetry.Registry
@@ -61,31 +102,32 @@ type Config struct {
 	// SlowStep is the step-service latency above which a slow-step flight
 	// event is recorded. Zero means 25ms; it is ignored without Flight.
 	SlowStep time.Duration
-	// StateDir enables crash durability: each session keeps a write-ahead
-	// journal (snapshot + applied-tick log) under this directory, and
-	// Recover rebuilds the population from it after an unclean death.
-	// Empty disables journaling entirely — the in-memory hot path is
-	// untouched.
-	StateDir string
-	// SnapshotEvery is how many journaled steps accumulate before the
-	// session rewrites its snapshot and truncates the tick log. Zero means
-	// 256. Ignored without StateDir.
-	SnapshotEvery int
-	// Plant receives per-tick engine plant samples: every session's engine
-	// gets a recorder at install, and a sampler goroutine folds the latest
-	// sample of each live session into fleet-level series on the PlantEvery
-	// cadence. Nil disables plant observability entirely — engines run with
-	// no recorder attached and the step hot path stays allocation-free.
-	Plant *tsdb.PlantSink
-	// Watchdog evaluates its SLO burn-rate rules right after each fleet
-	// fold, at the fold's timestamp. Ignored without Plant.
-	Watchdog *tsdb.Watchdog
-	// PlantEvery is the fleet sampling cadence. Zero means 1 second.
-	PlantEvery time.Duration
-	// Tap is a second plant-probe consumer with the same recorder
-	// lifecycle as Plant (the fleet control plane's ledger feed). Nil
-	// disables it; see PlantTap.
-	Tap PlantTap
+	// Durability groups the write-ahead-journal knobs.
+	Durability DurabilityOptions
+	// Plant groups the plant-observability knobs.
+	Plant PlantOptions
+}
+
+// WithDurability returns a copy of c with the journaling knobs set — the
+// chainable constructor daemon flag plumbing uses instead of naming nested
+// struct fields.
+func (c Config) WithDurability(stateDir string, snapshotEvery int) Config {
+	c.Durability = DurabilityOptions{StateDir: stateDir, SnapshotEvery: snapshotEvery}
+	return c
+}
+
+// WithPlant returns a copy of c with the plant-observability knobs set,
+// preserving any tap already configured.
+func (c Config) WithPlant(sink *tsdb.PlantSink, watchdog *tsdb.Watchdog, every time.Duration) Config {
+	c.Plant.Sink, c.Plant.Watchdog, c.Plant.Every = sink, watchdog, every
+	return c
+}
+
+// WithTap returns a copy of c with the plant tap set, preserving the other
+// plant knobs.
+func (c Config) WithTap(tap PlantTap) Config {
+	c.Plant.Tap = tap
+	return c
 }
 
 func (c *Config) fill() {
@@ -104,31 +146,79 @@ func (c *Config) fill() {
 	if c.SlowStep == 0 {
 		c.SlowStep = 25 * time.Millisecond
 	}
-	if c.SnapshotEvery <= 0 {
-		c.SnapshotEvery = 256
+	if c.Durability.SnapshotEvery <= 0 {
+		c.Durability.SnapshotEvery = 256
 	}
-	if c.PlantEvery <= 0 {
-		c.PlantEvery = time.Second
+	if c.Durability.DeltaChain == 0 {
+		c.Durability.DeltaChain = 16
+	}
+	if c.Plant.Every <= 0 {
+		c.Plant.Every = time.Second
 	}
 }
 
-// nShards fixes the session-map shard count; 16 keeps contention negligible
-// at hundreds of sessions without complicating iteration.
+// nShards fixes the shard count: one run queue, one worker goroutine, and
+// one engine batch per shard. 16 keeps map contention negligible at
+// hundreds of thousands of sessions while giving the batch sweeps enough
+// parallelism to saturate a mid-size host.
 const nShards = 16
 
-// NumShards exposes the session-map shard count so callers can size a
+// NumShards exposes the shard count so callers can size a
 // telemetry.FlightRecorder to match: one event ring per shard keeps the
 // recorder's locking as fine-grained as the map it observes.
 const NumShards = nShards
 
+// quantumMax bounds how many step requests one lockstep quantum gathers, so
+// a deep run queue cannot starve the requests behind it of replies.
+const quantumMax = 512
+
+// shard is one of the manager's service lanes: an id map shared with
+// lookups, plus the run queue, control channel and engine batch owned by the
+// shard's worker goroutine.
 type shard struct {
 	mu sync.Mutex
 	m  map[string]*session
+
+	// runq carries client requests to the worker; ctl carries evictions,
+	// probes and shutdown, and is drained with priority. done closes when
+	// the worker exits — the waiter's signal that no reply is coming.
+	runq chan request
+	ctl  chan ctlMsg
+	done chan struct{}
+
+	// ---- worker-owned state below ----
+
+	// batch holds every adopted engine in struct-of-arrays form; sess maps
+	// its slots back to sessions.
+	batch *sim.Batch
+	sess  []*session
+	// demands is the persistent StepAll input, Skip for every slot at rest;
+	// a quantum marks its slots and unmarks them after the sweep.
+	demands []sim.Sample
+	// qreqs and qprev are the quantum scratch buffers (requests gathered,
+	// engine tick before the sweep).
+	qreqs []request
+	qprev []int
 }
 
-// Manager hosts the live sessions: a sharded id map, a janitor evicting idle
-// sessions, and gauges over the whole population. All methods are safe for
-// concurrent use.
+type ctlOp int
+
+const (
+	ctlEvict ctlOp = iota
+	ctlProbe
+	ctlShutdown
+)
+
+type ctlMsg struct {
+	op      ctlOp
+	s       *session  // evict target
+	evicted chan bool // evict reply: whether the session was live
+	probes  chan []PlantProbe
+}
+
+// Manager hosts the live sessions: sharded run queues feeding per-shard
+// batch workers, a janitor evicting idle sessions, and gauges over the whole
+// population. All methods are safe for concurrent use.
 type Manager struct {
 	cfg    Config
 	shards [nShards]shard
@@ -137,7 +227,7 @@ type Manager struct {
 	count  int
 	closed bool
 
-	wg       sync.WaitGroup // live session goroutines + janitor + plant sampler
+	wg       sync.WaitGroup // shard workers + janitor + plant sampler
 	janitorQ chan struct{}
 	plantQ   chan struct{}
 
@@ -170,34 +260,39 @@ func stepLatencyBuckets() []float64 {
 	}
 }
 
-// NewManager starts a manager and its eviction janitor.
+// NewManager starts a manager: its shard workers, eviction janitor, and
+// plant sampler.
 func NewManager(cfg Config) *Manager {
 	cfg.fill()
 	m := &Manager{cfg: cfg, janitorQ: make(chan struct{})}
+	// The run queue is shared by every session on the shard; size it so the
+	// per-session QueueDepth gate, not the shared queue, is the normal
+	// backpressure signal.
+	runqDepth := cfg.QueueDepth * 64
+	if runqDepth < 4096 {
+		runqDepth = 4096
+	}
 	for i := range m.shards {
-		m.shards[i].m = make(map[string]*session)
+		sh := &m.shards[i]
+		sh.m = make(map[string]*session)
+		sh.batch = sim.NewBatch(sim.BatchOptions{})
+		sh.runq = make(chan request, runqDepth)
+		sh.ctl = make(chan ctlMsg, 4)
+		sh.done = make(chan struct{})
 	}
 	reg := cfg.Registry
-	// Per-shard queue-depth gauges refresh on scrape: the mailbox lengths
-	// are only interesting at observation time, and walking 16 shard maps
-	// per scrape is far cheaper than bumping gauges on every enqueue.
+	// Per-shard queue-depth gauges refresh on scrape: the run-queue lengths
+	// are only interesting at observation time.
 	for i := 0; i < nShards; i++ {
 		reg.GaugeWith("dcsprint_service_queue_depth",
-			"Queued requests across the shard's session mailboxes",
+			"Requests waiting in the shard's run queue",
 			telemetry.Labels{"shard": strconv.Itoa(i)})
 	}
 	reg.OnScrape(func() {
 		for i := range m.shards {
-			sh := &m.shards[i]
-			depth := 0
-			sh.mu.Lock()
-			for _, s := range sh.m {
-				depth += len(s.mail)
-			}
-			sh.mu.Unlock()
 			reg.GaugeWith("dcsprint_service_queue_depth",
-				"Queued requests across the shard's session mailboxes",
-				telemetry.Labels{"shard": strconv.Itoa(i)}).Set(float64(depth))
+				"Requests waiting in the shard's run queue",
+				telemetry.Labels{"shard": strconv.Itoa(i)}).Set(float64(len(m.shards[i].runq)))
 		}
 	})
 	m.metrics = managerMetrics{
@@ -221,11 +316,19 @@ func NewManager(cfg Config) *Manager {
 		journalErrors: reg.Counter("dcsprint_service_journal_errors_total",
 			"Journal write failures (session degraded to in-memory)"),
 	}
+	m.wg.Add(nShards)
+	for i := 0; i < nShards; i++ {
+		idx := i
+		// pprof labels make /debug/pprof/profile attribute CPU to the shard
+		// worker that burned it instead of one anonymous pile of frames.
+		go pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(idx)),
+			func(context.Context) { m.worker(idx) })
+	}
 	if cfg.IdleTTL > 0 {
 		m.wg.Add(1)
 		go m.janitor()
 	}
-	if cfg.Plant != nil {
+	if cfg.Plant.Sink != nil {
 		m.plantQ = make(chan struct{})
 		m.wg.Add(1)
 		go m.plantLoop()
@@ -233,13 +336,368 @@ func NewManager(cfg Config) *Manager {
 	return m
 }
 
-// plantLoop folds the live population into fleet series on the PlantEvery
+// worker is one shard's goroutine: sole owner of the shard batch, its
+// engines, and their journals. Control messages preempt queued work.
+func (m *Manager) worker(idx int) {
+	sh := &m.shards[idx]
+	defer m.wg.Done()
+	defer close(sh.done)
+	var held *request
+	for {
+		select {
+		case c := <-sh.ctl:
+			if m.handleCtl(sh, c) {
+				return
+			}
+			continue
+		default:
+		}
+		var first request
+		if held != nil {
+			first, held = *held, nil
+		} else {
+			select {
+			case c := <-sh.ctl:
+				if m.handleCtl(sh, c) {
+					return
+				}
+				continue
+			case first = <-sh.runq:
+			}
+		}
+		if first.op != opStep {
+			m.handleReq(sh, first)
+			continue
+		}
+		held = m.runQuantum(sh, first)
+	}
+}
+
+// adopt installs a session's engine into the shard batch — lazily, on the
+// session's first dequeued request, so install ordering can never race the
+// worker.
+func (m *Manager) adopt(sh *shard, s *session) {
+	s.slot = sh.batch.AddEngine(s.eng)
+	s.eng = nil
+	for len(sh.sess) <= s.slot {
+		sh.sess = append(sh.sess, nil)
+	}
+	sh.sess[s.slot] = s
+	for len(sh.demands) < sh.batch.Slots() {
+		sh.demands = append(sh.demands, sim.Sample{Skip: true})
+	}
+}
+
+// runQuantum gathers consecutive step requests for distinct sessions into
+// one lockstep quantum, advances them together through the shard batch, and
+// replies in arrival order. The first request that cannot join — a non-step
+// op, or a second step for a session already in the quantum — is returned to
+// the caller as a holdover so per-session FIFO order is preserved.
+func (m *Manager) runQuantum(sh *shard, first request) (held *request) {
+	reqs := append(sh.qreqs[:0], first)
+	first.s.inQuantum = true
+gather:
+	for len(reqs) < quantumMax {
+		select {
+		case r := <-sh.runq:
+			if r.op != opStep || r.s.inQuantum {
+				h := r
+				held = &h
+				break gather
+			}
+			r.s.inQuantum = true
+			reqs = append(reqs, r)
+		default:
+			break gather
+		}
+	}
+	start := time.Now()
+	// Admission pass: per-request checks in arrival order; survivors mark
+	// their slot's demand. A request replied to here clears its reply chan
+	// so the post-sweep pass skips it.
+	prev := sh.qprev[:0]
+	stepping := 0
+	for i := range reqs {
+		r := &reqs[i]
+		s := r.s
+		s.queued.Add(-1)
+		s.inQuantum = false
+		s.touch()
+		prev = append(prev, -1)
+		if !r.enq.IsZero() {
+			// The queue-wait span covers enqueue to dequeue — the part of a
+			// 429 storm or a stalled stream that is invisible to the client.
+			m.opSpan("queue-wait", s.id, r.tc, r.enq, "")
+		}
+		if s.closed {
+			r.reply <- response{err: s.closeErr}
+			r.reply = nil
+			continue
+		}
+		if s.slot < 0 {
+			m.adopt(sh, s)
+		}
+		eng := sh.batch.Engine(s.slot)
+		cur := eng.Tick()
+		if r.seq >= 0 {
+			// Idempotent application: the expected seq applies, the
+			// just-applied seq gets its cached decision again (a reconnect
+			// that lost the ack), anything else desynchronized.
+			switch {
+			case r.seq == int64(cur):
+			case r.seq == int64(cur)-1 && s.haveLast:
+				r.reply <- response{dec: s.lastDec}
+				r.reply = nil
+				continue
+			default:
+				r.reply <- response{err: fmt.Errorf("%w: seq %d, next tick %d", ErrStepSeq, r.seq, cur)}
+				r.reply = nil
+				continue
+			}
+		}
+		if s.traceLen > 0 && cur >= s.traceLen {
+			r.reply <- response{err: ErrTraceExhausted}
+			r.reply = nil
+			continue
+		}
+		prev[i] = cur
+		sh.demands[s.slot] = sim.Sample{Demand: r.demand}
+		stepping++
+	}
+	if stepping > 0 {
+		decs, stepErr := sh.batch.StepAll(sh.demands)
+		// Reply pass: journal before replying, per session, in arrival
+		// order — once the client sees the ack, the tick is recoverable.
+		for i := range reqs {
+			r := &reqs[i]
+			if r.reply == nil {
+				continue
+			}
+			s := r.s
+			sh.demands[s.slot] = sim.Sample{Skip: true}
+			eng := sh.batch.Engine(s.slot)
+			if eng.Tick() == prev[i] {
+				// The sweep failed this slot without advancing it; batch
+				// members are never finished engines, so this is a
+				// should-not-happen guarded for completeness.
+				err := stepErr
+				if err == nil {
+					err = fmt.Errorf("service: batch step did not advance session %s", s.id)
+				}
+				r.reply <- response{err: err}
+				continue
+			}
+			s.journalStep(eng, prev[i], r.demand)
+			s.tick.Store(int64(eng.Tick()))
+			m.metrics.steps.Inc()
+			elapsed := time.Since(start)
+			if r.tc.Req != "" {
+				m.metrics.stepLatency.ObserveWithExemplar(elapsed.Seconds(), r.tc.Req)
+			} else {
+				m.metrics.stepLatency.Observe(elapsed.Seconds())
+			}
+			if elapsed > m.cfg.SlowStep {
+				m.metrics.slowSteps.Inc()
+				m.flight(telemetry.EventSlowStep, s.id, r.tc,
+					fmt.Sprintf("tick %d took %v", prev[i], elapsed))
+			}
+			if !r.enq.IsZero() {
+				m.opSpan("step", s.id, r.tc, start, fmt.Sprintf("tick %d", prev[i]))
+			}
+			s.lastDec, s.haveLast = decisionOf(prev[i], decs[s.slot]), true
+			r.reply <- response{dec: s.lastDec}
+		}
+	}
+	// Keep the scratch buffers (and drop request payloads so replies are
+	// not retained past the quantum).
+	for i := range reqs {
+		reqs[i] = request{}
+	}
+	sh.qreqs, sh.qprev = reqs[:0], prev[:0]
+	return held
+}
+
+// handleReq serves one non-step request on the shard worker.
+func (m *Manager) handleReq(sh *shard, req request) {
+	s := req.s
+	s.queued.Add(-1)
+	s.touch()
+	if s.closed {
+		req.reply <- response{err: s.closeErr}
+		return
+	}
+	if s.slot < 0 {
+		m.adopt(sh, s)
+	}
+	switch req.op {
+	case opSnapshot:
+		start := time.Now()
+		snap, err := sh.batch.Engine(s.slot).Snapshot()
+		if err != nil {
+			req.reply <- response{err: err}
+			return
+		}
+		if !req.enq.IsZero() {
+			m.opSpan("snapshot", s.id, req.tc, start, fmt.Sprintf("%d bytes", len(snap)))
+		}
+		req.reply <- response{doc: SnapshotDoc{Spec: s.spec, Snapshot: snap}}
+	case opFinish:
+		eng := sh.batch.Remove(s.slot)
+		sh.sess[s.slot] = nil
+		s.slot = -1
+		res, err := eng.Finish()
+		// Finished either way — the journal has nothing left to recover.
+		s.dropJournal.Store(true)
+		s.closeJournal()
+		s.closed, s.closeErr = true, ErrNotFound
+		m.drop(s)
+		if err != nil {
+			req.reply <- response{err: err}
+			return
+		}
+		req.reply <- response{res: res}
+	default:
+		req.reply <- response{err: ErrNotFound}
+	}
+}
+
+// retire removes a session from service on the shard worker: engine out of
+// the batch, journal detached (kept or removed per dropJournal), map entry
+// dropped. Later dequeued requests for it are told err.
+func (m *Manager) retire(sh *shard, s *session, err error) {
+	if s.slot >= 0 {
+		sh.batch.Remove(s.slot)
+		sh.sess[s.slot] = nil
+		s.slot = -1
+	}
+	s.eng = nil
+	s.closeJournal()
+	s.closed, s.closeErr = true, err
+	m.drop(s)
+}
+
+// handleCtl serves one control message; reports true on shutdown.
+func (m *Manager) handleCtl(sh *shard, c ctlMsg) (shutdown bool) {
+	switch c.op {
+	case ctlEvict:
+		if c.s.closed {
+			c.evicted <- false
+			return false
+		}
+		m.retire(sh, c.s, ErrClosed)
+		c.evicted <- true
+		return false
+	case ctlProbe:
+		c.probes <- m.probeColumns(sh)
+		return false
+	case ctlShutdown:
+		// Retire every live session — journals are kept (dropJournal is only
+		// set by eviction and finish), so Recover can resurrect the
+		// population — then fail whatever is still queued.
+		sh.mu.Lock()
+		all := make([]*session, 0, len(sh.m))
+		for _, s := range sh.m {
+			all = append(all, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range all {
+			if !s.closed {
+				m.retire(sh, s, ErrClosed)
+			}
+		}
+		for {
+			select {
+			case req := <-sh.runq:
+				req.s.queued.Add(-1)
+				req.reply <- response{err: ErrClosed}
+			default:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PlantProbe is one live session's plant state, read from its shard
+// worker's batch columns rather than a per-tick recorder callback.
+type PlantProbe struct {
+	// ID is the session id.
+	ID string
+	// Dead marks a tripped or overheated facility.
+	Dead bool
+	// Sample carries the column-backed subset of the plant probe: tick,
+	// workload numbers, DC load, and the thermal and stored-energy state.
+	// Power flows the columns do not mirror (PDU, UPS, generator, cooling,
+	// grid) are zero.
+	Sample sim.PlantSample
+}
+
+// Probes folds every shard's batch columns into per-session plant probes —
+// the pull-based fleet ledger feed. Each shard's fold runs on its worker
+// between quanta, so it reads consistent column state without locks; a
+// session that has not yet reached its worker reports nothing, exactly like
+// a recorder that has not yet seen a sample. Shards already shut down
+// contribute nothing.
+func (m *Manager) Probes() []PlantProbe {
+	var out []PlantProbe
+	for i := range m.shards {
+		sh := &m.shards[i]
+		probes := make(chan []PlantProbe, 1)
+		select {
+		case sh.ctl <- ctlMsg{op: ctlProbe, probes: probes}:
+		case <-sh.done:
+			continue
+		}
+		select {
+		case ps := <-probes:
+			out = append(out, ps...)
+		case <-sh.done:
+		}
+	}
+	return out
+}
+
+// probeColumns builds the shard's probe set from its batch columns — one
+// sequential pass over the struct-of-arrays plant state. Worker goroutine
+// only.
+func (m *Manager) probeColumns(sh *shard) []PlantProbe {
+	c := sh.batch.Columns()
+	out := make([]PlantProbe, 0, sh.batch.Len())
+	for slot, s := range sh.sess {
+		if s == nil || !c.Live[slot] {
+			continue
+		}
+		tick := int(c.Tick[slot])
+		out = append(out, PlantProbe{
+			ID:   s.id,
+			Dead: c.Dead[slot],
+			Sample: sim.PlantSample{
+				Tick:           tick,
+				Now:            time.Duration(tick) * s.interval,
+				Demand:         c.Demand[slot],
+				Delivered:      c.Delivered[slot],
+				Degree:         c.Degree[slot],
+				Phase:          int(c.Phase[slot]),
+				DCLoadW:        c.DCLoadW[slot],
+				RoomTempC:      c.RoomTempC[slot],
+				ThermalMarginC: c.ThermalMarginC[slot],
+				BreakerStress:  c.BreakerStress[slot],
+				UPSSoC:         c.UPSSoC[slot],
+				TESSoC:         c.TESSoC[slot],
+				ChipHeadroomJ:  c.ChipHeadroomJ[slot],
+			},
+		})
+	}
+	return out
+}
+
+// plantLoop folds the live population into fleet series on the Plant.Every
 // cadence, derives the control-plane extras (step throughput, slow-step
 // ratio) from counter deltas, and hands the fold's timestamp to the SLO
 // watchdog.
 func (m *Manager) plantLoop() {
 	defer m.wg.Done()
-	t := time.NewTicker(m.cfg.PlantEvery)
+	t := time.NewTicker(m.cfg.Plant.Every)
 	defer t.Stop()
 	var lastSteps, lastSlow float64
 	last := time.Now()
@@ -261,12 +719,12 @@ func (m *Manager) plantLoop() {
 			if dSteps > 0 {
 				ratio = dSlow / dSteps
 			}
-			ts := m.cfg.Plant.SampleFleet(map[string]float64{
+			ts := m.cfg.Plant.Sink.SampleFleet(map[string]float64{
 				tsdb.SeriesFleetStepsPerSec:   perSec,
 				tsdb.SeriesFleetSlowStepRatio: ratio,
 			})
-			if m.cfg.Watchdog != nil {
-				m.cfg.Watchdog.Evaluate(ts)
+			if m.cfg.Plant.Watchdog != nil {
+				m.cfg.Plant.Watchdog.Evaluate(ts)
 			}
 		}
 	}
@@ -357,11 +815,14 @@ type installOpts struct {
 	id       string // empty generates a fresh id
 	jn       *durability.Journal
 	specJSON []byte
+	base     []byte // journal's base checkpoint bytes (delta-chain key)
 	lastDec  Decision
 	haveLast bool
 }
 
-// install registers a freshly built engine as a live session.
+// install registers a freshly built engine as a live session. The engine
+// rides along on the session struct until the shard worker adopts it into
+// the batch on the first dequeued request.
 func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine, opts installOpts) *session {
 	id := opts.id
 	if id == "" {
@@ -371,12 +832,13 @@ func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine, opts installOpts) 
 		id:       id,
 		spec:     spec,
 		mgr:      m,
-		mail:     make(chan request, m.cfg.QueueDepth),
-		closing:  make(chan struct{}),
-		done:     make(chan struct{}),
+		sh:       m.shardOf(id),
+		eng:      eng,
+		slot:     -1,
 		interval: eng.Interval(),
 		jn:       opts.jn,
 		specJSON: opts.specJSON,
+		base:     opts.base,
 		lastDec:  opts.lastDec,
 		haveLast: opts.haveLast,
 	}
@@ -385,41 +847,37 @@ func (m *Manager) install(spec ScenarioSpec, eng *sim.Engine, opts installOpts) 
 	}
 	s.tick.Store(int64(eng.Tick()))
 	s.touch()
-	sh := m.shardOf(s.id)
+	if rec := m.plantRecorder(s.id); rec != nil {
+		eng.AttachPlantRecorder(rec)
+	}
+	sh := s.sh
 	sh.mu.Lock()
 	sh.m[s.id] = s
 	sh.mu.Unlock()
 	m.metrics.created.Inc()
 	m.metrics.active.Add(1)
-	if rec := m.plantRecorder(s.id); rec != nil {
-		eng.AttachPlantRecorder(rec)
-	}
-	m.wg.Add(1)
-	// pprof labels make /debug/pprof/profile attribute CPU to the hot
-	// session and its shard instead of one anonymous pile of s.run frames.
-	labels := pprof.Labels("session_id", s.id, "shard", strconv.Itoa(m.shardIdx(s.id)))
-	go pprof.Do(context.Background(), labels, func(context.Context) { s.run(eng) })
 	return s
 }
 
 // openJournal attaches a write-ahead journal to a new session and writes its
-// first checkpoint. Journal failures degrade the session to in-memory — a
-// full disk should not take the control plane down with it — but are counted
-// and land in the flight recorder.
-func (m *Manager) openJournal(id string, spec ScenarioSpec, eng *sim.Engine, tc TraceContext) (*durability.Journal, []byte) {
-	if m.cfg.StateDir == "" {
-		return nil, nil
+// first checkpoint, returning the checkpoint bytes as the session's delta
+// base. Journal failures degrade the session to in-memory — a full disk
+// should not take the control plane down with it — but are counted and land
+// in the flight recorder.
+func (m *Manager) openJournal(id string, spec ScenarioSpec, eng *sim.Engine, tc TraceContext) (*durability.Journal, []byte, []byte) {
+	if m.cfg.Durability.StateDir == "" {
+		return nil, nil, nil
 	}
 	specJSON, err := json.Marshal(spec)
 	if err == nil {
 		var jn *durability.Journal
-		jn, err = durability.Open(m.cfg.StateDir, id)
+		jn, err = durability.Open(m.cfg.Durability.StateDir, id)
 		if err == nil {
 			var snap []byte
 			snap, err = eng.Snapshot()
 			if err == nil {
 				if err = jn.WriteSnapshot(specJSON, snap, uint64(eng.Tick())); err == nil {
-					return jn, specJSON
+					return jn, specJSON, snap
 				}
 			}
 			jn.Remove() //nolint:errcheck // best-effort cleanup of the half-open journal
@@ -427,7 +885,7 @@ func (m *Manager) openJournal(id string, spec ScenarioSpec, eng *sim.Engine, tc 
 	}
 	m.metrics.journalErrors.Inc()
 	m.flight(telemetry.EventJournalFail, id, tc, err.Error())
-	return nil, nil
+	return nil, nil, nil
 }
 
 // Create opens a session from a scenario spec and returns its id.
@@ -456,8 +914,8 @@ func (m *Manager) CreateTraced(spec ScenarioSpec, tc TraceContext) (*Session, er
 		return nil, err
 	}
 	id := newSessionID()
-	jn, specJSON := m.openJournal(id, spec, eng, tc)
-	s := m.install(spec, eng, installOpts{id: id, jn: jn, specJSON: specJSON})
+	jn, specJSON, base := m.openJournal(id, spec, eng, tc)
+	s := m.install(spec, eng, installOpts{id: id, jn: jn, specJSON: specJSON, base: base})
 	m.opSpan("admission", s.id, tc, start, "create")
 	return s.public(), nil
 }
@@ -494,8 +952,8 @@ func (m *Manager) RestoreTraced(doc SnapshotDoc, tc TraceContext) (*Session, err
 		return nil, err
 	}
 	id := newSessionID()
-	jn, specJSON := m.openJournal(id, doc.Spec, eng, tc)
-	s := m.install(doc.Spec, eng, installOpts{id: id, jn: jn, specJSON: specJSON})
+	jn, specJSON, base := m.openJournal(id, doc.Spec, eng, tc)
+	s := m.install(doc.Spec, eng, installOpts{id: id, jn: jn, specJSON: specJSON, base: base})
 	m.opSpan("admission", s.id, tc, start, "restore")
 	return s.public(), nil
 }
@@ -508,10 +966,10 @@ func (m *Manager) RestoreTraced(doc SnapshotDoc, tc TraceContext) (*Session, err
 // leave the journal in place for a later attempt. Returns how many sessions
 // came back.
 func (m *Manager) Recover() (int, error) {
-	if m.cfg.StateDir == "" {
+	if m.cfg.Durability.StateDir == "" {
 		return 0, nil
 	}
-	ids, err := durability.List(m.cfg.StateDir)
+	ids, err := durability.List(m.cfg.Durability.StateDir)
 	if err != nil {
 		return 0, err
 	}
@@ -534,7 +992,7 @@ func (m *Manager) Recover() (int, error) {
 
 // recoverOne replays a single journal into a live session.
 func (m *Manager) recoverOne(id string) error {
-	st, err := durability.Load(m.cfg.StateDir, id)
+	st, err := durability.Load(m.cfg.Durability.StateDir, id)
 	if err != nil {
 		return m.recoveryDataError(id, err)
 	}
@@ -546,19 +1004,51 @@ func (m *Manager) recoverOne(id string) error {
 	if err != nil {
 		return m.recoveryDataError(id, err)
 	}
-	eng, err := sim.Restore(sc, st.Snapshot)
+	// Fold the delta chain onto the base to fast-forward past most of the
+	// log. The chain is an accelerator, never the source of truth: a frame
+	// that will not fold (torn tail already truncated by Load, or a base
+	// mismatch after a crash between snapshot rename and chain truncate)
+	// stops the fold where it is, the unfoldable remainder is quarantined for
+	// diagnosis, and the log replay below covers the difference.
+	snap, folded := st.Snapshot, 0
+	var foldErr error
+	for _, d := range st.Deltas {
+		next, err := sim.ApplyDelta(snap, d)
+		if err != nil {
+			foldErr = err
+			break
+		}
+		snap = next
+		folded++
+	}
+	if foldErr != nil || st.TornDelta {
+		msg := "torn delta tail"
+		if foldErr != nil {
+			msg = foldErr.Error()
+		}
+		m.flight(telemetry.EventJournalFail, id, TraceContext{},
+			fmt.Sprintf("delta chain stopped after %d of %d frames: %s", folded, len(st.Deltas), msg))
+		if qerr := durability.QuarantineDeltas(m.cfg.Durability.StateDir, id); qerr != nil {
+			return m.recoveryDataError(id, qerr)
+		}
+	}
+	eng, err := sim.Restore(sc, snap)
 	if err != nil {
 		return m.recoveryDataError(id, err)
 	}
-	if got := uint64(eng.Tick()); got != st.Tick {
+	if got := uint64(eng.Tick()); got < st.Tick {
 		return m.recoveryDataError(id, fmt.Errorf("snapshot tick %d, checkpoint header says %d", got, st.Tick))
 	}
 	var (
 		lastDec  Decision
 		haveLast bool
+		replayed int
 	)
 	for _, rec := range st.Steps {
 		tick := eng.Tick()
+		if rec.Seq < uint64(tick) {
+			continue // already covered by the folded delta chain
+		}
 		if rec.Seq != uint64(tick) {
 			return m.recoveryDataError(id, fmt.Errorf("journal seq %d at engine tick %d", rec.Seq, tick))
 		}
@@ -567,6 +1057,7 @@ func (m *Manager) recoverOne(id string) error {
 			return m.recoveryDataError(id, fmt.Errorf("replaying tick %d: %w", tick, err))
 		}
 		lastDec, haveLast = decisionOf(tick, dec), true
+		replayed++
 		m.metrics.replayedSteps.Inc()
 	}
 	if err := m.reserve(); err != nil {
@@ -577,13 +1068,13 @@ func (m *Manager) recoverOne(id string) error {
 	}
 	// Re-checkpoint at the replayed tick so the next crash replays only new
 	// ticks, and so a torn tail already truncated by Load is not re-read.
-	jn, specJSON := m.openJournal(id, spec, eng, TraceContext{})
+	jn, specJSON, base := m.openJournal(id, spec, eng, TraceContext{})
 	m.install(spec, eng, installOpts{
-		id: id, jn: jn, specJSON: specJSON, lastDec: lastDec, haveLast: haveLast,
+		id: id, jn: jn, specJSON: specJSON, base: base, lastDec: lastDec, haveLast: haveLast,
 	})
 	m.metrics.recovered.Inc()
 	m.flight(telemetry.EventRestore, id, TraceContext{},
-		fmt.Sprintf("tick %d, %d replayed", eng.Tick(), len(st.Steps)))
+		fmt.Sprintf("tick %d, %d deltas folded, %d replayed", eng.Tick(), folded, replayed))
 	return nil
 }
 
@@ -591,7 +1082,7 @@ func (m *Manager) recoverOne(id string) error {
 func (m *Manager) recoveryDataError(id string, err error) error {
 	m.metrics.recoveryFails.Inc()
 	m.flight(telemetry.EventRestoreFail, id, TraceContext{}, err.Error())
-	if qerr := durability.Quarantine(m.cfg.StateDir, id); qerr != nil {
+	if qerr := durability.Quarantine(m.cfg.Durability.StateDir, id); qerr != nil {
 		return errors.Join(err, qerr)
 	}
 	return err
@@ -716,7 +1207,7 @@ func (m *Manager) List() []SessionInfo {
 
 // drop removes a session from the map; returns false if already gone.
 func (m *Manager) drop(s *session) bool {
-	sh := m.shardOf(s.id)
+	sh := s.sh
 	sh.mu.Lock()
 	_, ok := sh.m[s.id]
 	if ok {
@@ -726,17 +1217,18 @@ func (m *Manager) drop(s *session) bool {
 	if ok {
 		m.metrics.active.Add(-1)
 		m.release()
-		if m.cfg.Plant != nil {
-			m.cfg.Plant.Drop(s.id)
+		if m.cfg.Plant.Sink != nil {
+			m.cfg.Plant.Sink.Drop(s.id)
 		}
-		if m.cfg.Tap != nil {
-			m.cfg.Tap.Drop(s.id)
+		if m.cfg.Plant.Tap != nil {
+			m.cfg.Plant.Tap.Drop(s.id)
 		}
 	}
 	return ok
 }
 
-// janitor evicts sessions whose last activity is older than the TTL.
+// janitor evicts sessions whose last activity is older than the TTL, by
+// asking each idle session's shard worker to retire it.
 func (m *Manager) janitor() {
 	defer m.wg.Done()
 	tick := m.cfg.IdleTTL / 4
@@ -766,11 +1258,21 @@ func (m *Manager) janitor() {
 					// goes too, or the state dir would accrete dead sessions
 					// that resurrect on every restart.
 					s.dropJournal.Store(true)
-					if s.close() {
-						m.metrics.evicted.Inc()
-						m.flight(telemetry.EventEvict, s.id, TraceContext{},
-							fmt.Sprintf("idle > %v", m.cfg.IdleTTL))
-						m.opSpan("evict", s.id, TraceContext{}, time.Now(), "idle eviction")
+					evicted := make(chan bool, 1)
+					select {
+					case sh.ctl <- ctlMsg{op: ctlEvict, s: s, evicted: evicted}:
+					case <-sh.done:
+						continue
+					}
+					select {
+					case ok := <-evicted:
+						if ok {
+							m.metrics.evicted.Inc()
+							m.flight(telemetry.EventEvict, s.id, TraceContext{},
+								fmt.Sprintf("idle > %v", m.cfg.IdleTTL))
+							m.opSpan("evict", s.id, TraceContext{}, time.Now(), "idle eviction")
+						}
+					case <-sh.done:
 					}
 				}
 			}
@@ -778,9 +1280,9 @@ func (m *Manager) janitor() {
 	}
 }
 
-// Close drains the manager: no new sessions, every live session's goroutine
-// is stopped and waited for. In-flight requests finish; queued ones get
-// ErrClosed.
+// Close drains the manager: no new sessions, every shard worker retires its
+// sessions (journals kept) and exits. In-flight requests finish; queued ones
+// get ErrClosed.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -794,20 +1296,18 @@ func (m *Manager) Close() {
 	if m.cfg.IdleTTL > 0 {
 		close(m.janitorQ)
 	}
-	if m.cfg.Plant != nil {
+	if m.cfg.Plant.Sink != nil {
 		close(m.plantQ)
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]
-		sh.mu.Lock()
-		all := make([]*session, 0, len(sh.m))
-		for _, s := range sh.m {
-			all = append(all, s)
+		select {
+		case sh.ctl <- ctlMsg{op: ctlShutdown}:
+		case <-sh.done:
 		}
-		sh.mu.Unlock()
-		for _, s := range all {
-			s.close()
-		}
+	}
+	for i := range m.shards {
+		<-m.shards[i].done
 	}
 	m.wg.Wait()
 	m.opSpan("drain", "", TraceContext{}, drainStart, "manager close")

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"runtime/pprof"
+	"strconv"
 	"testing"
 	"time"
 
@@ -41,12 +42,9 @@ func TestManagerPlantPipeline(t *testing.T) {
 		t.Fatalf("NewWatchdog: %v", err)
 	}
 	m := NewManager(Config{
-		Registry:   reg,
-		Flight:     flight,
-		Plant:      sink,
-		Watchdog:   wd,
-		PlantEvery: 5 * time.Millisecond,
-	})
+		Registry: reg,
+		Flight:   flight,
+	}.WithPlant(sink, wd, 5*time.Millisecond))
 	defer m.Close()
 
 	ids := make([]string, 2)
@@ -110,9 +108,10 @@ func TestManagerPlantPipeline(t *testing.T) {
 	}
 }
 
-// TestSessionGoroutineLabels checks the mailbox goroutine carries pprof
-// labels, so CPU profiles attribute work to sessions and shards.
-func TestSessionGoroutineLabels(t *testing.T) {
+// TestShardWorkerLabels checks every shard worker goroutine carries a pprof
+// shard label, so CPU profiles attribute batch-stepping work to the shard
+// that burned it.
+func TestShardWorkerLabels(t *testing.T) {
 	m := NewManager(Config{})
 	defer m.Close()
 	s, err := m.Create(ScenarioSpec{})
@@ -122,15 +121,20 @@ func TestSessionGoroutineLabels(t *testing.T) {
 	if _, err := m.Step(s.ID, 1.0); err != nil {
 		t.Fatalf("Step: %v", err)
 	}
+	// A worker goroutine that has not been scheduled yet carries no labels,
+	// so poll until every shard shows up in the profile.
 	var buf bytes.Buffer
-	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
-		t.Fatalf("goroutine profile: %v", err)
-	}
-	out := buf.String()
-	if !bytes.Contains(buf.Bytes(), []byte(`"session_id":"`+s.ID+`"`)) {
-		t.Fatalf("profile lacks session_id label for %s:\n%.2000s", s.ID, out)
-	}
-	if !bytes.Contains(buf.Bytes(), []byte(`"shard":`)) {
-		t.Fatal("profile lacks shard label")
-	}
+	waitFor(t, "all shard labels in the goroutine profile", func() bool {
+		buf.Reset()
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Fatalf("goroutine profile: %v", err)
+		}
+		for shard := 0; shard < NumShards; shard++ {
+			want := `"shard":"` + strconv.Itoa(shard) + `"`
+			if !bytes.Contains(buf.Bytes(), []byte(want)) {
+				return false
+			}
+		}
+		return true
+	})
 }

@@ -32,7 +32,7 @@ func TestRecoverBitIdentical(t *testing.T) {
 
 	// First life: step partway through, then die. SnapshotEvery well below
 	// the cut so recovery exercises both the re-checkpoint and the replay.
-	m1 := NewManager(Config{StateDir: dir, SnapshotEvery: 64})
+	m1 := NewManager(Config{}.WithDurability(dir, 64))
 	s, err := m1.Create(yahooSpec("rec"))
 	if err != nil {
 		t.Fatalf("Create: %v", err)
@@ -59,7 +59,7 @@ func TestRecoverBitIdentical(t *testing.T) {
 
 	// Second life.
 	flight := telemetry.NewFlightRecorder(NumShards, 16)
-	m2 := NewManager(Config{StateDir: dir, SnapshotEvery: 64, Flight: flight})
+	m2 := NewManager(Config{Flight: flight}.WithDurability(dir, 64))
 	defer m2.Close()
 	n, err := m2.Recover()
 	if err != nil || n != 1 {
@@ -97,11 +97,117 @@ func TestRecoverBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRecoverDeltaChainFastForward pins the base + delta-chain journal
+// layout: checkpoints between full rewrites land as delta frames, recovery
+// folds the chain onto the base instead of replaying the whole log, and the
+// session still finishes bit-identical to an uninterrupted run.
+func TestRecoverDeltaChainFastForward(t *testing.T) {
+	dir := t.TempDir()
+	sc := yahooScenario(t, "dchain")
+	want, err := sim.Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// SnapshotEvery 8 with the default 16-frame chain: checkpoints at ticks
+	// 8..48 are all deltas against the tick-0 base.
+	m1 := NewManager(Config{}.WithDurability(dir, 8))
+	s, err := m1.Create(yahooSpec("dchain"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	cut := 50
+	for i := 0; i < cut; i++ {
+		if _, err := m1.Step(s.ID, sc.Trace.Samples[i]); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	m1.Close()
+
+	st, err := durability.Load(dir, s.ID)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st.Tick != 0 || len(st.Deltas) != 6 || len(st.Steps) != cut {
+		t.Fatalf("journal layout: base tick %d, %d deltas, %d steps (want 0, 6, %d)",
+			st.Tick, len(st.Deltas), len(st.Steps), cut)
+	}
+
+	reg := telemetry.NewRegistry()
+	m2 := NewManager(Config{Registry: reg}.WithDurability(dir, 8))
+	defer m2.Close()
+	if n, err := m2.Recover(); err != nil || n != 1 {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+	if info, _ := m2.Info(s.ID); info.Tick != cut {
+		t.Fatalf("recovered at tick %d, want %d", info.Tick, cut)
+	}
+	// The fold fast-forwarded to tick 48; only the post-chain ticks replayed.
+	if got := reg.Counter("dcsprint_service_journal_replayed_steps_total", "").Value(); got != 2 {
+		t.Fatalf("replayed %v steps, want 2 (chain should cover the rest)", got)
+	}
+	for i := cut; i < sc.Trace.Len(); i++ {
+		if _, err := m2.Step(s.ID, sc.Trace.Samples[i]); err != nil {
+			t.Fatalf("post-recovery step %d: %v", i, err)
+		}
+	}
+	got, err := m2.Finish(s.ID)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if !reflect.DeepEqual(NewResultView(got), NewResultView(want)) {
+		t.Fatal("delta-chain recovery diverged from the uninterrupted run")
+	}
+}
+
+// TestRecoverTornDeltaQuarantine destroys the delta chain outright: recovery
+// must quarantine just the chain, fall back to base + full log replay, and
+// still come back at the acked tick with the base files untouched.
+func TestRecoverTornDeltaQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	sc := yahooScenario(t, "dtorn")
+	m1 := NewManager(Config{}.WithDurability(dir, 8))
+	s, err := m1.Create(yahooSpec("dtorn"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	cut := 50
+	for i := 0; i < cut; i++ {
+		if _, err := m1.Step(s.ID, sc.Trace.Samples[i]); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	m1.Close()
+	if err := os.WriteFile(filepath.Join(dir, s.ID+".delta"), []byte("not a delta chain"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	m2 := NewManager(Config{Registry: reg}.WithDurability(dir, 8))
+	defer m2.Close()
+	if n, err := m2.Recover(); err != nil || n != 1 {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+	if info, _ := m2.Info(s.ID); info.Tick != cut {
+		t.Fatalf("recovered at tick %d, want %d", info.Tick, cut)
+	}
+	// Every tick came from the log — the destroyed chain contributed nothing.
+	if got := reg.Counter("dcsprint_service_journal_replayed_steps_total", "").Value(); got != float64(cut) {
+		t.Fatalf("replayed %v steps, want %d", got, cut)
+	}
+	if _, err := os.Stat(filepath.Join(dir, s.ID+".delta.corrupt")); err != nil {
+		t.Fatalf("chain not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, s.ID+".snap")); err != nil {
+		t.Fatalf("base checkpoint disturbed: %v", err)
+	}
+}
+
 // TestRecoverQuarantinesCorrupt checks an unrecoverable checkpoint is moved
 // aside (not retried forever, not fatal to healthy neighbors).
 func TestRecoverQuarantinesCorrupt(t *testing.T) {
 	dir := t.TempDir()
-	m1 := NewManager(Config{StateDir: dir})
+	m1 := NewManager(Config{}.WithDurability(dir, 0))
 	good, err := m1.Create(yahooSpec("good"))
 	if err != nil {
 		t.Fatalf("Create good: %v", err)
@@ -115,7 +221,7 @@ func TestRecoverQuarantinesCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m2 := NewManager(Config{StateDir: dir})
+	m2 := NewManager(Config{}.WithDurability(dir, 0))
 	defer m2.Close()
 	n, err := m2.Recover()
 	if n != 1 || err == nil {
@@ -178,7 +284,7 @@ func TestStepIdempotency(t *testing.T) {
 // of new Creates — the restart-under-load case — under the race detector.
 func TestRecoverRacesAdmission(t *testing.T) {
 	dir := t.TempDir()
-	m1 := NewManager(Config{StateDir: dir})
+	m1 := NewManager(Config{}.WithDurability(dir, 0))
 	const journaled = 6
 	spec := ScenarioSpec{Trace: &TraceSpec{Kind: "constant", DurationSeconds: 30, Value: 2}}
 	for i := 0; i < journaled; i++ {
@@ -194,7 +300,7 @@ func TestRecoverRacesAdmission(t *testing.T) {
 	}
 	m1.Close()
 
-	m2 := NewManager(Config{StateDir: dir})
+	m2 := NewManager(Config{}.WithDurability(dir, 0))
 	defer m2.Close()
 	const admitted = 8
 	var wg sync.WaitGroup
@@ -250,7 +356,7 @@ func TestHTTPResumeAfterDaemonRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
-	m1 := NewManager(Config{StateDir: dir, SnapshotEvery: 64})
+	m1 := NewManager(Config{}.WithDurability(dir, 64))
 	srv1 := &http.Server{Handler: m1.Handler()}
 	go srv1.Serve(ln) //nolint:errcheck
 
@@ -278,7 +384,7 @@ func TestHTTPResumeAfterDaemonRestart(t *testing.T) {
 	m1.Close()
 
 	// The restart on the same address.
-	m2 := NewManager(Config{StateDir: dir, SnapshotEvery: 64})
+	m2 := NewManager(Config{}.WithDurability(dir, 64))
 	defer m2.Close()
 	if n, err := m2.Recover(); err != nil || n != 1 {
 		t.Fatalf("Recover = %d, %v", n, err)

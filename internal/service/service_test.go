@@ -242,13 +242,14 @@ func TestBackpressure(t *testing.T) {
 	m := NewManager(Config{QueueDepth: 1})
 	defer m.Close()
 
-	// Deterministic check: a session whose mailbox is already full must turn
-	// the next request away with ErrBusy and count it. Build the session by
-	// hand so no consumer drains the queue out from under the test.
-	s := &session{id: "full", mgr: m, mail: make(chan request, 1), done: make(chan struct{})}
-	s.mail <- request{op: opStep}
+	// Deterministic check: a session already at its queue-depth allowance
+	// must turn the next request away with ErrBusy and count it. Build the
+	// session by hand, with its pending count pre-loaded, so the shard
+	// worker never drains anything out from under the test.
+	s := &session{id: "full", mgr: m, sh: m.shardOf("full"), slot: -1}
+	s.queued.Store(int32(m.cfg.QueueDepth))
 	if _, err := s.step(-1, 1.0, TraceContext{}); !errors.Is(err, ErrBusy) {
-		t.Fatalf("step into full mailbox: err = %v, want ErrBusy", err)
+		t.Fatalf("step into full session queue: err = %v, want ErrBusy", err)
 	}
 	if m.metrics.backpressure.Value() == 0 {
 		t.Fatal("backpressure counter not incremented")

@@ -2,7 +2,6 @@ package service
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,13 +38,16 @@ const (
 )
 
 type request struct {
-	op     opKind
+	op opKind
+	// s is the target session; the shard worker serves many sessions off
+	// one run queue, so every request carries its addressee.
+	s      *session
 	demand float64
 	// seq is the client's step sequence number (the tick it expects to
 	// apply); -1 means unsequenced legacy protocol.
 	seq int64
 	tc  TraceContext
-	// enq is when the request entered the mailbox; stamped only when the
+	// enq is when the request entered the run queue; stamped only when the
 	// manager records op spans, so the untraced hot path skips the clock
 	// read.
 	enq   time.Time
@@ -59,30 +61,64 @@ type response struct {
 	err error
 }
 
-// session confines one engine to one goroutine: every operation is a message
-// through the bounded mailbox, so the engine itself never needs locks.
+// session is one live engine's bookkeeping. The engine itself lives in the
+// shard worker's batch: every operation is a request through the shard run
+// queue, and all fields below the marker are owned by that worker goroutine,
+// so the engine and its journal never need locks.
 type session struct {
-	id       string
-	spec     ScenarioSpec
-	mgr      *Manager
-	mail     chan request
-	closing  chan struct{}
-	done     chan struct{}
-	stopOnce sync.Once
+	id   string
+	spec ScenarioSpec
+	mgr  *Manager
+	sh   *shard
+
+	// eng hands the freshly built engine to the shard worker: install sets
+	// it before publishing the session in the shard map, and the worker
+	// adopts it into the batch on the session's first dequeued request
+	// (publishing via the map and requests via the channel both establish
+	// the necessary happens-before edges).
+	eng *sim.Engine
+
+	// queued counts this session's requests sitting in the shard run queue;
+	// the QueueDepth admission gate that used to be the per-session mailbox
+	// capacity.
+	queued atomic.Int32
 
 	interval time.Duration
 	traceLen int
 	tick     atomic.Int64
 	last     atomic.Int64 // unix nanos of last activity
 
-	// Durability state, owned by the session goroutine (except dropJournal,
-	// which the janitor sets before close). jn == nil means in-memory only.
-	jn          *durability.Journal
-	specJSON    []byte
-	sinceSnap   int
-	lastDec     Decision // decision of the most recently applied tick
-	haveLast    bool
+	// dropJournal is set (by the janitor, before eviction) when the journal
+	// should be removed rather than kept for recovery.
 	dropJournal atomic.Bool
+
+	// ---- worker-owned state below ----
+
+	// slot is the session's batch slot; -1 until the worker adopts the
+	// engine.
+	slot int
+	// closed marks a session the worker has retired (finished, evicted, or
+	// shut down); closeErr is what later dequeued requests are told.
+	closed   bool
+	closeErr error
+	// inQuantum dedupes sessions while the worker gathers a lockstep
+	// quantum; cleared before the quantum replies.
+	inQuantum bool
+
+	// Durability state. jn == nil means in-memory only.
+	jn        *durability.Journal
+	specJSON  []byte
+	sinceSnap int
+	// base holds the bytes of the session's latest checkpoint — the frame
+	// the next delta checkpoint is keyed against. Kept in memory (one full
+	// snapshot per journaled session) so checkpointing between full rewrites
+	// costs only a delta's worth of disk.
+	base []byte
+	// chain counts delta checkpoints appended since base was last a full
+	// rewrite; at Durability.DeltaChain the next checkpoint is a full base.
+	chain    int
+	lastDec  Decision // decision of the most recently applied tick
+	haveLast bool
 }
 
 func (s *session) touch() { s.last.Store(time.Now().UnixNano()) }
@@ -95,26 +131,36 @@ func (s *session) progress() (tick, traceLen int) {
 	return int(s.tick.Load()), s.traceLen
 }
 
-// do submits a request without blocking; a full mailbox is ErrBusy, which
-// the HTTP layer maps to 429.
+// do submits a request to the shard worker without blocking; a session past
+// its queue-depth allowance or a full shard run queue is ErrBusy, which the
+// HTTP layer maps to 429.
 func (s *session) do(req request) (response, error) {
+	if int(s.queued.Add(1)) > s.mgr.cfg.QueueDepth {
+		s.queued.Add(-1)
+		s.mgr.metrics.backpressure.Inc()
+		s.mgr.flight(telemetry.EventBackpressure, s.id, req.tc,
+			fmt.Sprintf("session queue full (depth %d)", s.mgr.cfg.QueueDepth))
+		return response{}, ErrBusy
+	}
 	if s.mgr.cfg.Ops != nil {
 		req.enq = time.Now()
 	}
+	req.s = s
 	select {
-	case s.mail <- req:
+	case s.sh.runq <- req:
 	default:
+		s.queued.Add(-1)
 		s.mgr.metrics.backpressure.Inc()
 		s.mgr.flight(telemetry.EventBackpressure, s.id, req.tc,
-			fmt.Sprintf("mailbox full (depth %d)", cap(s.mail)))
+			fmt.Sprintf("shard run queue full (depth %d)", cap(s.sh.runq)))
 		return response{}, ErrBusy
 	}
 	select {
 	case resp := <-req.reply:
 		return resp, resp.err
-	case <-s.done:
-		// The goroutine exited while our request was queued; it may still
-		// have answered just before exiting.
+	case <-s.sh.done:
+		// The shard worker exited while our request was queued; it may
+		// still have answered just before exiting.
 		select {
 		case resp := <-req.reply:
 			return resp, resp.err
@@ -139,46 +185,9 @@ func (s *session) finish() (*sim.Result, error) {
 	return resp.res, err
 }
 
-// close asks the session goroutine to exit and waits for it. Returns false
-// when the session was already stopping (or finished).
-func (s *session) close() bool {
-	fired := false
-	s.stopOnce.Do(func() { close(s.closing); fired = true })
-	<-s.done
-	return fired
-}
-
-// run is the session goroutine: sole owner of the engine.
-func (s *session) run(eng *sim.Engine) {
-	defer s.mgr.wg.Done()
-	defer close(s.done)
-	for {
-		select {
-		case <-s.closing:
-			s.shutdown()
-			return
-		case req := <-s.mail:
-			if s.handle(eng, req) {
-				// Finished: leave the map, then answer stragglers.
-				s.mgr.drop(s)
-				s.drain(ErrNotFound)
-				return
-			}
-		}
-	}
-}
-
-// shutdown removes the session and fails everything still queued. The
-// journal survives unless the janitor marked the session for eviction — a
-// draining manager keeps journals so Recover can resurrect the population.
-func (s *session) shutdown() {
-	s.closeJournal()
-	s.mgr.drop(s)
-	s.drain(ErrClosed)
-}
-
 // closeJournal detaches the journal: removed when the session is gone for
-// good (finished or evicted), closed but kept on disk otherwise.
+// good (finished or evicted), closed but kept on disk otherwise. Worker
+// goroutine only.
 func (s *session) closeJournal() {
 	if s.jn == nil {
 		return
@@ -191,10 +200,10 @@ func (s *session) closeJournal() {
 	s.jn = nil
 }
 
-// journalStep appends one applied tick, re-checkpointing every SnapshotEvery
+// journalStep appends one applied tick, checkpointing every SnapshotEvery
 // appends. A write failure degrades the session to in-memory: counted,
 // flight-recorded, journal removed so a later Recover does not resurrect a
-// stale prefix.
+// stale prefix. Worker goroutine only.
 func (s *session) journalStep(eng *sim.Engine, tick int, demand float64) {
 	if s.jn == nil {
 		return
@@ -202,15 +211,12 @@ func (s *session) journalStep(eng *sim.Engine, tick int, demand float64) {
 	err := s.jn.Append(uint64(tick), demand)
 	if err == nil {
 		s.sinceSnap++
-		if s.sinceSnap < s.mgr.cfg.SnapshotEvery {
+		if s.sinceSnap < s.mgr.cfg.Durability.SnapshotEvery {
 			return
 		}
-		var snap []byte
-		if snap, err = eng.Snapshot(); err == nil {
-			if err = s.jn.WriteSnapshot(s.specJSON, snap, uint64(eng.Tick())); err == nil {
-				s.sinceSnap = 0
-				return
-			}
+		if err = s.checkpoint(eng); err == nil {
+			s.sinceSnap = 0
+			return
 		}
 	}
 	s.mgr.metrics.journalErrors.Inc()
@@ -219,102 +225,36 @@ func (s *session) journalStep(eng *sim.Engine, tick int, demand float64) {
 	s.jn = nil
 }
 
-func (s *session) drain(err error) {
-	for {
-		select {
-		case req := <-s.mail:
-			req.reply <- response{err: err}
-		default:
-			return
-		}
-	}
-}
-
-// handle serves one request; reports true when the session finished.
-func (s *session) handle(eng *sim.Engine, req request) (finished bool) {
-	s.touch()
-	switch req.op {
-	case opStep:
-		start := time.Now()
-		if !req.enq.IsZero() {
-			// The queue-wait span covers enqueue to dequeue — the part of a
-			// 429 storm or a stalled stream that is invisible to the client.
-			s.mgr.opSpan("queue-wait", s.id, req.tc, req.enq, "")
-		}
-		if req.seq >= 0 {
-			// Idempotent application: the expected seq applies, the
-			// just-applied seq gets its cached decision again (a reconnect
-			// that lost the ack), anything else desynchronized.
-			cur := int64(eng.Tick())
-			switch {
-			case req.seq == cur:
-			case req.seq == cur-1 && s.haveLast:
-				req.reply <- response{dec: s.lastDec}
-				return false
-			default:
-				req.reply <- response{err: fmt.Errorf("%w: seq %d, next tick %d", ErrStepSeq, req.seq, cur)}
-				return false
+// checkpoint writes the session's next checkpoint: a delta frame keyed
+// against the in-memory base while the chain has room, a full base rewrite
+// (which truncates both the tick log and the chain) otherwise. A delta that
+// will not encode — the engine picked up fault injection, or the base
+// diverged — falls through to a full rewrite rather than failing the
+// checkpoint. Worker goroutine only.
+func (s *session) checkpoint(eng *sim.Engine) error {
+	if n := s.mgr.cfg.Durability.DeltaChain; n > 0 && s.base != nil && s.chain < n {
+		if d, err := eng.DeltaSnapshot(s.base); err == nil {
+			if err := s.jn.AppendDelta(d); err != nil {
+				return err
 			}
+			// The next delta is keyed against the state at this tick;
+			// ApplyDelta's output is byte-identical to this Snapshot, so the
+			// recovery-side fold reproduces the same chain of base CRCs.
+			base, err := eng.Snapshot()
+			if err != nil {
+				return err
+			}
+			s.base, s.chain = base, s.chain+1
+			return nil
 		}
-		if s.traceLen > 0 && eng.Tick() >= s.traceLen {
-			req.reply <- response{err: ErrTraceExhausted}
-			return false
-		}
-		tick := eng.Tick()
-		dec, err := eng.Step(req.demand)
-		if err != nil {
-			req.reply <- response{err: err}
-			return false
-		}
-		// Journal before replying: once the client sees the ack, the tick is
-		// recoverable, so a resumed stream never starts before lastAcked+1.
-		s.journalStep(eng, tick, req.demand)
-		s.tick.Store(int64(eng.Tick()))
-		s.mgr.metrics.steps.Inc()
-		elapsed := time.Since(start)
-		if req.tc.Req != "" {
-			s.mgr.metrics.stepLatency.ObserveWithExemplar(elapsed.Seconds(), req.tc.Req)
-		} else {
-			s.mgr.metrics.stepLatency.Observe(elapsed.Seconds())
-		}
-		if elapsed > s.mgr.cfg.SlowStep {
-			s.mgr.metrics.slowSteps.Inc()
-			s.mgr.flight(telemetry.EventSlowStep, s.id, req.tc,
-				fmt.Sprintf("tick %d took %v", tick, elapsed))
-		}
-		if !req.enq.IsZero() {
-			s.mgr.opSpan("step", s.id, req.tc, start, fmt.Sprintf("tick %d", tick))
-		}
-		s.lastDec, s.haveLast = decisionOf(tick, dec), true
-		req.reply <- response{dec: s.lastDec}
-		return false
-	case opSnapshot:
-		start := time.Now()
-		snap, err := eng.Snapshot()
-		if err != nil {
-			req.reply <- response{err: err}
-			return false
-		}
-		if !req.enq.IsZero() {
-			s.mgr.opSpan("snapshot", s.id, req.tc, start, fmt.Sprintf("%d bytes", len(snap)))
-		}
-		req.reply <- response{doc: SnapshotDoc{Spec: s.spec, Snapshot: snap}}
-		return false
-	case opFinish:
-		res, err := eng.Finish()
-		// Finished either way — the journal has nothing left to recover.
-		s.dropJournal.Store(true)
-		s.closeJournal()
-		if err != nil {
-			req.reply <- response{err: err}
-			// The engine is sealed after a Finish error only when it was
-			// already finished; either way the session is unusable.
-			return true
-		}
-		req.reply <- response{res: res}
-		return true
-	default:
-		req.reply <- response{err: ErrNotFound}
-		return false
 	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := s.jn.WriteSnapshot(s.specJSON, snap, uint64(eng.Tick())); err != nil {
+		return err
+	}
+	s.base, s.chain = snap, 0
+	return nil
 }

@@ -29,11 +29,11 @@ func (f fanoutRecorder) RecordPlant(s sim.PlantSample) {
 // session; nil when neither wants the probe.
 func (m *Manager) plantRecorder(id string) sim.PlantRecorder {
 	var a, b sim.PlantRecorder
-	if m.cfg.Plant != nil {
-		a = m.cfg.Plant.Session(id)
+	if m.cfg.Plant.Sink != nil {
+		a = m.cfg.Plant.Sink.Session(id)
 	}
-	if m.cfg.Tap != nil {
-		b = m.cfg.Tap.Session(id)
+	if m.cfg.Plant.Tap != nil {
+		b = m.cfg.Plant.Tap.Session(id)
 	}
 	switch {
 	case a == nil:

@@ -273,11 +273,12 @@ func TestFlightEventsRecorded(t *testing.T) {
 	if _, err := m.RestoreTraced(SnapshotDoc{Spec: yahooSpec("r"), Snapshot: []byte("junk")}, TraceContext{}); err == nil {
 		t.Fatal("junk restore succeeded")
 	}
-	// Backpressure against a hand-built full mailbox, as TestBackpressure does.
-	fake := &session{id: "full", mgr: m, mail: make(chan request, 1), done: make(chan struct{})}
-	fake.mail <- request{op: opStep}
+	// Backpressure against a hand-built session already at its queue-depth
+	// allowance, as TestBackpressure does.
+	fake := &session{id: "full", mgr: m, sh: m.shardOf("full"), slot: -1}
+	fake.queued.Store(int32(m.cfg.QueueDepth))
 	if _, err := fake.step(-1, 1.0, TraceContext{Trace: "tr1", Req: "tr1.9"}); !errors.Is(err, ErrBusy) {
-		t.Fatalf("full mailbox: %v", err)
+		t.Fatalf("full session queue: %v", err)
 	}
 	if _, err := m.Finish(s.ID); err != nil {
 		t.Fatalf("Finish: %v", err)

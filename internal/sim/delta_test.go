@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"dcsprint/internal/core"
+	"dcsprint/internal/workload"
+)
+
+// stepTo drives the engine through trace ticks [eng.Tick(), tick).
+func stepTo(t *testing.T, eng *Engine, tick int) {
+	t.Helper()
+	tr := eng.Scenario().Trace
+	for i := eng.Tick(); i < tick; i++ {
+		if _, err := eng.Step(tr.Samples[i]); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+}
+
+// TestDeltaFoldsToFullSnapshot is the delta codec's core contract: for every
+// strategy, folding a delta onto its base reproduces the full snapshot the
+// engine would have written at that tick, byte for byte — including across
+// chains of deltas where each folded output is the next base, and covering
+// ticks inside sprinting phases 1–3.
+func TestDeltaFoldsToFullSnapshot(t *testing.T) {
+	tbl := buildTestTable(t)
+	tr := mustTrace(workload.SyntheticYahoo(7, 3.2, 15*time.Minute))
+	st := workload.Analyze(tr)
+	strategies := []struct {
+		name  string
+		strat core.Strategy
+	}{
+		{"greedy", nil},
+		{"fixed", core.FixedBound{Bound: 2.5}},
+		{"prediction", core.Prediction{PredictedDuration: st.AggregateDuration, Table: tbl}},
+		{"heuristic", core.Heuristic{EstimatedAvgDegree: 2.5, Flexibility: 0.10}},
+		{"adaptive", core.Adaptive{Table: tbl}},
+	}
+	for _, tc := range strategies {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{Name: tc.name, Trace: tr, Strategy: tc.strat}
+			eng, err := New(sc)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			stepTo(t, eng, 100)
+			base, err := eng.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			phasesSeen := map[int]bool{}
+			// Fold a chain of deltas across the burst — on a 64-tick cadence
+			// plus right after every phase transition, so even the short
+			// CB-only window gets a mid-phase delta. Each folded output must
+			// equal the full snapshot and serves as the next base.
+			for tick := 101; tick <= len(tr.Samples); tick++ {
+				stepTo(t, eng, tick)
+				entered := tick >= 2 && eng.phase[tick-1] != eng.phase[tick-2]
+				if tick%64 != 0 && !entered {
+					continue
+				}
+				phasesSeen[eng.phase[tick-1]] = true
+				delta, err := eng.DeltaSnapshot(base)
+				if err != nil {
+					t.Fatalf("DeltaSnapshot at tick %d: %v", tick, err)
+				}
+				full, err := eng.Snapshot()
+				if err != nil {
+					t.Fatalf("Snapshot at tick %d: %v", tick, err)
+				}
+				folded, err := ApplyDelta(base, delta)
+				if err != nil {
+					t.Fatalf("ApplyDelta at tick %d: %v", tick, err)
+				}
+				if !bytes.Equal(folded, full) {
+					t.Fatalf("tick %d: folded snapshot differs from full (%d vs %d bytes)",
+						tick, len(folded), len(full))
+				}
+				if len(delta) >= len(full) {
+					t.Fatalf("tick %d: delta (%d bytes) not smaller than full (%d bytes)",
+						tick, len(delta), len(full))
+				}
+				base = folded
+			}
+			for _, ph := range []int{1, 2, 3} {
+				if !phasesSeen[ph] {
+					t.Errorf("delta chain never covered phase %d (saw %v)", ph, phasesSeen)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaRestoreEquivalence pins restore-level equivalence: an engine
+// restored from a folded base+delta runs to a Result DeepEqual to one
+// restored from the full snapshot at the same tick.
+func TestDeltaRestoreEquivalence(t *testing.T) {
+	tr := mustTrace(workload.SyntheticYahoo(11, 3.0, 12*time.Minute))
+	sc := Scenario{Name: "delta-restore", Trace: tr}
+	eng, err := New(sc)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stepTo(t, eng, 200)
+	base, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	stepTo(t, eng, 500)
+	delta, err := eng.DeltaSnapshot(base)
+	if err != nil {
+		t.Fatalf("DeltaSnapshot: %v", err)
+	}
+	full, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	folded, err := ApplyDelta(base, delta)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	finish := func(snap []byte) *Result {
+		e, err := Restore(sc, snap)
+		if err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		stepTo(t, e, len(tr.Samples))
+		res, err := e.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		return res
+	}
+	if got, want := finish(folded), finish(full); !reflect.DeepEqual(got, want) {
+		t.Fatal("restore from folded delta differs from restore from full snapshot")
+	}
+}
+
+// TestDeltaAtSameTick: a delta taken with no intervening steps carries no
+// sections and folds back to the identical base.
+func TestDeltaAtSameTick(t *testing.T) {
+	tr := mustTrace(workload.SyntheticYahoo(3, 2.5, 5*time.Minute))
+	sc := Scenario{Trace: tr}
+	eng, err := New(sc)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stepTo(t, eng, 50)
+	base, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	delta, err := eng.DeltaSnapshot(base)
+	if err != nil {
+		t.Fatalf("DeltaSnapshot: %v", err)
+	}
+	if len(delta) > 64 {
+		t.Fatalf("empty delta is %d bytes, want <= 64", len(delta))
+	}
+	folded, err := ApplyDelta(base, delta)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if !bytes.Equal(folded, base) {
+		t.Fatal("no-op delta did not fold back to the base")
+	}
+}
+
+// TestDeltaRejectsForeignBase: deltas name their base by CRC and tick;
+// folding onto any other snapshot must fail, not silently mix state.
+func TestDeltaRejectsForeignBase(t *testing.T) {
+	tr := mustTrace(workload.SyntheticYahoo(5, 2.8, 8*time.Minute))
+	mk := func(name string, upTo int) (*Engine, []byte) {
+		eng, err := New(Scenario{Name: name, Trace: tr})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		stepTo(t, eng, upTo)
+		snap, err := eng.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return eng, snap
+	}
+	engA, baseA := mk("a", 100)
+	_, baseB := mk("b", 120)
+	stepTo(t, engA, 200)
+	delta, err := engA.DeltaSnapshot(baseA)
+	if err != nil {
+		t.Fatalf("DeltaSnapshot: %v", err)
+	}
+	if _, err := ApplyDelta(baseB, delta); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("ApplyDelta onto foreign base: got %v, want ErrDeltaBase", err)
+	}
+	// Encoding against a base from the engine's own future must also fail.
+	future, err := engA.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	engRestored, err := Restore(Scenario{Name: "a", Trace: tr}, baseA)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, err := engRestored.DeltaSnapshot(future); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("DeltaSnapshot against future base: got %v, want ErrDeltaBase", err)
+	}
+}
+
+// TestDeltaRejectsCorruption: every flipped byte in a delta frame must be
+// caught by the CRC (or, after resealing, by the structural decoders) —
+// never applied silently into a half-wrong snapshot.
+func TestDeltaRejectsCorruption(t *testing.T) {
+	tr := mustTrace(workload.SyntheticYahoo(9, 3.0, 6*time.Minute))
+	sc := Scenario{Trace: tr}
+	eng, err := New(sc)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stepTo(t, eng, 60)
+	base, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	stepTo(t, eng, 120)
+	delta, err := eng.DeltaSnapshot(base)
+	if err != nil {
+		t.Fatalf("DeltaSnapshot: %v", err)
+	}
+	// Raw flips anywhere in the frame must fail the CRC.
+	for i := 0; i < len(delta); i += 7 {
+		bad := append([]byte(nil), delta...)
+		bad[i] ^= 0xff
+		if _, err := ApplyDelta(base, bad); err == nil {
+			t.Fatalf("flipping delta byte %d went undetected", i)
+		}
+	}
+	// Structural corruption with a resealed CRC must be caught by the
+	// decoders: a foreign base key, a rewound tick, an unknown mask bit's
+	// missing section bytes.
+	for _, off := range []int{10, 14, 22} {
+		bad := flipByte(delta, off)
+		if _, err := ApplyDelta(base, bad); err == nil {
+			t.Fatalf("structural corruption at byte %d went undetected", off)
+		}
+	}
+	// Truncations (torn tail) with a resealed CRC must still be rejected
+	// by the bounds-checked decoders.
+	for _, n := range []int{len(delta) - 5, len(delta) / 2, 40} {
+		bad := append([]byte(nil), delta[:n]...)
+		resealSnapshot(bad)
+		if _, err := ApplyDelta(base, bad); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+// FuzzDeltaRestore: for arbitrary mutations of a valid delta frame,
+// ApplyDelta either errors or returns a snapshot that restores into an
+// engine — and on the unmutated seed, the folded restore is DeepEqual to
+// the full-snapshot restore. No input may panic.
+func FuzzDeltaRestore(f *testing.F) {
+	tr := mustTrace(workload.SyntheticYahoo(13, 3.1, 6*time.Minute))
+	sc := Scenario{Trace: tr}
+	eng, err := New(sc)
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 90; i++ {
+		if _, err := eng.Step(tr.Samples[i]); err != nil {
+			f.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	base, err := eng.Snapshot()
+	if err != nil {
+		f.Fatalf("Snapshot: %v", err)
+	}
+	for i := 90; i < 150; i++ {
+		if _, err := eng.Step(tr.Samples[i]); err != nil {
+			f.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	delta, err := eng.DeltaSnapshot(base)
+	if err != nil {
+		f.Fatalf("DeltaSnapshot: %v", err)
+	}
+	full, err := eng.Snapshot()
+	if err != nil {
+		f.Fatalf("Snapshot: %v", err)
+	}
+	f.Add(delta)
+	f.Add(delta[:len(delta)/2])
+	f.Add([]byte(deltaMagic))
+	f.Fuzz(func(t *testing.T, mutated []byte) {
+		folded, err := ApplyDelta(base, mutated)
+		if err != nil {
+			return
+		}
+		// A delta that still applies must fold into a restorable snapshot.
+		re, err := Restore(sc, folded)
+		if err != nil {
+			t.Fatalf("ApplyDelta accepted a delta whose fold does not restore: %v", err)
+		}
+		if bytes.Equal(mutated, delta) {
+			if !bytes.Equal(folded, full) {
+				t.Fatal("seed delta did not fold to the full snapshot")
+			}
+			wantEng, err := Restore(sc, full)
+			if err != nil {
+				t.Fatalf("Restore full: %v", err)
+			}
+			for i := re.Tick(); i < 200; i++ {
+				d := tr.Samples[i]
+				got, err1 := re.Step(d)
+				want, err2 := wantEng.Step(d)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("resumed Step %d: %v / %v", i, err1, err2)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("resumed tick %d diverged", i)
+				}
+			}
+		}
+	})
+}

@@ -309,8 +309,26 @@ func (e *Engine) Dead() bool { return e.p.ctl.Dead() }
 // Step advances the simulation one tick under the given normalized demand
 // and returns the controller's decision for the tick.
 func (e *Engine) Step(demand float64) (TickDecision, error) {
+	var dec TickDecision
+	_, err := e.stepInto(demand, &dec)
+	return dec, err
+}
+
+// stepProbe carries the per-tick plant readings Step computes anyway —
+// breaker stress scan and UPS state of charge — so batched callers can fill
+// their struct-of-arrays columns without re-walking the power tree.
+type stepProbe struct {
+	stress float64
+	upsSoC float64
+}
+
+// stepInto is Step writing the decision through a pointer (a TickDecision is
+// large enough that returning it by value costs a measurable fraction of a
+// batched step) and returning the tick's plant probe alongside.
+func (e *Engine) stepInto(demand float64, dec *TickDecision) (stepProbe, error) {
 	if e.finished {
-		return TickDecision{}, ErrFinished
+		*dec = TickDecision{}
+		return stepProbe{}, ErrFinished
 	}
 	sc, step, i := &e.sc, e.step, e.i
 	in := core.Input{Demand: demand}
@@ -329,11 +347,15 @@ func (e *Engine) Step(demand float64) (TickDecision, error) {
 	if sc.Supply != nil || supFrac < 1 {
 		in.SupplyLimit = units.Watts(supFrac) * e.p.tree.DCBreaker.Rated
 	}
-	tick := e.p.ctl.TickInput(in, step)
+	*dec = e.p.ctl.TickInput(in, step)
+	tick := dec
 	if e.obs != nil {
-		e.obs.ObserveTick(time.Duration(i)*step, tick)
+		e.obs.ObserveTick(time.Duration(i)*step, *tick)
 	}
 	upsSoC := e.p.tree.UPSSoC()
+	if len(e.required) == cap(e.required) {
+		e.growSeries()
+	}
 	e.required = append(e.required, demand)
 	e.achieved = append(e.achieved, tick.Delivered)
 	e.degree = append(e.degree, tick.Degree)
@@ -370,9 +392,35 @@ func (e *Engine) Step(demand float64) (TickDecision, error) {
 	}
 	e.i = i + 1
 	if e.rec != nil {
-		e.recordPlant(i, tick, stress, upsSoC)
+		e.recordPlant(i, *tick, stress, upsSoC)
 	}
-	return tick, nil
+	return stepProbe{stress: stress, upsSoC: upsSoC}, nil
+}
+
+// growSeries doubles the telemetry accumulators' capacity once a streaming
+// session outlives its current buffers. One block allocation backs all
+// float64 series (capacity-bounded sub-slices, so appends cannot cross into
+// a neighbor), and doubling — rather than append's shallower growth curve —
+// keeps the copy traffic amortized to a few bytes per tick.
+func (e *Engine) growSeries() {
+	n := len(e.required)
+	newCap := 2 * n
+	if newCap < streamPrealloc {
+		newCap = streamPrealloc
+	}
+	block := make([]float64, numSeries*newCap)
+	for j, p := range [numSeries]*[]float64{
+		&e.required, &e.achieved, &e.degree, &e.dcLoad, &e.pduLoad,
+		&e.upsPower, &e.genPower, &e.upsSoC, &e.coolPower, &e.tesRate,
+		&e.roomTemp,
+	} {
+		s := block[j*newCap : j*newCap+n : (j+1)*newCap]
+		copy(s, *p)
+		*p = s
+	}
+	phase := make([]int, n, newCap)
+	copy(phase, e.phase)
+	e.phase = phase
 }
 
 // recordPlant assembles and delivers one PlantSample. Kept out of Step so

@@ -36,6 +36,10 @@ import (
 // Versioning rule: any change to the payload layout bumps the version;
 // decoders reject versions they do not know. There is no in-place migration —
 // a snapshot is a short-lived checkpoint, not an archival format.
+//
+// The codec is split into an intermediate snapImage so the full codec and
+// the delta codec (delta.go) share one field order: capture → encode on the
+// way out, decode → apply on the way in. encodeImage(decodeImage(b)) == b.
 
 // snapMagic identifies a dcsprint engine snapshot.
 const snapMagic = "DCSPSNAP"
@@ -56,6 +60,12 @@ const snapMaxTicks = 1 << 26
 
 // snapMaxDetail bounds an event-detail string in a snapshot.
 const snapMaxDetail = 1 << 12
+
+// snapMaxEvents bounds the controller event list in a snapshot.
+const snapMaxEvents = 4096
+
+// numSeries is the number of float64 telemetry series an engine accumulates.
+const numSeries = 11
 
 // snapWriter appends little-endian fields to a buffer.
 type snapWriter struct{ buf []byte }
@@ -95,13 +105,25 @@ func (r *snapReader) take(n int, what string) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if len(r.buf) < n {
+	if n < 0 || len(r.buf) < n {
 		r.fail(what)
 		return nil
 	}
 	b := r.buf[:n]
 	r.buf = r.buf[n:]
 	return b
+}
+
+// skip discards n bytes without copying them.
+func (r *snapReader) skip(n int, what string) {
+	if r.err != nil {
+		return
+	}
+	if n < 0 || len(r.buf) < n {
+		r.fail(what)
+		return
+	}
+	r.buf = r.buf[n:]
 }
 
 func (r *snapReader) u8(what string) uint8 {
@@ -176,73 +198,112 @@ const (
 	snapHasChip
 )
 
-// Snapshot serializes the engine's complete dynamic state. It errors on a
-// finished engine and on one with fault injection attached (the injector's
-// random state is not checkpointable). The engine remains usable; Snapshot
-// does not advance or seal it.
-func (e *Engine) Snapshot() ([]byte, error) {
-	if e.finished {
-		return nil, ErrFinished
-	}
-	if e.p.inj != nil {
-		return nil, ErrSnapshotFaults
-	}
-	w := &snapWriter{buf: make([]byte, 0, 10+8*11*e.i+1024)}
-	w.buf = append(w.buf, snapMagic...)
-	w.u16(SnapshotVersion)
-
+// snapImage is the decoded form of a snapshot: every runtime field an engine
+// checkpoint carries, in memory. The full codec and the delta codec both
+// produce and consume images, so the two can never disagree about layout.
+type snapImage struct {
 	// Engine counters.
-	w.dur(e.step)
-	w.u64(uint64(e.i))
-	w.f64(float64(e.dcRated))
-	w.f64(float64(e.pduRated))
-	w.dur(e.trippedAt)
-	w.dur(e.sprintSustained)
-	w.f64(e.excessServed)
-	w.f64(e.maxStress)
-	w.u64(uint64(e.burstTicks))
-	w.f64(e.burstAchieved)
+	step            time.Duration
+	ticks           int
+	dcRated         units.Watts
+	pduRated        units.Watts
+	trippedAt       time.Duration
+	sprintSustained time.Duration
+	excessServed    float64
+	maxStress       float64
+	burstTicks      int
+	burstAchieved   float64
 
-	// Telemetry accumulators, each exactly e.i values.
-	w.floats(e.required)
-	w.floats(e.achieved)
-	w.floats(e.degree)
-	w.floats(e.dcLoad)
-	w.floats(e.pduLoad)
-	w.floats(e.upsPower)
-	w.floats(e.genPower)
-	w.floats(e.upsSoC)
-	w.floats(e.coolPower)
-	w.floats(e.tesRate)
-	w.floats(e.roomTemp)
-	for _, p := range e.phase {
-		w.u8(uint8(p))
+	// Telemetry accumulators: numSeries float series plus the phase bytes,
+	// each exactly ticks values. All series are append-only over an engine's
+	// life, which is what makes delta encoding a pure tail.
+	series [numSeries][]float64
+	phase  []int
+
+	// Plant shape and state.
+	presence    uint8
+	dcBreaker   breaker.State
+	pduBreakers []breaker.State
+	upsStates   []ups.State
+	room        cooling.State
+	tank        tes.State
+	gen         genset.State
+	chip        chip.State
+
+	// Controller state (events append-only, supervision optional).
+	ctl core.ControllerState
+}
+
+// seriesOf returns the engine's telemetry accumulators in codec order.
+func (e *Engine) seriesOf() [numSeries][]float64 {
+	return [numSeries][]float64{
+		e.required, e.achieved, e.degree, e.dcLoad, e.pduLoad,
+		e.upsPower, e.genPower, e.upsSoC, e.coolPower, e.tesRate, e.roomTemp,
 	}
+}
 
-	// Plant presence and shape.
-	var presence uint8
+// captureImage assembles the engine's current runtime state. The series
+// slices alias the live accumulators — the image must be encoded (or
+// discarded) before the engine steps again.
+func (e *Engine) captureImage() *snapImage {
+	img := &snapImage{
+		step:            e.step,
+		ticks:           e.i,
+		dcRated:         e.dcRated,
+		pduRated:        e.pduRated,
+		trippedAt:       e.trippedAt,
+		sprintSustained: e.sprintSustained,
+		excessServed:    e.excessServed,
+		maxStress:       e.maxStress,
+		burstTicks:      e.burstTicks,
+		burstAchieved:   e.burstAchieved,
+		series:          e.seriesOf(),
+		phase:           e.phase,
+	}
 	if e.p.tank != nil {
-		presence |= snapHasTank
+		img.presence |= snapHasTank
+		img.tank = e.p.tank.State()
 	}
 	if e.p.gen != nil {
-		presence |= snapHasGen
+		img.presence |= snapHasGen
+		img.gen = e.p.gen.State()
 	}
 	if e.p.chip != nil {
-		presence |= snapHasChip
+		img.presence |= snapHasChip
+		img.chip = e.p.chip.State()
 	}
-	w.u8(presence)
-	w.u32(uint32(len(e.p.tree.PDUs)))
+	img.dcBreaker = e.p.tree.DCBreaker.State()
+	img.pduBreakers = make([]breaker.State, len(e.p.tree.PDUs))
+	img.upsStates = make([]ups.State, len(e.p.tree.PDUs))
+	for i, pdu := range e.p.tree.PDUs {
+		img.pduBreakers[i] = pdu.Breaker.State()
+		img.upsStates[i] = pdu.UPS.State()
+	}
+	img.room = e.p.room.State()
+	img.ctl = e.p.ctl.DumpState()
+	return img
+}
 
-	writeBreaker := func(s breaker.State) {
-		w.f64(float64(s.Rated))
-		w.f64(s.Acc)
-		w.bool(s.Tripped)
-		w.f64(float64(s.Load))
-	}
-	writeBreaker(e.p.tree.DCBreaker.State())
-	for _, pdu := range e.p.tree.PDUs {
-		writeBreaker(pdu.Breaker.State())
-		us := pdu.UPS.State()
+// writeBreaker / writePlant / writeCtlScalars / writeEvent / writeSupervision
+// are the shared encode halves; the delta codec reuses them section by
+// section.
+
+func writeBreaker(w *snapWriter, s breaker.State) {
+	w.f64(float64(s.Rated))
+	w.f64(s.Acc)
+	w.bool(s.Tripped)
+	w.f64(float64(s.Load))
+}
+
+// writePlant encodes the plant section: presence, PDU count, breaker and UPS
+// state per PDU, room temperature, and the optional tank/gen/chip state.
+func writePlant(w *snapWriter, img *snapImage) {
+	w.u8(img.presence)
+	w.u32(uint32(len(img.pduBreakers)))
+	writeBreaker(w, img.dcBreaker)
+	for i := range img.pduBreakers {
+		writeBreaker(w, img.pduBreakers[i])
+		us := img.upsStates[i]
 		w.f64(float64(us.Capacity))
 		w.f64(float64(us.MaxDischarge))
 		w.f64(float64(us.MaxRecharge))
@@ -250,23 +311,23 @@ func (e *Engine) Snapshot() ([]byte, error) {
 		w.f64(float64(us.Discharged))
 		w.bool(us.Failed)
 	}
-	w.f64(float64(e.p.room.State().Temp))
-	if e.p.tank != nil {
-		ts := e.p.tank.State()
-		w.f64(float64(ts.Cold))
-		w.bool(ts.ValveStuck)
+	w.f64(float64(img.room.Temp))
+	if img.presence&snapHasTank != 0 {
+		w.f64(float64(img.tank.Cold))
+		w.bool(img.tank.ValveStuck)
 	}
-	if e.p.gen != nil {
-		gs := e.p.gen.State()
-		w.bool(gs.Started)
-		w.dur(gs.SinceStart)
+	if img.presence&snapHasGen != 0 {
+		w.bool(img.gen.Started)
+		w.dur(img.gen.SinceStart)
 	}
-	if e.p.chip != nil {
-		w.f64(float64(e.p.chip.State().Melted))
+	if img.presence&snapHasChip != 0 {
+		w.f64(float64(img.chip.Melted))
 	}
+}
 
-	// Controller state.
-	cs := e.p.ctl.DumpState()
+// writeCtlScalars encodes the controller's scalar state (everything except
+// the event list and supervision).
+func writeCtlScalars(w *snapWriter, cs *core.ControllerState) {
 	w.bool(cs.BurstActive)
 	w.dur(cs.SprintTime)
 	w.dur(cs.Cooloff)
@@ -290,152 +351,131 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.f64(float64(cs.Split.UPS))
 	w.f64(float64(cs.Split.TES))
 	w.f64(float64(cs.Split.CBOverload))
-	w.u32(uint32(len(cs.Events)))
-	for _, ev := range cs.Events {
-		w.dur(ev.Time)
-		w.i64(int64(ev.Kind))
-		w.str(ev.Detail)
-		w.i64(int64(ev.From))
-		w.i64(int64(ev.To))
+}
+
+func writeEvent(w *snapWriter, ev core.Event) {
+	w.dur(ev.Time)
+	w.i64(int64(ev.Kind))
+	w.str(ev.Detail)
+	w.i64(int64(ev.From))
+	w.i64(int64(ev.To))
+}
+
+// writeSupervision encodes the optional supervision state, presence flag
+// included.
+func writeSupervision(w *snapWriter, sup *core.SupervisorState) {
+	w.bool(sup != nil)
+	if sup == nil {
+		return
 	}
-	w.bool(cs.Supervision != nil)
-	if sup := cs.Supervision; sup != nil {
-		writeHealth := func(h core.SensorHealthState) {
-			w.bool(h.Distrusted)
-			w.i64(int64(h.GoodTicks))
-			w.f64(h.Last)
-			w.bool(h.HaveLast)
-			w.dur(h.FrozenFor)
-			w.bool(h.NeedChange)
-			w.f64(h.RefValue)
-		}
-		writeHealth(sup.Room)
-		writeHealth(sup.TES)
-		w.u32(uint32(len(sup.SoC)))
-		for _, h := range sup.SoC {
-			writeHealth(h)
-		}
-		w.bool(sup.ExpectRoom)
-		w.bool(sup.ExpectTES)
-		w.u32(uint32(len(sup.ExpectSoC)))
-		for _, b := range sup.ExpectSoC {
-			w.bool(b)
-		}
+	writeHealth := func(h core.SensorHealthState) {
+		w.bool(h.Distrusted)
+		w.i64(int64(h.GoodTicks))
+		w.f64(h.Last)
+		w.bool(h.HaveLast)
+		w.dur(h.FrozenFor)
+		w.bool(h.NeedChange)
+		w.f64(h.RefValue)
 	}
+	writeHealth(sup.Room)
+	writeHealth(sup.TES)
+	w.u32(uint32(len(sup.SoC)))
+	for _, h := range sup.SoC {
+		writeHealth(h)
+	}
+	w.bool(sup.ExpectRoom)
+	w.bool(sup.ExpectTES)
+	w.u32(uint32(len(sup.ExpectSoC)))
+	for _, b := range sup.ExpectSoC {
+		w.bool(b)
+	}
+}
+
+// encodeImage serializes an image into the versioned wire form, CRC trailer
+// included. It is the single writer for the DCSPSNAP layout.
+func encodeImage(img *snapImage) []byte {
+	w := &snapWriter{buf: make([]byte, 0, 10+8*numSeries*img.ticks+1024)}
+	w.buf = append(w.buf, snapMagic...)
+	w.u16(SnapshotVersion)
+
+	// Engine counters.
+	w.dur(img.step)
+	w.u64(uint64(img.ticks))
+	w.f64(float64(img.dcRated))
+	w.f64(float64(img.pduRated))
+	w.dur(img.trippedAt)
+	w.dur(img.sprintSustained)
+	w.f64(img.excessServed)
+	w.f64(img.maxStress)
+	w.u64(uint64(img.burstTicks))
+	w.f64(img.burstAchieved)
+
+	// Telemetry accumulators, each exactly ticks values.
+	for i := range img.series {
+		w.floats(img.series[i])
+	}
+	for _, p := range img.phase {
+		w.u8(uint8(p))
+	}
+
+	writePlant(w, img)
+
+	writeCtlScalars(w, &img.ctl)
+	w.u32(uint32(len(img.ctl.Events)))
+	for _, ev := range img.ctl.Events {
+		writeEvent(w, ev)
+	}
+	writeSupervision(w, img.ctl.Supervision)
 
 	w.u32(crc32.ChecksumIEEE(w.buf))
-	return w.buf, nil
+	return w.buf
 }
 
-// Restore rebuilds an engine from a scenario and a snapshot previously taken
-// from an engine built on the same scenario. The scenario is normalized and
-// the plant reconstructed exactly as New does, then the snapshot's dynamic
-// state is applied; the restored engine continues bit-for-bit identically to
-// the original. Corrupt or mismatched snapshots return an error — never a
-// panic, never a half-restored engine.
-func Restore(sc Scenario, snap []byte) (*Engine, error) {
-	return RestoreObserved(sc, snap, nil)
-}
-
-// RestoreObserved is Restore with an optional telemetry observer attached to
-// the resumed run.
-func RestoreObserved(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
-	if len(snap) < len(snapMagic)+2+4 {
-		return nil, fmt.Errorf("sim: snapshot too short (%d bytes)", len(snap))
+// Snapshot serializes the engine's complete dynamic state. It errors on a
+// finished engine and on one with fault injection attached (the injector's
+// random state is not checkpointable). The engine remains usable; Snapshot
+// does not advance or seal it.
+func (e *Engine) Snapshot() ([]byte, error) {
+	if e.finished {
+		return nil, ErrFinished
 	}
-	if string(snap[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("sim: bad snapshot magic")
-	}
-	body, trailer := snap[:len(snap)-4], snap[len(snap)-4:]
-	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
-		return nil, fmt.Errorf("sim: snapshot checksum mismatch (%08x != %08x)", got, want)
-	}
-	r := &snapReader{buf: body[len(snapMagic):]}
-	if v := r.u16("version"); v != SnapshotVersion {
-		return nil, fmt.Errorf("sim: unsupported snapshot version %d (have %d)", v, SnapshotVersion)
-	}
-
-	if sc.Faults != nil {
+	if e.p.inj != nil {
 		return nil, ErrSnapshotFaults
 	}
-	e, err := NewObserved(sc, obs)
-	if err != nil {
-		return nil, err
-	}
+	return encodeImage(e.captureImage()), nil
+}
 
-	step := r.dur("step")
-	ticks64 := r.u64("tick count")
-	if r.err == nil && step != e.step {
-		return nil, fmt.Errorf("sim: snapshot step %v does not match scenario step %v", step, e.step)
-	}
-	if ticks64 > snapMaxTicks {
-		return nil, fmt.Errorf("sim: snapshot tick count %d exceeds limit %d", ticks64, snapMaxTicks)
-	}
-	ticks := int(ticks64)
-	if n := e.traceLen(); n > 0 && ticks > n {
-		return nil, fmt.Errorf("sim: snapshot at tick %d beyond the %d-sample trace", ticks, n)
-	}
-	e.i = ticks
-	e.dcRated = units.Watts(r.f64("dc rating"))
-	e.pduRated = units.Watts(r.f64("pdu rating"))
-	e.trippedAt = r.dur("tripped at")
-	e.sprintSustained = r.dur("sprint sustained")
-	e.excessServed = r.f64("excess served")
-	e.maxStress = r.f64("max stress")
-	e.burstTicks = int(r.u64("burst ticks"))
-	e.burstAchieved = r.f64("burst achieved")
+// readBreaker / readPlant / readCtlScalars / readEvents / readSupervision
+// mirror the write halves with bounds checking.
 
-	e.required = r.floats(ticks, "required series")
-	e.achieved = r.floats(ticks, "achieved series")
-	e.degree = r.floats(ticks, "degree series")
-	e.dcLoad = r.floats(ticks, "dc load series")
-	e.pduLoad = r.floats(ticks, "pdu load series")
-	e.upsPower = r.floats(ticks, "ups power series")
-	e.genPower = r.floats(ticks, "gen power series")
-	e.upsSoC = r.floats(ticks, "ups soc series")
-	e.coolPower = r.floats(ticks, "cooling power series")
-	e.tesRate = r.floats(ticks, "tes rate series")
-	e.roomTemp = r.floats(ticks, "room temp series")
-	if phases := r.take(ticks, "phase series"); phases != nil {
-		e.phase = make([]int, ticks)
-		for i, p := range phases {
-			e.phase[i] = int(p)
-		}
+func readBreaker(r *snapReader, what string) breaker.State {
+	return breaker.State{
+		Rated:   units.Watts(r.f64(what + " rating")),
+		Acc:     r.f64(what + " accumulator"),
+		Tripped: r.bool(what + " tripped"),
+		Load:    units.Watts(r.f64(what + " load")),
 	}
+}
 
-	presence := r.u8("presence flags")
-	var wantPresence uint8
-	if e.p.tank != nil {
-		wantPresence |= snapHasTank
-	}
-	if e.p.gen != nil {
-		wantPresence |= snapHasGen
-	}
-	if e.p.chip != nil {
-		wantPresence |= snapHasChip
-	}
-	if r.err == nil && presence != wantPresence {
-		return nil, fmt.Errorf("sim: snapshot plant shape %03b does not match scenario %03b", presence, wantPresence)
-	}
-	nPDU := r.u32("pdu count")
-	if r.err == nil && int(nPDU) != len(e.p.tree.PDUs) {
-		return nil, fmt.Errorf("sim: snapshot has %d PDUs, scenario builds %d", nPDU, len(e.p.tree.PDUs))
-	}
+// pduWireBytes is the encoded size of one PDU's breaker + UPS state, used to
+// reject absurd PDU counts before allocating.
+const pduWireBytes = 25 + 49
 
-	readBreaker := func(what string) breaker.State {
-		return breaker.State{
-			Rated:   units.Watts(r.f64(what + " rating")),
-			Acc:     r.f64(what + " accumulator"),
-			Tripped: r.bool(what + " tripped"),
-			Load:    units.Watts(r.f64(what + " load")),
-		}
+func readPlant(r *snapReader, img *snapImage) error {
+	img.presence = r.u8("presence flags")
+	nPDU := int(r.u32("pdu count"))
+	if r.err == nil && (nPDU < 0 || len(r.buf) < nPDU*pduWireBytes) {
+		return fmt.Errorf("sim: snapshot pdu count %d exceeds payload", nPDU)
 	}
-	dcState := readBreaker("dc breaker")
-	pduBreakers := make([]breaker.State, len(e.p.tree.PDUs))
-	upsStates := make([]ups.State, len(e.p.tree.PDUs))
-	for i := range e.p.tree.PDUs {
-		pduBreakers[i] = readBreaker("pdu breaker")
-		upsStates[i] = ups.State{
+	img.dcBreaker = readBreaker(r, "dc breaker")
+	if r.err != nil {
+		return r.err
+	}
+	img.pduBreakers = make([]breaker.State, nPDU)
+	img.upsStates = make([]ups.State, nPDU)
+	for i := 0; i < nPDU; i++ {
+		img.pduBreakers[i] = readBreaker(r, "pdu breaker")
+		img.upsStates[i] = ups.State{
 			Capacity:     units.AmpHours(r.f64("ups capacity")),
 			MaxDischarge: units.Watts(r.f64("ups max discharge")),
 			MaxRecharge:  units.Watts(r.f64("ups max recharge")),
@@ -444,27 +484,26 @@ func RestoreObserved(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
 			Failed:       r.bool("ups failed"),
 		}
 	}
-	roomState := cooling.State{Temp: units.Celsius(r.f64("room temperature"))}
-	var tankState tes.State
-	if presence&snapHasTank != 0 {
-		tankState = tes.State{
+	img.room = cooling.State{Temp: units.Celsius(r.f64("room temperature"))}
+	if img.presence&snapHasTank != 0 {
+		img.tank = tes.State{
 			Cold:       units.Joules(r.f64("tes cold")),
 			ValveStuck: r.bool("tes valve"),
 		}
 	}
-	var genState genset.State
-	if presence&snapHasGen != 0 {
-		genState = genset.State{
+	if img.presence&snapHasGen != 0 {
+		img.gen = genset.State{
 			Started:    r.bool("genset started"),
 			SinceStart: r.dur("genset clock"),
 		}
 	}
-	var chipState chip.State
-	if presence&snapHasChip != 0 {
-		chipState = chip.State{Melted: units.Joules(r.f64("chip melted"))}
+	if img.presence&snapHasChip != 0 {
+		img.chip = chip.State{Melted: units.Joules(r.f64("chip melted"))}
 	}
+	return r.err
+}
 
-	var cs core.ControllerState
+func readCtlScalars(r *snapReader, cs *core.ControllerState) {
 	cs.BurstActive = r.bool("burst active")
 	cs.SprintTime = r.dur("sprint time")
 	cs.Cooloff = r.dur("cooloff")
@@ -488,109 +527,277 @@ func RestoreObserved(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
 	cs.Split.UPS = units.Joules(r.f64("split ups"))
 	cs.Split.TES = units.Joules(r.f64("split tes"))
 	cs.Split.CBOverload = units.Joules(r.f64("split cb"))
-	nEvents := r.u32("event count")
-	if r.err == nil && nEvents > 4096 {
-		return nil, fmt.Errorf("sim: snapshot has %d events, cap 4096", nEvents)
+}
+
+// readEvents reads n controller events after bounds-checking n.
+func readEvents(r *snapReader, n uint32) ([]core.Event, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > snapMaxEvents {
+		return nil, fmt.Errorf("sim: snapshot has %d events, cap %d", n, snapMaxEvents)
+	}
+	out := make([]core.Event, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var ev core.Event
+		ev.Time = r.dur("event time")
+		ev.Kind = core.EventKind(r.i64("event kind"))
+		if n := int(r.u16("event detail length")); n > snapMaxDetail {
+			return nil, fmt.Errorf("sim: snapshot event detail of %d bytes, cap %d", n, snapMaxDetail)
+		} else if b := r.take(n, "event detail"); b != nil {
+			ev.Detail = string(b)
+		}
+		ev.From = int(r.i64("event from"))
+		ev.To = int(r.i64("event to"))
+		out = append(out, ev)
+	}
+	return out, r.err
+}
+
+func readSupervision(r *snapReader) (*core.SupervisorState, error) {
+	if !r.bool("supervision flag") {
+		return nil, r.err
+	}
+	readHealth := func(what string) core.SensorHealthState {
+		return core.SensorHealthState{
+			Distrusted: r.bool(what + " distrusted"),
+			GoodTicks:  int(r.i64(what + " good ticks")),
+			Last:       r.f64(what + " last"),
+			HaveLast:   r.bool(what + " have last"),
+			FrozenFor:  r.dur(what + " frozen"),
+			NeedChange: r.bool(what + " need change"),
+			RefValue:   r.f64(what + " reference"),
+		}
+	}
+	sup := &core.SupervisorState{
+		Room: readHealth("room sensor"),
+		TES:  readHealth("tes sensor"),
+	}
+	nSoC := int(r.u32("soc sensor count"))
+	if r.err == nil && (nSoC < 0 || len(r.buf) < nSoC) {
+		return nil, fmt.Errorf("sim: snapshot soc sensor count %d exceeds payload", nSoC)
 	}
 	if r.err == nil {
-		cs.Events = make([]core.Event, 0, nEvents)
-		for i := uint32(0); i < nEvents && r.err == nil; i++ {
-			var ev core.Event
-			ev.Time = r.dur("event time")
-			ev.Kind = core.EventKind(r.i64("event kind"))
-			if n := int(r.u16("event detail length")); n > snapMaxDetail {
-				return nil, fmt.Errorf("sim: snapshot event detail of %d bytes, cap %d", n, snapMaxDetail)
-			} else if b := r.take(n, "event detail"); b != nil {
-				ev.Detail = string(b)
-			}
-			ev.From = int(r.i64("event from"))
-			ev.To = int(r.i64("event to"))
-			cs.Events = append(cs.Events, ev)
+		sup.SoC = make([]core.SensorHealthState, nSoC)
+		for i := range sup.SoC {
+			sup.SoC[i] = readHealth("soc sensor")
 		}
 	}
-	if r.bool("supervision flag") {
-		readHealth := func(what string) core.SensorHealthState {
-			return core.SensorHealthState{
-				Distrusted: r.bool(what + " distrusted"),
-				GoodTicks:  int(r.i64(what + " good ticks")),
-				Last:       r.f64(what + " last"),
-				HaveLast:   r.bool(what + " have last"),
-				FrozenFor:  r.dur(what + " frozen"),
-				NeedChange: r.bool(what + " need change"),
-				RefValue:   r.f64(what + " reference"),
-			}
+	sup.ExpectRoom = r.bool("expect room")
+	sup.ExpectTES = r.bool("expect tes")
+	nExpect := int(r.u32("expect soc count"))
+	if r.err == nil && (nExpect < 0 || len(r.buf) < nExpect) {
+		return nil, fmt.Errorf("sim: snapshot expect count %d exceeds payload", nExpect)
+	}
+	if r.err == nil {
+		sup.ExpectSoC = make([]bool, nExpect)
+		for i := range sup.ExpectSoC {
+			sup.ExpectSoC[i] = r.bool("expect soc")
 		}
-		sup := &core.SupervisorState{
-			Room: readHealth("room sensor"),
-			TES:  readHealth("tes sensor"),
-		}
-		nSoC := int(r.u32("soc sensor count"))
-		if r.err == nil && (nSoC < 0 || len(r.buf) < nSoC) {
-			return nil, fmt.Errorf("sim: snapshot soc sensor count %d exceeds payload", nSoC)
-		}
-		if r.err == nil {
-			sup.SoC = make([]core.SensorHealthState, nSoC)
-			for i := range sup.SoC {
-				sup.SoC[i] = readHealth("soc sensor")
-			}
-		}
-		sup.ExpectRoom = r.bool("expect room")
-		sup.ExpectTES = r.bool("expect tes")
-		nExpect := int(r.u32("expect soc count"))
-		if r.err == nil && (nExpect < 0 || len(r.buf) < nExpect) {
-			return nil, fmt.Errorf("sim: snapshot expect count %d exceeds payload", nExpect)
-		}
-		if r.err == nil {
-			sup.ExpectSoC = make([]bool, nExpect)
-			for i := range sup.ExpectSoC {
-				sup.ExpectSoC[i] = r.bool("expect soc")
-			}
-		}
-		cs.Supervision = sup
 	}
 	if r.err != nil {
 		return nil, r.err
 	}
-	if len(r.buf) != 0 {
-		return nil, fmt.Errorf("sim: snapshot has %d trailing bytes", len(r.buf))
+	return sup, nil
+}
+
+// checkFrame verifies magic, CRC trailer and version, returning the payload
+// reader and the frame's CRC value.
+func checkFrame(frame []byte, magic string, version uint16, kind string) (*snapReader, uint32, error) {
+	if len(frame) < len(magic)+2+4 {
+		return nil, 0, fmt.Errorf("sim: %s too short (%d bytes)", kind, len(frame))
+	}
+	if string(frame[:len(magic)]) != magic {
+		return nil, 0, fmt.Errorf("sim: bad %s magic", kind)
+	}
+	body, trailer := frame[:len(frame)-4], frame[len(frame)-4:]
+	crc := binary.LittleEndian.Uint32(trailer)
+	if want := crc32.ChecksumIEEE(body); crc != want {
+		return nil, 0, fmt.Errorf("sim: %s checksum mismatch (%08x != %08x)", kind, crc, want)
+	}
+	r := &snapReader{buf: body[len(magic):]}
+	if v := r.u16("version"); v != version {
+		return nil, 0, fmt.Errorf("sim: unsupported %s version %d (have %d)", kind, v, version)
+	}
+	return r, crc, nil
+}
+
+// decodeImage parses a full snapshot into an image, verifying the CRC and
+// every structural bound. withSeries false skips the telemetry series (the
+// dominant payload) — the delta encoder only needs the scalar sections.
+// The snapshot's CRC trailer is returned alongside; it is the key a delta
+// frame carries to prove which base it extends.
+func decodeImage(snap []byte, withSeries bool) (*snapImage, uint32, error) {
+	r, crc, err := checkFrame(snap, snapMagic, SnapshotVersion, "snapshot")
+	if err != nil {
+		return nil, 0, err
+	}
+	img := &snapImage{}
+	img.step = r.dur("step")
+	ticks64 := r.u64("tick count")
+	if ticks64 > snapMaxTicks {
+		return nil, 0, fmt.Errorf("sim: snapshot tick count %d exceeds limit %d", ticks64, snapMaxTicks)
+	}
+	img.ticks = int(ticks64)
+	img.dcRated = units.Watts(r.f64("dc rating"))
+	img.pduRated = units.Watts(r.f64("pdu rating"))
+	img.trippedAt = r.dur("tripped at")
+	img.sprintSustained = r.dur("sprint sustained")
+	img.excessServed = r.f64("excess served")
+	img.maxStress = r.f64("max stress")
+	img.burstTicks = int(r.u64("burst ticks"))
+	img.burstAchieved = r.f64("burst achieved")
+
+	if withSeries {
+		for i := range img.series {
+			img.series[i] = r.floats(img.ticks, "telemetry series")
+		}
+		if phases := r.take(img.ticks, "phase series"); phases != nil {
+			img.phase = make([]int, img.ticks)
+			for i, p := range phases {
+				img.phase[i] = int(p)
+			}
+		}
+	} else {
+		r.skip((8*numSeries+1)*img.ticks, "telemetry series")
 	}
 
-	// All fields decoded; apply them. Every SetState validates, so a
-	// snapshot carrying unphysical values errors here.
-	if e.dcRated <= 0 || e.pduRated <= 0 ||
-		math.IsNaN(float64(e.dcRated)) || math.IsNaN(float64(e.pduRated)) {
-		return nil, fmt.Errorf("sim: snapshot with non-positive breaker ratings")
+	if err := readPlant(r, img); err != nil {
+		return nil, 0, err
 	}
-	if err := e.p.tree.DCBreaker.SetState(dcState); err != nil {
-		return nil, err
+
+	readCtlScalars(r, &img.ctl)
+	img.ctl.Events, err = readEvents(r, r.u32("event count"))
+	if err != nil {
+		return nil, 0, err
+	}
+	img.ctl.Supervision, err = readSupervision(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, 0, fmt.Errorf("sim: snapshot has %d trailing bytes", len(r.buf))
+	}
+	return img, crc, nil
+}
+
+// applyImage installs a decoded image into a freshly built engine, checking
+// that the image fits the engine's scenario. Every SetState validates, so an
+// image carrying unphysical values errors here — never a panic, never a
+// half-restored engine.
+func applyImage(e *Engine, img *snapImage) error {
+	if img.step != e.step {
+		return fmt.Errorf("sim: snapshot step %v does not match scenario step %v", img.step, e.step)
+	}
+	if n := e.traceLen(); n > 0 && img.ticks > n {
+		return fmt.Errorf("sim: snapshot at tick %d beyond the %d-sample trace", img.ticks, n)
+	}
+	var wantPresence uint8
+	if e.p.tank != nil {
+		wantPresence |= snapHasTank
+	}
+	if e.p.gen != nil {
+		wantPresence |= snapHasGen
+	}
+	if e.p.chip != nil {
+		wantPresence |= snapHasChip
+	}
+	if img.presence != wantPresence {
+		return fmt.Errorf("sim: snapshot plant shape %03b does not match scenario %03b", img.presence, wantPresence)
+	}
+	if len(img.pduBreakers) != len(e.p.tree.PDUs) {
+		return fmt.Errorf("sim: snapshot has %d PDUs, scenario builds %d", len(img.pduBreakers), len(e.p.tree.PDUs))
+	}
+	if img.dcRated <= 0 || img.pduRated <= 0 ||
+		math.IsNaN(float64(img.dcRated)) || math.IsNaN(float64(img.pduRated)) {
+		return fmt.Errorf("sim: snapshot with non-positive breaker ratings")
+	}
+
+	if err := e.p.tree.DCBreaker.SetState(img.dcBreaker); err != nil {
+		return err
 	}
 	for i, pdu := range e.p.tree.PDUs {
-		if err := pdu.Breaker.SetState(pduBreakers[i]); err != nil {
-			return nil, err
+		if err := pdu.Breaker.SetState(img.pduBreakers[i]); err != nil {
+			return err
 		}
-		if err := pdu.UPS.SetState(upsStates[i]); err != nil {
-			return nil, err
+		if err := pdu.UPS.SetState(img.upsStates[i]); err != nil {
+			return err
 		}
 	}
-	if err := e.p.room.SetState(roomState); err != nil {
-		return nil, err
+	if err := e.p.room.SetState(img.room); err != nil {
+		return err
 	}
 	if e.p.tank != nil {
-		if err := e.p.tank.SetState(tankState); err != nil {
-			return nil, err
+		if err := e.p.tank.SetState(img.tank); err != nil {
+			return err
 		}
 	}
 	if e.p.gen != nil {
-		if err := e.p.gen.SetState(genState); err != nil {
-			return nil, err
+		if err := e.p.gen.SetState(img.gen); err != nil {
+			return err
 		}
 	}
 	if e.p.chip != nil {
-		if err := e.p.chip.SetState(chipState); err != nil {
-			return nil, err
+		if err := e.p.chip.SetState(img.chip); err != nil {
+			return err
 		}
 	}
-	if err := e.p.ctl.RestoreState(cs); err != nil {
+	if err := e.p.ctl.RestoreState(img.ctl); err != nil {
+		return err
+	}
+
+	e.i = img.ticks
+	e.dcRated = img.dcRated
+	e.pduRated = img.pduRated
+	e.trippedAt = img.trippedAt
+	e.sprintSustained = img.sprintSustained
+	e.excessServed = img.excessServed
+	e.maxStress = img.maxStress
+	e.burstTicks = img.burstTicks
+	e.burstAchieved = img.burstAchieved
+	e.required = img.series[0]
+	e.achieved = img.series[1]
+	e.degree = img.series[2]
+	e.dcLoad = img.series[3]
+	e.pduLoad = img.series[4]
+	e.upsPower = img.series[5]
+	e.genPower = img.series[6]
+	e.upsSoC = img.series[7]
+	e.coolPower = img.series[8]
+	e.tesRate = img.series[9]
+	e.roomTemp = img.series[10]
+	e.phase = img.phase
+	return nil
+}
+
+// Restore rebuilds an engine from a scenario and a snapshot previously taken
+// from an engine built on the same scenario. The scenario is normalized and
+// the plant reconstructed exactly as New does, then the snapshot's dynamic
+// state is applied; the restored engine continues bit-for-bit identically to
+// the original. Corrupt or mismatched snapshots return an error — never a
+// panic, never a half-restored engine.
+func Restore(sc Scenario, snap []byte) (*Engine, error) {
+	return RestoreObserved(sc, snap, nil)
+}
+
+// RestoreObserved is Restore with an optional telemetry observer attached to
+// the resumed run.
+func RestoreObserved(sc Scenario, snap []byte, obs Observer) (*Engine, error) {
+	img, _, err := decodeImage(snap, true)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Faults != nil {
+		return nil, ErrSnapshotFaults
+	}
+	e, err := NewObserved(sc, obs)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyImage(e, img); err != nil {
 		return nil, err
 	}
 	return e, nil
